@@ -1,0 +1,96 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md's
+experiment index) at a configurable scale.  The default scale is chosen so
+that the whole harness runs in a few minutes on a laptop; exporting
+``REPRO_BENCH_SCALE=paper`` switches to the paper's full protocol (512 × 16
+instances, 10 × 90-second runs — hours of compute).
+
+Each benchmark writes its rendered table / series to
+``benchmarks/output/<name>.txt`` so the numbers that back EXPERIMENTS.md can
+be inspected after a run, and still asserts the qualitative shape of the
+paper's conclusion (who wins, where) so regressions are caught even without
+reading the output.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.tuning import TuningSettings
+from repro.model.generator import ETCGeneratorConfig
+
+#: Where the rendered tables and series end up.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop").lower()
+
+
+def _table_settings() -> ExperimentSettings:
+    """Settings used by the Table 2-5 benchmarks."""
+    if _SCALE == "paper":
+        return ExperimentSettings.paper_scale()
+    return ExperimentSettings(
+        nb_jobs=128,
+        nb_machines=16,
+        runs=2,
+        max_seconds=0.5,
+        max_iterations=None,
+        seed=2007,
+    )
+
+
+def _tuning_settings() -> TuningSettings:
+    """Settings used by the Figure 2-5 benchmarks."""
+    if _SCALE == "paper":
+        return TuningSettings(
+            settings=ExperimentSettings(
+                nb_jobs=512, nb_machines=16, runs=20, max_seconds=90.0, seed=2007
+            ),
+            generator=ETCGeneratorConfig(nb_jobs=512, nb_machines=16, consistency="inconsistent"),
+            grid_points=10,
+        )
+    return TuningSettings(
+        settings=ExperimentSettings(
+            nb_jobs=192, nb_machines=16, runs=3, max_seconds=1.0, seed=2007
+        ),
+        generator=ETCGeneratorConfig(nb_jobs=192, nb_machines=16, consistency="inconsistent"),
+        grid_points=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def table_settings() -> ExperimentSettings:
+    return _table_settings()
+
+
+@pytest.fixture(scope="session")
+def tuning_settings() -> TuningSettings:
+    return _tuning_settings()
+
+
+@pytest.fixture(scope="session")
+def record_output():
+    """Write a benchmark's rendered text output to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _record(name: str, text: str) -> Path:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _record
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark timing.
+
+    The experiments are long-running (seconds) and deterministic in shape, so
+    a single round is both sufficient and necessary to keep the harness fast.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Extension — the dynamic batch-mode deployment the paper motivates.
+
+Sections 1 and 6 argue that the cMA's ability to deliver good plans in a
+short, fixed budget makes it suitable as the periodic batch scheduler of a
+real grid.  The paper itself defers that study to future work (grid
+simulator packages); this benchmark performs it with the library's
+discrete-event simulator: the same arriving workload and machine park is
+scheduled with the cMA policy and with two conventional policies, and the
+cMA must deliver the best (or tied-best) stream makespan.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.grid import (
+    CMABatchPolicy,
+    GridSimulator,
+    HeuristicBatchPolicy,
+    PoissonArrivalModel,
+    SimulationConfig,
+    StaticResourceModel,
+)
+
+from .conftest import run_once
+
+
+def _run_simulations(seed=2007):
+    jobs = PoissonArrivalModel(rate=1.5, duration=60.0, heterogeneity="hi").generate(rng=seed)
+    machines = StaticResourceModel(nb_machines=8, heterogeneity="hi").generate(rng=seed)
+    policies = [
+        CMABatchPolicy(max_seconds=0.15, max_iterations=40),
+        HeuristicBatchPolicy("min_min"),
+        HeuristicBatchPolicy("olb"),
+    ]
+    metrics = {}
+    for policy in policies:
+        simulator = GridSimulator(
+            jobs, machines, policy, SimulationConfig(activation_interval=15.0), rng=seed
+        )
+        metrics[policy.name] = simulator.run()
+    return metrics
+
+
+def test_dynamic_grid_scheduling(benchmark, record_output):
+    metrics = run_once(benchmark, _run_simulations)
+    rows = [
+        [
+            name,
+            m.makespan,
+            m.mean_response_time,
+            m.mean_utilization,
+            m.mean_scheduler_seconds,
+        ]
+        for name, m in metrics.items()
+    ]
+    text = format_table(
+        ["policy", "stream makespan", "mean response", "utilization", "sched s/activation"],
+        rows,
+        title="Dynamic grid simulation: batch policies on the same workload",
+    )
+    record_output("dynamic_grid_scheduling", text)
+
+    for name, m in metrics.items():
+        assert m.completed_jobs == m.nb_jobs, name
+
+    cma = metrics["cma"]
+    # The metaheuristic never loses to blind load balancing and stays
+    # competitive with Min-Min on the stream makespan.
+    assert cma.makespan <= metrics["olb"].makespan * 1.02
+    assert cma.makespan <= metrics["min_min"].makespan * 1.10
+    # The per-activation scheduling cost stays within its configured budget
+    # (the "very short time" requirement of the paper).
+    assert cma.mean_scheduler_seconds < 1.0
+
+    print()
+    print(text)

@@ -1,0 +1,30 @@
+"""Figure 2 — makespan reduction of the three local-search methods.
+
+The paper's conclusion: all three methods reduce the makespan substantially,
+LMCTS clearly performs best and is selected for Table 1.  The benchmark
+regenerates the makespan-vs-time series for LM, SLM and LMCTS and asserts the
+final ranking (LMCTS at least as good as both alternatives).
+"""
+
+from repro.experiments.tuning import local_search_sweep
+
+from .conftest import run_once
+
+
+def test_figure2_local_search(benchmark, tuning_settings, record_output):
+    result = run_once(benchmark, local_search_sweep, tuning_settings)
+    text = result.as_series_text() + "\n\n" + result.as_summary_text()
+    record_output("figure2_local_search", text)
+
+    finals = {name: stats.mean for name, stats in result.final_makespan.items()}
+    assert set(finals) == {"LM", "SLM", "LMCTS"}
+    # Paper shape: LMCTS is the best performer (small tolerance for noise at
+    # laptop scale).
+    assert finals["LMCTS"] <= finals["LM"] * 1.05
+    assert finals["LMCTS"] <= finals["SLM"] * 1.05
+    # Every method improves on its starting point (an "accentuated reduction").
+    for name, curve in result.curves.items():
+        assert curve[-1] <= curve[0], name
+
+    print()
+    print(text)

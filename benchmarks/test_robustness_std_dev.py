@@ -1,0 +1,37 @@
+"""Section 5.1 — robustness of the cMA across repeated runs.
+
+The paper observes that the standard deviation of the best makespan over the
+10 repetitions is roughly 1 % of the mean, and uses this as evidence that the
+scheduler is robust enough for a dynamic environment.  The benchmark repeats
+the cMA on a subset of the suite and asserts that the coefficient of
+variation stays in the low single digits at laptop scale.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import benchmark_instances, robustness_table
+
+from .conftest import run_once
+
+
+#: Robustness is checked on one instance per consistency class to keep the
+#: benchmark short; the full 12-instance run works the same way.
+SUBSET = ("u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0")
+
+
+def test_robustness_std_dev(benchmark, table_settings, record_output):
+    settings = table_settings.scaled(runs=max(3, table_settings.runs))
+    instances = benchmark_instances(settings, names=SUBSET)
+    table = run_once(benchmark, robustness_table, settings, instances)
+    text = table.render(precision=2)
+    record_output("robustness_std_dev", text)
+
+    cvs = np.array(table.column("cv (%)"), dtype=float)
+    assert np.all(cvs >= 0)
+    # Paper: ~1 %.  Laptop-scale budgets are noisier; low single digits is the
+    # qualitative claim being reproduced.
+    assert float(cvs.mean()) < 5.0
+    assert float(cvs.max()) < 10.0
+
+    print()
+    print(text)

@@ -1,0 +1,39 @@
+"""Table 1 — the tuned cMA configuration.
+
+Table 1 of the paper is the outcome of the tuning study: the parameter values
+used for every comparison experiment.  This benchmark renders the
+configuration shipped as :meth:`CMAConfig.paper_defaults` and checks that it
+matches the published values field by field; the timing aspect measured here
+is the (trivial) cost of building and validating the configuration object.
+"""
+
+from repro.core.config import CMAConfig
+from repro.experiments.tables import table1_configuration
+
+from .conftest import run_once
+
+
+def test_table1_configuration(benchmark, record_output):
+    text = run_once(benchmark, table1_configuration)
+    record_output("table1_configuration", text)
+
+    config = CMAConfig.paper_defaults()
+    assert config.population_size == 25
+    assert config.nb_recombinations == 25
+    assert config.nb_mutations == 12
+    assert config.nb_solutions_to_recombine == 3
+    assert config.seeding_heuristic == "ljfr_sjfr"
+    assert config.neighborhood == "c9"
+    assert config.recombination_order == "fls"
+    assert config.mutation_order == "nrs"
+    assert config.tournament_size == 3
+    assert config.crossover == "one_point"
+    assert config.mutation == "rebalance"
+    assert config.local_search == "lmcts"
+    assert config.local_search_iterations == 5
+    assert config.replacement == "if_better"
+    assert config.fitness_weight == 0.75
+    assert config.termination.max_seconds == 90.0
+
+    print()
+    print(text)

@@ -1,0 +1,37 @@
+"""Table 2 — best makespan: Braun et al.'s GA vs. the cMA on the 12 instances.
+
+The paper's shape: the cMA delivers better makespans than the GA on every
+consistent and semi-consistent instance (deltas of roughly 0.2-4.4 %) and is
+slightly worse on most inconsistent instances.  With the regenerated
+instances and the reimplemented GA baseline the absolute values differ, but
+the cMA must still win on the consistent and semi-consistent classes; the
+inconsistent class is reported without a hard assertion (it is the part of
+the paper's own results that goes the other way).
+"""
+
+from repro.experiments import reference
+from repro.experiments.tables import makespan_table
+
+from .conftest import run_once
+
+
+def test_table2_makespan_vs_braun_ga(benchmark, table_settings, record_output):
+    table = run_once(benchmark, makespan_table, table_settings)
+    text = table.render(precision=1)
+    record_output("table2_makespan_vs_braun_ga", text)
+
+    wins = 0
+    for name in reference.paper_instance_names():
+        row = table.row_for(name)
+        ga_measured, cma_measured = row[4], row[5]
+        assert ga_measured > 0 and cma_measured > 0
+        if reference.consistency_of(name) in ("c", "s"):
+            # Paper shape: the cMA wins on consistent / semi-consistent instances.
+            assert cma_measured <= ga_measured * 1.02, name
+        if cma_measured < ga_measured:
+            wins += 1
+    # Overall the cMA wins on a clear majority of the benchmark.
+    assert wins >= 8
+
+    print()
+    print(text)

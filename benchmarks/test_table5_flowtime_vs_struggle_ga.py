@@ -1,0 +1,31 @@
+"""Table 5 — flowtime: the Struggle GA vs. the cMA.
+
+The paper's shape: the cMA outperforms the Struggle GA's flowtime on all
+twelve instances (by 0.2-5.3 %).  The benchmark asserts that the measured cMA
+flowtime is no worse than the measured Struggle GA flowtime on every instance
+and strictly better on most of them.
+"""
+
+from repro.experiments import reference
+from repro.experiments.tables import flowtime_comparison_table
+
+from .conftest import run_once
+
+
+def test_table5_flowtime_vs_struggle_ga(benchmark, table_settings, record_output):
+    table = run_once(benchmark, flowtime_comparison_table, table_settings)
+    text = table.render(precision=1)
+    record_output("table5_flowtime_vs_struggle_ga", text)
+
+    strict_wins = 0
+    for name in reference.paper_instance_names():
+        row = table.row_for(name)
+        struggle, cma = row[4], row[5]
+        assert struggle > 0 and cma > 0
+        assert cma <= struggle * 1.02, name
+        if cma < struggle:
+            strict_wins += 1
+    assert strict_wins >= 8
+
+    print()
+    print(text)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working on minimal offline environments where
+the ``wheel`` package (needed for PEP 660 editable wheels) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

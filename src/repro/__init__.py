@@ -1,0 +1,62 @@
+"""repro — Cellular Memetic Algorithms for batch job scheduling in grids.
+
+A from-scratch reproduction of *"Efficient Batch Job Scheduling in Grids
+using Cellular Memetic Algorithms"* (Xhafa, Alba & Dorronsoro, IPPS/IPDPS
+2007 workshops).  The library contains:
+
+* :mod:`repro.model` — the ETC scheduling model (instances, schedules,
+  makespan / flowtime, the Braun-style benchmark generator);
+* :mod:`repro.heuristics` — constructive heuristics (LJFR-SJFR, Min-Min, ...);
+* :mod:`repro.core` — the cellular memetic algorithm and all of its operators;
+* :mod:`repro.baselines` — the GAs the paper compares against plus ablations;
+* :mod:`repro.grid` — a discrete-event simulator for the dynamic batch-mode
+  deployment scenario;
+* :mod:`repro.experiments` — the harness reproducing Figures 2-5 and
+  Tables 1-5.
+
+Quickstart
+----------
+>>> from repro import braun_suite, CellularMemeticAlgorithm, CMAConfig, TerminationCriteria
+>>> instance = braun_suite(nb_jobs=64, nb_machines=8)["u_c_hihi.0"]
+>>> config = CMAConfig.paper_defaults(TerminationCriteria.by_iterations(25))
+>>> result = CellularMemeticAlgorithm(instance, config, rng=1).run()
+>>> result.makespan < instance.makespan_upper_bound()
+True
+"""
+
+from repro.core import (
+    CellularMemeticAlgorithm,
+    CMAConfig,
+    SchedulingResult,
+    TerminationCriteria,
+)
+from repro.model import (
+    FitnessEvaluator,
+    Schedule,
+    SchedulingInstance,
+    braun_suite,
+    generate_braun_like_instance,
+    generate_instance,
+    ETCGeneratorConfig,
+)
+from repro.heuristics import build_schedule, get_heuristic, list_heuristics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CellularMemeticAlgorithm",
+    "CMAConfig",
+    "SchedulingResult",
+    "TerminationCriteria",
+    "FitnessEvaluator",
+    "Schedule",
+    "SchedulingInstance",
+    "braun_suite",
+    "generate_braun_like_instance",
+    "generate_instance",
+    "ETCGeneratorConfig",
+    "build_schedule",
+    "get_heuristic",
+    "list_heuristics",
+]

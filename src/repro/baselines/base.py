@@ -1,0 +1,163 @@
+"""Common machinery shared by the baseline evolutionary schedulers.
+
+The paper compares the cMA against three previously published evolutionary
+schedulers (Braun et al.'s generational GA, Carretero & Xhafa's steady-state
+GA and Xhafa's Struggle GA).  None of those implementations is publicly
+available, so :mod:`repro.baselines` reimplements them from their published
+descriptions; this module holds the scaffolding they share — population
+bookkeeping, history recording and the common run loop driven by
+:class:`~repro.core.termination.TerminationCriteria` — so each baseline file
+only contains the algorithm-specific reproduction/replacement logic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cma import SchedulingResult
+from repro.core.individual import Individual
+from repro.core.termination import SearchState, TerminationCriteria
+from repro.heuristics.base import build_schedule
+from repro.model.fitness import FitnessEvaluator
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+from repro.utils.history import ConvergenceHistory
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.timer import Stopwatch
+
+__all__ = ["PopulationBasedScheduler"]
+
+
+class PopulationBasedScheduler(abc.ABC):
+    """Template for population-based baseline schedulers.
+
+    Subclasses implement :meth:`_iteration` (one generation or one steady-
+    state step) and may override :meth:`_initialize_population`.  The base
+    class owns the run loop, the best-so-far tracking and the convergence
+    history, and produces the same :class:`~repro.core.cma.SchedulingResult`
+    as the cMA so that the experiment harness treats every algorithm alike.
+    """
+
+    #: Name reported in :class:`SchedulingResult.algorithm`; subclasses override.
+    algorithm_name: str = "baseline"
+
+    def __init__(
+        self,
+        instance: SchedulingInstance,
+        *,
+        population_size: int,
+        termination: TerminationCriteria,
+        fitness_weight: float = 0.75,
+        seeding_heuristic: str | None = "ljfr_sjfr",
+        rng: RNGLike = None,
+    ) -> None:
+        if population_size < 2:
+            raise ValueError(f"population_size must be >= 2, got {population_size}")
+        self.instance = instance
+        self.population_size = int(population_size)
+        self.termination = termination
+        self.seeding_heuristic = seeding_heuristic
+        self.rng = as_generator(rng)
+        self.evaluator = FitnessEvaluator(fitness_weight)
+        self.history = ConvergenceHistory()
+        self.population: list[Individual] = []
+        self.best: Individual | None = None
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def _initialize_population(self) -> list[Individual]:
+        """Default seeding: one heuristic individual plus random schedules."""
+        individuals: list[Individual] = []
+        if self.seeding_heuristic is not None:
+            seed = Individual(build_schedule(self.seeding_heuristic, self.instance, self.rng))
+            seed.evaluate(self.evaluator)
+            individuals.append(seed)
+        while len(individuals) < self.population_size:
+            individual = Individual(Schedule.random(self.instance, self.rng))
+            individual.evaluate(self.evaluator)
+            individuals.append(individual)
+        return individuals
+
+    @abc.abstractmethod
+    def _iteration(self, state: SearchState) -> bool:
+        """Perform one iteration; return whether the population best improved."""
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SchedulingResult:
+        """Execute the search until the termination criterion fires."""
+        stopwatch = Stopwatch()
+        deadline = self.termination.make_deadline()
+        state = SearchState()
+
+        self.population = self._initialize_population()
+        self.best = min(self.population, key=lambda ind: ind.fitness).copy()
+        state.evaluations = self.evaluator.evaluations
+        state.best_fitness = self.best.fitness
+        self._record(stopwatch, state)
+
+        while not self.termination.should_stop(state, deadline):
+            improved = self._iteration(state)
+            current_best = min(self.population, key=lambda ind: ind.fitness)
+            if current_best.fitness < self.best.fitness:
+                self.best = current_best.copy()
+                improved = True
+            state.evaluations = self.evaluator.evaluations
+            state.best_fitness = self.best.fitness
+            state.register_iteration(improved)
+            self._record(stopwatch, state)
+
+        return SchedulingResult(
+            algorithm=self.algorithm_name,
+            instance_name=self.instance.name,
+            best_schedule=self.best.schedule.copy(),
+            best_fitness=self.best.fitness,
+            makespan=self.best.makespan,
+            flowtime=self.best.flowtime,
+            mean_flowtime=self.best.flowtime / self.instance.nb_machines,
+            evaluations=self.evaluator.evaluations,
+            iterations=state.iterations,
+            elapsed_seconds=stopwatch.elapsed,
+            history=self.history,
+            metadata={"population_size": self.population_size},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _record(self, stopwatch: Stopwatch, state: SearchState) -> None:
+        self.history.record(
+            elapsed_seconds=stopwatch.elapsed,
+            evaluations=state.evaluations,
+            iterations=state.iterations,
+            best_fitness=self.best.fitness,
+            best_makespan=self.best.makespan,
+            best_flowtime=self.best.flowtime,
+        )
+
+    def _tournament(self, candidates: Sequence[Individual], size: int) -> Individual:
+        """Pick the best of ``size`` uniformly sampled candidates."""
+        pool = len(candidates)
+        indices = self.rng.integers(0, pool, size=max(1, size))
+        return min((candidates[int(i)] for i in indices), key=lambda ind: ind.fitness)
+
+    def _one_point_crossover(
+        self, parent_a: np.ndarray, parent_b: np.ndarray
+    ) -> np.ndarray:
+        length = parent_a.shape[0]
+        if length < 2:
+            return parent_a.copy()
+        cut = int(self.rng.integers(1, length))
+        child = parent_a.copy()
+        child[cut:] = parent_b[cut:]
+        return child
+
+    def _move_mutation(self, schedule: Schedule) -> None:
+        job = int(self.rng.integers(0, self.instance.nb_jobs))
+        machine = int(self.rng.integers(0, self.instance.nb_machines))
+        schedule.move_job(job, machine)

@@ -1,0 +1,105 @@
+"""An unstructured (panmictic) memetic algorithm — the structure ablation.
+
+The complementary ablation to :mod:`repro.baselines.cellular_ga`: this
+baseline keeps the memetic component (the same local-search methods as the
+cMA) but drops the cellular structure, selecting parents from the whole
+population.  Comparing cMA / cellular GA / panmictic MA / plain GA isolates
+the individual contributions of the two design choices the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import PopulationBasedScheduler
+from repro.core.individual import Individual
+from repro.core.local_search import get_local_search
+from repro.core.mutation import get_mutation
+from repro.core.termination import SearchState, TerminationCriteria
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+from repro.utils.rng import RNGLike
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = ["PanmicticMAConfig", "PanmicticMA"]
+
+
+@dataclass(frozen=True)
+class PanmicticMAConfig:
+    """Parameters of the unstructured memetic algorithm."""
+
+    population_size: int = 25
+    offspring_per_iteration: int = 25
+    mutation_probability: float = 0.3
+    tournament_size: int = 3
+    local_search: str = "lmcts"
+    local_search_iterations: int = 5
+    mutation: str = "rebalance"
+    seeding_heuristic: str | None = "ljfr_sjfr"
+    fitness_weight: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_integer("population_size", self.population_size, minimum=2)
+        check_integer("offspring_per_iteration", self.offspring_per_iteration, minimum=1)
+        check_probability("mutation_probability", self.mutation_probability)
+        check_integer("tournament_size", self.tournament_size, minimum=1)
+        check_integer("local_search_iterations", self.local_search_iterations, minimum=0)
+        check_probability("fitness_weight", self.fitness_weight)
+
+    @classmethod
+    def fast_defaults(cls) -> "PanmicticMAConfig":
+        """A reduced configuration for unit tests and laptop benchmarks."""
+        return cls(population_size=9, offspring_per_iteration=6, local_search_iterations=2)
+
+
+class PanmicticMA(PopulationBasedScheduler):
+    """Steady-state memetic algorithm over an unstructured population."""
+
+    algorithm_name = "panmictic_ma"
+
+    def __init__(
+        self,
+        instance: SchedulingInstance,
+        config: PanmicticMAConfig | None = None,
+        *,
+        termination: TerminationCriteria,
+        rng: RNGLike = None,
+    ) -> None:
+        self.config = config if config is not None else PanmicticMAConfig()
+        super().__init__(
+            instance,
+            population_size=self.config.population_size,
+            termination=termination,
+            fitness_weight=self.config.fitness_weight,
+            seeding_heuristic=self.config.seeding_heuristic,
+            rng=rng,
+        )
+        self._local_search = get_local_search(
+            self.config.local_search, iterations=self.config.local_search_iterations
+        )
+        self._mutation = get_mutation(self.config.mutation)
+
+    def _iteration(self, state: SearchState) -> bool:
+        cfg = self.config
+        improved = False
+        best_before = min(self.population, key=lambda ind: ind.fitness).fitness
+        for _ in range(cfg.offspring_per_iteration):
+            parent_a = self._tournament(self.population, cfg.tournament_size)
+            parent_b = self._tournament(self.population, cfg.tournament_size)
+            child_assignment = self._one_point_crossover(
+                parent_a.schedule.assignment, parent_b.schedule.assignment
+            )
+            child = Individual(Schedule(self.instance, child_assignment))
+            if self.rng.random() < cfg.mutation_probability:
+                self._mutation.mutate(child.schedule, self.rng)
+            self._local_search.improve(child.schedule, self.evaluator, self.rng)
+            child.evaluate(self.evaluator)
+
+            worst_index = max(
+                range(len(self.population)), key=lambda i: self.population[i].fitness
+            )
+            if child.fitness < self.population[worst_index].fitness:
+                self.population[worst_index] = child
+                if child.fitness < best_before:
+                    improved = True
+        return improved

@@ -1,0 +1,164 @@
+"""Simulated annealing scheduler (extension baseline).
+
+Not part of the paper's comparison, but a standard single-solution
+metaheuristic for the ETC scheduling problem (it appears in Braun et al.'s
+original eleven-heuristic study).  It is included as an additional yardstick
+for the benchmark harness and as the natural "cheapest metaheuristic"
+comparison point for the cMA: one solution, move/swap neighborhood,
+exponentially cooled Metropolis acceptance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cma import SchedulingResult
+from repro.core.termination import SearchState, TerminationCriteria
+from repro.heuristics.base import build_schedule
+from repro.model.fitness import FitnessEvaluator
+from repro.model.instance import SchedulingInstance
+from repro.utils.history import ConvergenceHistory
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.timer import Stopwatch
+from repro.utils.validation import check_in_range, check_integer, check_positive, check_probability
+
+__all__ = ["SimulatedAnnealingConfig", "SimulatedAnnealingScheduler"]
+
+
+@dataclass(frozen=True)
+class SimulatedAnnealingConfig:
+    """Parameters of the simulated-annealing baseline."""
+
+    initial_acceptance: float = 0.3
+    cooling_rate: float = 0.98
+    steps_per_iteration: int = 200
+    swap_probability: float = 0.4
+    seeding_heuristic: str | None = "ljfr_sjfr"
+    fitness_weight: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_in_range("initial_acceptance", self.initial_acceptance, 0.0, 1.0, inclusive=False)
+        check_in_range("cooling_rate", self.cooling_rate, 0.0, 1.0, inclusive=False)
+        check_integer("steps_per_iteration", self.steps_per_iteration, minimum=1)
+        check_probability("swap_probability", self.swap_probability)
+        check_probability("fitness_weight", self.fitness_weight)
+
+
+class SimulatedAnnealingScheduler:
+    """Single-solution annealing over the move/swap neighborhood."""
+
+    algorithm_name = "simulated_annealing"
+
+    def __init__(
+        self,
+        instance: SchedulingInstance,
+        config: SimulatedAnnealingConfig | None = None,
+        *,
+        termination: TerminationCriteria,
+        rng: RNGLike = None,
+    ) -> None:
+        self.instance = instance
+        self.config = config if config is not None else SimulatedAnnealingConfig()
+        self.termination = termination
+        self.rng = as_generator(rng)
+        self.evaluator = FitnessEvaluator(self.config.fitness_weight)
+        self.history = ConvergenceHistory()
+
+    def _initial_temperature(self, fitness: float) -> float:
+        """Temperature at which a `initial_acceptance` relative worsening is accepted."""
+        relative_worsening = 0.05 * fitness
+        return -relative_worsening / np.log(self.config.initial_acceptance)
+
+    def _propose(self, schedule) -> tuple[str, int, int]:
+        """Draw one random move or swap (returned so it can be undone)."""
+        nb_jobs = self.instance.nb_jobs
+        nb_machines = self.instance.nb_machines
+        if nb_jobs >= 2 and self.rng.random() < self.config.swap_probability:
+            job_a, job_b = self.rng.choice(nb_jobs, size=2, replace=False)
+            schedule.swap_jobs(int(job_a), int(job_b))
+            return ("swap", int(job_a), int(job_b))
+        job = int(self.rng.integers(nb_jobs))
+        old = int(schedule.assignment[job])
+        machine = int(self.rng.integers(nb_machines))
+        schedule.move_job(job, machine)
+        return ("move", job, old)
+
+    @staticmethod
+    def _undo(schedule, operation: tuple[str, int, int]) -> None:
+        kind, a, b = operation
+        if kind == "swap":
+            schedule.swap_jobs(a, b)
+        else:
+            schedule.move_job(a, b)
+
+    def run(self) -> SchedulingResult:
+        stopwatch = Stopwatch()
+        deadline = self.termination.make_deadline()
+        state = SearchState()
+        cfg = self.config
+
+        if cfg.seeding_heuristic is not None:
+            current = build_schedule(cfg.seeding_heuristic, self.instance, self.rng)
+        else:
+            from repro.model.schedule import Schedule
+
+            current = Schedule.random(self.instance, self.rng)
+        current_fitness = self.evaluator(current)
+        best = current.copy()
+        best_fitness = current_fitness
+        temperature = self._initial_temperature(current_fitness)
+        state.evaluations = self.evaluator.evaluations
+        state.best_fitness = best_fitness
+        self._record(stopwatch, state, best, best_fitness)
+
+        while not self.termination.should_stop(state, deadline):
+            improved = False
+            for _ in range(cfg.steps_per_iteration):
+                operation = self._propose(current)
+                candidate_fitness = self.evaluator.scalarize(
+                    current.makespan, current.mean_flowtime
+                )
+                delta = candidate_fitness - current_fitness
+                if delta <= 0 or self.rng.random() < np.exp(-delta / max(temperature, 1e-12)):
+                    current_fitness = candidate_fitness
+                    if candidate_fitness < best_fitness:
+                        best = current.copy()
+                        best_fitness = candidate_fitness
+                        improved = True
+                else:
+                    self._undo(current, operation)
+            temperature *= cfg.cooling_rate
+            # One counted evaluation per accepted-state snapshot keeps the
+            # evaluation budget meaning comparable across algorithms.
+            self.evaluator(current)
+            state.evaluations = self.evaluator.evaluations
+            state.best_fitness = best_fitness
+            state.register_iteration(improved)
+            self._record(stopwatch, state, best, best_fitness)
+
+        return SchedulingResult(
+            algorithm=self.algorithm_name,
+            instance_name=self.instance.name,
+            best_schedule=best.copy(),
+            best_fitness=best_fitness,
+            makespan=best.makespan,
+            flowtime=best.flowtime,
+            mean_flowtime=best.mean_flowtime,
+            evaluations=self.evaluator.evaluations,
+            iterations=state.iterations,
+            elapsed_seconds=stopwatch.elapsed,
+            history=self.history,
+            metadata={"cooling_rate": cfg.cooling_rate},
+        )
+
+    def _record(self, stopwatch, state, best, best_fitness) -> None:
+        self.history.record(
+            elapsed_seconds=stopwatch.elapsed,
+            evaluations=state.evaluations,
+            iterations=state.iterations,
+            best_fitness=best_fitness,
+            best_makespan=best.makespan,
+            best_flowtime=best.flowtime,
+        )

@@ -1,0 +1,150 @@
+"""Tabu-search scheduler (extension baseline).
+
+Like simulated annealing, tabu search is one of the classic metaheuristics
+evaluated on the ETC benchmark by Braun et al.  The variant here keeps the
+algorithm deliberately small: best-of-a-sample move neighborhood restricted
+to the makespan-defining machine, a recency-based tabu list on (job, source
+machine) pairs, and aspiration by objective (a tabu move is allowed when it
+improves the global best).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.cma import SchedulingResult
+from repro.core.termination import SearchState, TerminationCriteria
+from repro.heuristics.base import build_schedule
+from repro.model.fitness import FitnessEvaluator
+from repro.model.instance import SchedulingInstance
+from repro.utils.history import ConvergenceHistory
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.timer import Stopwatch
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = ["TabuSearchConfig", "TabuSearchScheduler"]
+
+
+@dataclass(frozen=True)
+class TabuSearchConfig:
+    """Parameters of the tabu-search baseline."""
+
+    tabu_tenure: int = 16
+    candidate_moves: int = 64
+    seeding_heuristic: str | None = "min_min"
+    fitness_weight: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_integer("tabu_tenure", self.tabu_tenure, minimum=1)
+        check_integer("candidate_moves", self.candidate_moves, minimum=1)
+        check_probability("fitness_weight", self.fitness_weight)
+
+
+class TabuSearchScheduler:
+    """Recency-based tabu search over single-job moves."""
+
+    algorithm_name = "tabu_search"
+
+    def __init__(
+        self,
+        instance: SchedulingInstance,
+        config: TabuSearchConfig | None = None,
+        *,
+        termination: TerminationCriteria,
+        rng: RNGLike = None,
+    ) -> None:
+        self.instance = instance
+        self.config = config if config is not None else TabuSearchConfig()
+        self.termination = termination
+        self.rng = as_generator(rng)
+        self.evaluator = FitnessEvaluator(self.config.fitness_weight)
+        self.history = ConvergenceHistory()
+
+    def run(self) -> SchedulingResult:
+        stopwatch = Stopwatch()
+        deadline = self.termination.make_deadline()
+        state = SearchState()
+        cfg = self.config
+
+        if cfg.seeding_heuristic is not None:
+            current = build_schedule(cfg.seeding_heuristic, self.instance, self.rng)
+        else:
+            from repro.model.schedule import Schedule
+
+            current = Schedule.random(self.instance, self.rng)
+        best = current.copy()
+        best_fitness = self.evaluator(current)
+        tabu: deque[tuple[int, int]] = deque(maxlen=cfg.tabu_tenure)
+        state.evaluations = self.evaluator.evaluations
+        state.best_fitness = best_fitness
+        self._record(stopwatch, state, best, best_fitness)
+
+        nb_jobs = self.instance.nb_jobs
+        nb_machines = self.instance.nb_machines
+
+        while not self.termination.should_stop(state, deadline):
+            improved = False
+            # Candidate moves: random jobs (biased towards the makespan
+            # machine) to random destinations; pick the best admissible one.
+            best_move = None
+            best_move_fitness = float("inf")
+            overloaded = current.most_loaded_machine()
+            overloaded_jobs = current.machine_jobs(overloaded)
+            for _ in range(cfg.candidate_moves):
+                if overloaded_jobs.size and self.rng.random() < 0.5:
+                    job = int(self.rng.choice(overloaded_jobs))
+                else:
+                    job = int(self.rng.integers(nb_jobs))
+                source = int(current.assignment[job])
+                destination = int(self.rng.integers(nb_machines))
+                if destination == source:
+                    continue
+                current.move_job(job, destination)
+                fitness = self.evaluator.scalarize(current.makespan, current.mean_flowtime)
+                current.move_job(job, source)
+                is_tabu = (job, destination) in tabu
+                aspired = fitness < best_fitness
+                if (not is_tabu or aspired) and fitness < best_move_fitness:
+                    best_move_fitness = fitness
+                    best_move = (job, source, destination)
+
+            if best_move is not None:
+                job, source, destination = best_move
+                current.move_job(job, destination)
+                tabu.append((job, source))  # forbid moving the job back for a while
+                self.evaluator(current)
+                if best_move_fitness < best_fitness:
+                    best = current.copy()
+                    best_fitness = best_move_fitness
+                    improved = True
+
+            state.evaluations = self.evaluator.evaluations
+            state.best_fitness = best_fitness
+            state.register_iteration(improved)
+            self._record(stopwatch, state, best, best_fitness)
+
+        return SchedulingResult(
+            algorithm=self.algorithm_name,
+            instance_name=self.instance.name,
+            best_schedule=best.copy(),
+            best_fitness=best_fitness,
+            makespan=best.makespan,
+            flowtime=best.flowtime,
+            mean_flowtime=best.mean_flowtime,
+            evaluations=self.evaluator.evaluations,
+            iterations=state.iterations,
+            elapsed_seconds=stopwatch.elapsed,
+            history=self.history,
+            metadata={"tabu_tenure": cfg.tabu_tenure},
+        )
+
+    def _record(self, stopwatch, state, best, best_fitness) -> None:
+        self.history.record(
+            elapsed_seconds=stopwatch.elapsed,
+            evaluations=state.evaluations,
+            iterations=state.iterations,
+            best_fitness=best_fitness,
+            best_makespan=best.makespan,
+            best_flowtime=best.flowtime,
+        )

@@ -1,0 +1,323 @@
+"""Command-line interface for the reproduction.
+
+The CLI wraps the library's main entry points so the paper's experiments can
+be driven without writing Python:
+
+``repro-scheduler solve``
+    Solve one (regenerated) benchmark instance with a chosen algorithm.
+``repro-scheduler heuristics``
+    Evaluate every constructive heuristic on one instance.
+``repro-scheduler tune``
+    Re-run one of the tuning sweeps of Figures 2-5.
+``repro-scheduler table``
+    Re-generate one of the comparison tables (Tables 2-5) or the robustness
+    study.
+``repro-scheduler simulate``
+    Run the dynamic-grid simulation with a chosen batch scheduling policy.
+
+Every subcommand prints plain-text tables (the same renderings the benchmark
+harness writes to ``benchmarks/output/``) and returns a conventional process
+exit code, so the CLI can be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import (
+    GAConfig,
+    GenerationalGA,
+    PanmicticMA,
+    SimulatedAnnealingScheduler,
+    SteadyStateGA,
+    StruggleGA,
+    TabuSearchScheduler,
+)
+from repro.core import CellularMemeticAlgorithm, CMAConfig, TerminationCriteria
+from repro.experiments.reporting import format_mapping, format_table
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.tables import (
+    flowtime_comparison_table,
+    flowtime_table,
+    makespan_comparison_table,
+    makespan_table,
+    robustness_table,
+    table1_configuration,
+)
+from repro.experiments.tuning import ALL_SWEEPS, TuningSettings
+from repro.grid import (
+    CMABatchPolicy,
+    GridSimulator,
+    HeuristicBatchPolicy,
+    PoissonArrivalModel,
+    SimulationConfig,
+    StaticResourceModel,
+)
+from repro.heuristics import build_schedule, list_heuristics
+from repro.model.benchmark import BRAUN_INSTANCE_NAMES, generate_braun_like_instance
+from repro.model.generator import ETCGeneratorConfig
+from repro.model.io import load_etc_file
+
+__all__ = ["build_parser", "main"]
+
+#: Algorithms addressable from ``repro-scheduler solve --algorithm``.
+ALGORITHMS = (
+    "cma",
+    "braun_ga",
+    "carretero_xhafa_ga",
+    "struggle_ga",
+    "panmictic_ma",
+    "simulated_annealing",
+    "tabu_search",
+)
+
+TABLES = ("table1", "table2", "table3", "table4", "table5", "robustness")
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scheduler",
+        description="Cellular memetic algorithms for batch job scheduling in grids "
+        "(reproduction of Xhafa, Alba & Dorronsoro, IPPS 2007).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--instance",
+            default="u_c_hihi.0",
+            help="Braun-style instance name (e.g. u_i_lohi.0); "
+            f"the benchmark uses {', '.join(BRAUN_INSTANCE_NAMES[:3])}, ...",
+        )
+        sub.add_argument("--etc-file", default=None, help="load a real Braun-format ETC file instead of generating one")
+        sub.add_argument("--jobs", type=int, default=128, help="number of jobs (default 128)")
+        sub.add_argument("--machines", type=int, default=16, help="number of machines (default 16)")
+        sub.add_argument("--seed", type=int, default=2007, help="random seed")
+
+    solve = subparsers.add_parser("solve", help="solve one instance with one algorithm")
+    add_instance_arguments(solve)
+    solve.add_argument("--algorithm", choices=ALGORITHMS, default="cma")
+    solve.add_argument("--seconds", type=float, default=2.0, help="wall-clock budget per run")
+    solve.add_argument("--iterations", type=int, default=None, help="optional iteration budget")
+
+    heuristics = subparsers.add_parser(
+        "heuristics", help="evaluate every constructive heuristic on one instance"
+    )
+    add_instance_arguments(heuristics)
+
+    tune = subparsers.add_parser("tune", help="re-run one tuning sweep (Figures 2-5)")
+    tune.add_argument("--figure", choices=sorted(ALL_SWEEPS), default="figure2")
+    tune.add_argument("--jobs", type=int, default=96)
+    tune.add_argument("--machines", type=int, default=16)
+    tune.add_argument("--runs", type=int, default=2)
+    tune.add_argument("--seconds", type=float, default=0.5)
+    tune.add_argument("--seed", type=int, default=2007)
+
+    table = subparsers.add_parser("table", help="re-generate a comparison table (Tables 2-5)")
+    table.add_argument("--table", choices=TABLES, default="table2")
+    table.add_argument("--jobs", type=int, default=96)
+    table.add_argument("--machines", type=int, default=16)
+    table.add_argument("--runs", type=int, default=2)
+    table.add_argument("--seconds", type=float, default=0.5)
+    table.add_argument("--seed", type=int, default=2007)
+    table.add_argument(
+        "--instances",
+        nargs="*",
+        default=None,
+        help="subset of benchmark instance names (default: all 12)",
+    )
+
+    simulate = subparsers.add_parser("simulate", help="run the dynamic grid simulation")
+    simulate.add_argument("--policy", default="cma", help="'cma' or any heuristic name")
+    simulate.add_argument("--rate", type=float, default=1.0, help="job arrivals per simulated second")
+    simulate.add_argument("--duration", type=float, default=60.0, help="submission window (simulated seconds)")
+    simulate.add_argument("--machines", type=int, default=8)
+    simulate.add_argument("--interval", type=float, default=10.0, help="scheduler activation interval")
+    simulate.add_argument("--budget", type=float, default=0.2, help="cMA wall-clock budget per activation")
+    simulate.add_argument("--seed", type=int, default=2007)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def _load_instance(args: argparse.Namespace):
+    if getattr(args, "etc_file", None):
+        return load_etc_file(args.etc_file, nb_jobs=args.jobs, nb_machines=args.machines)
+    return generate_braun_like_instance(
+        args.instance, rng=args.seed, nb_jobs=args.jobs, nb_machines=args.machines
+    )
+
+
+def _build_algorithm(name: str, instance, termination, seed: int):
+    if name == "cma":
+        return CellularMemeticAlgorithm(
+            instance, CMAConfig.paper_defaults(termination), rng=seed
+        )
+    if name == "braun_ga":
+        return GenerationalGA(
+            instance, GAConfig.fast_defaults(), termination=termination, rng=seed
+        )
+    if name == "carretero_xhafa_ga":
+        return SteadyStateGA(instance, termination=termination, rng=seed)
+    if name == "struggle_ga":
+        return StruggleGA(instance, termination=termination, rng=seed)
+    if name == "panmictic_ma":
+        return PanmicticMA(instance, termination=termination, rng=seed)
+    if name == "simulated_annealing":
+        return SimulatedAnnealingScheduler(instance, termination=termination, rng=seed)
+    if name == "tabu_search":
+        return TabuSearchScheduler(instance, termination=termination, rng=seed)
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _command_solve(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    termination = TerminationCriteria(
+        max_seconds=args.seconds, max_iterations=args.iterations
+    )
+    algorithm = _build_algorithm(args.algorithm, instance, termination, args.seed)
+    result = algorithm.run()
+    print(
+        format_mapping(
+            {
+                "instance": result.instance_name,
+                "algorithm": result.algorithm,
+                "makespan": result.makespan,
+                "flowtime": result.flowtime,
+                "mean flowtime": result.mean_flowtime,
+                "fitness": result.best_fitness,
+                "iterations": result.iterations,
+                "evaluations": result.evaluations,
+                "elapsed seconds": result.elapsed_seconds,
+            },
+            title=f"{result.algorithm} on {result.instance_name} "
+            f"({instance.nb_jobs} jobs x {instance.nb_machines} machines)",
+        )
+    )
+    return 0
+
+
+def _command_heuristics(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    rows = []
+    for name in list_heuristics():
+        schedule = build_schedule(name, instance, rng=args.seed)
+        rows.append([name, schedule.makespan, schedule.flowtime])
+    rows.sort(key=lambda row: row[1])
+    print(
+        format_table(
+            ["heuristic", "makespan", "flowtime"],
+            rows,
+            title=f"Constructive heuristics on {instance.name}",
+            precision=1,
+        )
+    )
+    return 0
+
+
+def _command_tune(args: argparse.Namespace) -> int:
+    tuning = TuningSettings(
+        settings=ExperimentSettings(
+            nb_jobs=args.jobs,
+            nb_machines=args.machines,
+            runs=args.runs,
+            max_seconds=args.seconds,
+            seed=args.seed,
+        ),
+        generator=ETCGeneratorConfig(
+            nb_jobs=args.jobs, nb_machines=args.machines, consistency="inconsistent"
+        ),
+    )
+    result = ALL_SWEEPS[args.figure](tuning)
+    print(result.as_series_text())
+    print()
+    print(result.as_summary_text())
+    print(f"best variant: {result.best_variant()}")
+    return 0
+
+
+def _command_table(args: argparse.Namespace) -> int:
+    if args.table == "table1":
+        print(table1_configuration())
+        return 0
+    settings = ExperimentSettings(
+        nb_jobs=args.jobs,
+        nb_machines=args.machines,
+        runs=args.runs,
+        max_seconds=args.seconds,
+        seed=args.seed,
+    )
+    builders = {
+        "table2": makespan_table,
+        "table3": makespan_comparison_table,
+        "table4": flowtime_table,
+        "table5": flowtime_comparison_table,
+        "robustness": robustness_table,
+    }
+    instances = None
+    if args.instances:
+        from repro.experiments.tables import benchmark_instances
+
+        instances = benchmark_instances(settings, names=tuple(args.instances))
+    table = builders[args.table](settings, instances)
+    print(table.render(precision=1))
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    jobs = PoissonArrivalModel(rate=args.rate, duration=args.duration).generate(rng=args.seed)
+    machines = StaticResourceModel(nb_machines=args.machines).generate(rng=args.seed)
+    if args.policy == "cma":
+        policy = CMABatchPolicy(max_seconds=args.budget)
+    else:
+        policy = HeuristicBatchPolicy(args.policy)
+    simulator = GridSimulator(
+        jobs,
+        machines,
+        policy,
+        SimulationConfig(activation_interval=args.interval),
+        rng=args.seed,
+    )
+    metrics = simulator.run()
+    print(
+        format_mapping(
+            metrics.summary(),
+            title=f"Dynamic grid simulation with the {metrics.policy} policy",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "solve": _command_solve,
+    "heuristics": _command_heuristics,
+    "tune": _command_tune,
+    "table": _command_table,
+    "simulate": _command_simulate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-scheduler`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    raise SystemExit(main())

@@ -1,0 +1,261 @@
+"""Configuration of the Cellular Memetic Algorithm.
+
+:class:`CMAConfig` gathers every tunable ingredient of the algorithm in one
+validated, immutable object.  :meth:`CMAConfig.paper_defaults` returns the
+configuration of **Table 1** of the paper — the result of the tuning study of
+Section 4 — except for the termination budget, which callers are expected to
+set explicitly (the paper used 90 wall-clock seconds on 2007 hardware;
+laptop-scale tests and benchmarks use much smaller budgets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.crossover import list_crossovers
+from repro.core.local_search import list_local_searches
+from repro.core.mutation import list_mutations
+from repro.core.neighborhood import list_neighborhoods
+from repro.core.replacement import list_replacements
+from repro.core.selection import list_selections
+from repro.core.sweep import list_sweeps
+from repro.core.termination import TerminationCriteria
+from repro.heuristics import list_heuristics
+from repro.model.fitness import DEFAULT_LAMBDA
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = ["CMAConfig"]
+
+
+def _check_choice(name: str, value: str, available) -> str:
+    value = str(value).lower()
+    options = set(available)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {sorted(options)}, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class CMAConfig:
+    """All parameters of the cellular memetic scheduler.
+
+    The attribute names follow Table 1 of the paper; see
+    :meth:`paper_defaults` for the tuned values.
+
+    Attributes
+    ----------
+    population_height, population_width:
+        Dimensions of the toroidal population mesh.
+    nb_recombinations:
+        Number of recombination-stream cell updates per iteration.
+    nb_mutations:
+        Number of mutation-stream cell updates per iteration.
+    nb_solutions_to_recombine:
+        How many parents are selected from the neighborhood and folded by the
+        recombination operator.
+    seeding_heuristic, perturbation_rate:
+        Population initialization (see
+        :class:`repro.core.population.PopulationInitializer`).
+    neighborhood:
+        Neighborhood pattern name (``"panmictic"``, ``"l5"``, ``"l9"``,
+        ``"c9"``, ``"c13"``).
+    recombination_order, mutation_order:
+        Sweep order names (``"fls"``, ``"frs"``, ``"nrs"``) for the two
+        independent update streams.
+    selection, tournament_size:
+        Parent-selection operator and its N (for ``"n_tournament"``).
+    crossover:
+        Recombination operator name.
+    mutation:
+        Mutation operator name.
+    local_search, local_search_iterations:
+        Local-search method name and its per-offspring iteration count.
+    replacement:
+        Replacement policy name (``"if_better"`` is the paper's
+        *add only if better*).
+    fitness_weight:
+        The λ of the weighted-sum fitness.
+    termination:
+        A :class:`~repro.core.termination.TerminationCriteria` instance.
+    """
+
+    population_height: int = 5
+    population_width: int = 5
+    nb_recombinations: int = 25
+    nb_mutations: int = 12
+    nb_solutions_to_recombine: int = 3
+    seeding_heuristic: str = "ljfr_sjfr"
+    perturbation_rate: float = 0.4
+    neighborhood: str = "c9"
+    recombination_order: str = "fls"
+    mutation_order: str = "nrs"
+    selection: str = "n_tournament"
+    tournament_size: int = 3
+    crossover: str = "one_point"
+    mutation: str = "rebalance"
+    local_search: str = "lmcts"
+    local_search_iterations: int = 5
+    replacement: str = "if_better"
+    fitness_weight: float = DEFAULT_LAMBDA
+    termination: TerminationCriteria = field(
+        default_factory=lambda: TerminationCriteria.by_iterations(100)
+    )
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_integer("population_height", self.population_height, minimum=1)
+        check_integer("population_width", self.population_width, minimum=1)
+        check_integer("nb_recombinations", self.nb_recombinations, minimum=0)
+        check_integer("nb_mutations", self.nb_mutations, minimum=0)
+        if self.nb_recombinations == 0 and self.nb_mutations == 0:
+            raise ValueError(
+                "at least one of nb_recombinations / nb_mutations must be positive"
+            )
+        check_integer(
+            "nb_solutions_to_recombine", self.nb_solutions_to_recombine, minimum=1
+        )
+        check_integer("tournament_size", self.tournament_size, minimum=1)
+        check_integer(
+            "local_search_iterations", self.local_search_iterations, minimum=0
+        )
+        check_probability("perturbation_rate", self.perturbation_rate)
+        check_probability("fitness_weight", self.fitness_weight)
+
+        object.__setattr__(
+            self,
+            "seeding_heuristic",
+            _check_choice("seeding_heuristic", self.seeding_heuristic, list_heuristics()),
+        )
+        object.__setattr__(
+            self,
+            "neighborhood",
+            _check_choice("neighborhood", self.neighborhood, list_neighborhoods()),
+        )
+        object.__setattr__(
+            self,
+            "recombination_order",
+            _check_choice("recombination_order", self.recombination_order, list_sweeps()),
+        )
+        object.__setattr__(
+            self,
+            "mutation_order",
+            _check_choice("mutation_order", self.mutation_order, list_sweeps()),
+        )
+        object.__setattr__(
+            self, "selection", _check_choice("selection", self.selection, list_selections())
+        )
+        object.__setattr__(
+            self, "crossover", _check_choice("crossover", self.crossover, list_crossovers())
+        )
+        object.__setattr__(
+            self, "mutation", _check_choice("mutation", self.mutation, list_mutations())
+        )
+        object.__setattr__(
+            self,
+            "local_search",
+            _check_choice("local_search", self.local_search, list_local_searches()),
+        )
+        object.__setattr__(
+            self,
+            "replacement",
+            _check_choice("replacement", self.replacement, list_replacements()),
+        )
+        if not isinstance(self.termination, TerminationCriteria):
+            raise TypeError("termination must be a TerminationCriteria instance")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def population_size(self) -> int:
+        """Number of cells in the population mesh."""
+        return self.population_height * self.population_width
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_defaults(
+        cls, termination: TerminationCriteria | None = None
+    ) -> "CMAConfig":
+        """The tuned configuration of Table 1.
+
+        Parameters
+        ----------
+        termination:
+            Stopping rule; defaults to the paper's 90-second wall-clock
+            budget.  Pass an evaluation- or iteration-based budget for
+            deterministic, laptop-scale runs.
+        """
+        if termination is None:
+            termination = TerminationCriteria.by_time(90.0)
+        return cls(
+            population_height=5,
+            population_width=5,
+            nb_recombinations=25,
+            nb_mutations=12,
+            nb_solutions_to_recombine=3,
+            seeding_heuristic="ljfr_sjfr",
+            neighborhood="c9",
+            recombination_order="fls",
+            mutation_order="nrs",
+            selection="n_tournament",
+            tournament_size=3,
+            crossover="one_point",
+            mutation="rebalance",
+            local_search="lmcts",
+            local_search_iterations=5,
+            replacement="if_better",
+            fitness_weight=0.75,
+            termination=termination,
+        )
+
+    @classmethod
+    def fast_defaults(
+        cls, termination: TerminationCriteria | None = None
+    ) -> "CMAConfig":
+        """A scaled-down configuration for unit tests and quick examples.
+
+        Identical operator choices to :meth:`paper_defaults`, but with a
+        smaller mesh and fewer updates per iteration so that runs finish in
+        milliseconds on toy instances.
+        """
+        if termination is None:
+            termination = TerminationCriteria.by_iterations(20)
+        return cls(
+            population_height=3,
+            population_width=3,
+            nb_recombinations=6,
+            nb_mutations=3,
+            nb_solutions_to_recombine=2,
+            local_search_iterations=2,
+            termination=termination,
+        )
+
+    def evolve(self, **changes: Any) -> "CMAConfig":
+        """Return a copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly description of the configuration (Table 1 view)."""
+        return {
+            "population height": self.population_height,
+            "population width": self.population_width,
+            "nb solutions to recombine": self.nb_solutions_to_recombine,
+            "nb recombinations": self.nb_recombinations,
+            "nb mutations": self.nb_mutations,
+            "start choice": self.seeding_heuristic,
+            "neighborhood pattern": self.neighborhood,
+            "recombination order": self.recombination_order,
+            "mutation order": self.mutation_order,
+            "recombine choice": self.crossover,
+            "recombine selection": f"{self.tournament_size}-tournament"
+            if self.selection == "n_tournament"
+            else self.selection,
+            "mutate choice": self.mutation,
+            "local search choice": self.local_search,
+            "nb local search iterations": self.local_search_iterations,
+            "add only if better": self.replacement == "if_better",
+            "lambda": self.fitness_weight,
+        }

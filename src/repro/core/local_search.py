@@ -1,0 +1,341 @@
+"""Local-search methods — the "memetic" part of the cellular memetic algorithm.
+
+Every offspring produced by recombination or mutation is improved by a short
+local search before it competes for its cell (Algorithm 1).  The paper
+implements and compares three methods (Figure 2):
+
+* **LM** — *Local Move*: a random job is moved to a random machine; the move
+  is kept only if it improves the fitness (first-improvement hill climbing
+  with a random neighborhood sample).
+* **SLM** — *Steepest Local Move*: a random job is moved to the machine that
+  yields the largest reduction of the completion times (steepest descent on
+  the makespan component).
+* **LMCTS** — *Local Minimum Completion Time Swap*: among the swaps that
+  exchange a job of the makespan-defining machine with a job of another
+  machine, the pair yielding the largest completion-time reduction is
+  applied.  This is the method selected by the paper's tuning.
+
+Two extensions beyond the paper are provided for the ablation benchmarks:
+**LMCTM** (best single-job move off the makespan machine) and **VNS**, a
+small variable-neighborhood scheme that cycles LM → SLM → LMCTS.
+
+Moves are ranked with vectorized completion-time arithmetic (no schedule
+copies in the scan), then the selected move is applied and *accepted only if
+the scalarized fitness improves*, so a local-search step never degrades the
+offspring.  The number of steps per offspring is the
+``nb local search iterations`` parameter of Table 1 (5 in the tuned
+configuration).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.model.fitness import FitnessEvaluator
+from repro.model.schedule import Schedule
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = [
+    "LocalSearch",
+    "LocalMoveSearch",
+    "SteepestLocalMoveSearch",
+    "LocalMCTSwapSearch",
+    "LocalMCTMoveSearch",
+    "VariableNeighborhoodSearch",
+    "NullLocalSearch",
+    "get_local_search",
+    "list_local_searches",
+    "register_local_search",
+]
+
+
+def _fitness_of(schedule: Schedule, evaluator: FitnessEvaluator) -> float:
+    """Scalarized fitness of *schedule* without touching the evaluation counter."""
+    return evaluator.scalarize(schedule.makespan, schedule.mean_flowtime)
+
+
+class LocalSearch(abc.ABC):
+    """Iterated improvement applied to one schedule in place.
+
+    Parameters
+    ----------
+    iterations:
+        Number of improvement attempts per :meth:`improve` call (the paper's
+        ``nb local search iterations``).
+    """
+
+    #: Registry key; subclasses must override it.
+    name: str = ""
+
+    def __init__(self, iterations: int = 5) -> None:
+        if iterations < 0:
+            raise ValueError(f"iterations must be non-negative, got {iterations}")
+        self.iterations = int(iterations)
+
+    @abc.abstractmethod
+    def step(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: np.random.Generator
+    ) -> bool:
+        """Attempt one improving move; return whether the schedule improved."""
+
+    def improve(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: RNGLike = None
+    ) -> bool:
+        """Run :attr:`iterations` improvement steps; return whether any succeeded."""
+        gen = as_generator(rng)
+        improved = False
+        for _ in range(self.iterations):
+            if self.step(schedule, evaluator, gen):
+                improved = True
+        return improved
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(iterations={self.iterations})"
+
+
+class NullLocalSearch(LocalSearch):
+    """No-op local search: turns the cMA into a plain cellular GA (ablation)."""
+
+    name = "none"
+
+    def step(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: np.random.Generator
+    ) -> bool:
+        return False
+
+    def improve(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: RNGLike = None
+    ) -> bool:
+        return False
+
+
+class LocalMoveSearch(LocalSearch):
+    """LM: move a random job to a random machine, keep only improvements."""
+
+    name = "lm"
+
+    def step(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: np.random.Generator
+    ) -> bool:
+        nb_jobs = schedule.instance.nb_jobs
+        nb_machines = schedule.instance.nb_machines
+        if nb_machines < 2:
+            return False
+        job = int(rng.integers(0, nb_jobs))
+        old_machine = int(schedule.assignment[job])
+        new_machine = int(rng.integers(0, nb_machines))
+        if new_machine == old_machine:
+            return False
+        before = _fitness_of(schedule, evaluator)
+        schedule.move_job(job, new_machine)
+        after = _fitness_of(schedule, evaluator)
+        if after < before:
+            return True
+        schedule.move_job(job, old_machine)
+        return False
+
+
+class SteepestLocalMoveSearch(LocalSearch):
+    """SLM: move a random job to the machine giving the best completion-time drop."""
+
+    name = "slm"
+
+    def step(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: np.random.Generator
+    ) -> bool:
+        instance = schedule.instance
+        nb_machines = instance.nb_machines
+        if nb_machines < 2:
+            return False
+        job = int(rng.integers(0, instance.nb_jobs))
+        source = int(schedule.assignment[job])
+
+        etc = instance.etc
+        completion = schedule.completion_times
+        # Completion vector with the job removed from its current machine.
+        base = completion.copy()
+        base[source] -= etc[job, source]
+        # Top-2 of the reduced vector: lets us compute, for every candidate
+        # destination m, the maximum over all machines except m in O(1).
+        order = np.argsort(base)
+        top1, top2 = int(order[-1]), int(order[-2]) if nb_machines > 1 else int(order[-1])
+        max1, max2 = base[top1], base[top2]
+
+        destinations = np.arange(nb_machines)
+        new_destination_completion = base[destinations] + etc[job, destinations]
+        other_max = np.where(destinations == top1, max2, max1)
+        resulting_makespan = np.maximum(other_max, new_destination_completion)
+        resulting_makespan[source] = np.inf  # staying put is not a move
+        target = int(resulting_makespan.argmin())
+
+        before = _fitness_of(schedule, evaluator)
+        schedule.move_job(job, target)
+        after = _fitness_of(schedule, evaluator)
+        if after < before:
+            return True
+        schedule.move_job(job, source)
+        return False
+
+
+class LocalMCTSwapSearch(LocalSearch):
+    """LMCTS: best swap between a job on the makespan machine and any other job.
+
+    The scan considers every pair ``(a, b)`` where ``a`` runs on the machine
+    that defines the makespan and ``b`` runs elsewhere, ranks the pairs by
+    the larger of the two affected completion times after the swap (the
+    quantity the paper calls "the reduction in the completion time"), applies
+    the best pair and keeps it only if the fitness improves.
+    """
+
+    name = "lmcts"
+
+    def step(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: np.random.Generator
+    ) -> bool:
+        instance = schedule.instance
+        etc = instance.etc
+        completion = schedule.completion_times
+        source = schedule.most_loaded_machine()
+
+        source_jobs = schedule.machine_jobs(source)
+        if source_jobs.size == 0:
+            return False
+        other_jobs = np.nonzero(schedule.assignment != source)[0]
+        if other_jobs.size == 0:
+            return False
+
+        other_machines = schedule.assignment[other_jobs]
+        # New completion time of the source machine after swapping a <-> b.
+        etc_a_on_source = etc[source_jobs, source]            # (A,)
+        etc_b_on_source = etc[other_jobs, source]              # (B,)
+        new_source = (
+            completion[source]
+            - etc_a_on_source[:, None]
+            + etc_b_on_source[None, :]
+        )                                                       # (A, B)
+        # New completion time of b's machine after receiving a.
+        etc_b_on_own = etc[other_jobs, other_machines]          # (B,)
+        etc_a_on_b_machine = etc[source_jobs[:, None], other_machines[None, :]]  # (A, B)
+        new_target = (
+            completion[other_machines][None, :]
+            - etc_b_on_own[None, :]
+            + etc_a_on_b_machine
+        )                                                       # (A, B)
+
+        pair_metric = np.maximum(new_source, new_target)
+        best_flat = int(pair_metric.argmin())
+        a_index, b_index = np.unravel_index(best_flat, pair_metric.shape)
+        job_a = int(source_jobs[a_index])
+        job_b = int(other_jobs[b_index])
+
+        before = _fitness_of(schedule, evaluator)
+        schedule.swap_jobs(job_a, job_b)
+        after = _fitness_of(schedule, evaluator)
+        if after < before:
+            return True
+        schedule.swap_jobs(job_a, job_b)  # revert
+        return False
+
+
+class LocalMCTMoveSearch(LocalSearch):
+    """LMCTM (extension): best single-job move off the makespan machine."""
+
+    name = "lmctm"
+
+    def step(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: np.random.Generator
+    ) -> bool:
+        instance = schedule.instance
+        nb_machines = instance.nb_machines
+        if nb_machines < 2:
+            return False
+        etc = instance.etc
+        completion = schedule.completion_times
+        source = schedule.most_loaded_machine()
+        source_jobs = schedule.machine_jobs(source)
+        if source_jobs.size == 0:
+            return False
+
+        new_source = completion[source] - etc[source_jobs, source]          # (A,)
+        destinations = np.arange(nb_machines)
+        new_destination = completion[None, :] + etc[source_jobs[:, None], destinations[None, :]]  # (A, M)
+        metric = np.maximum(new_source[:, None], new_destination)
+        metric[:, source] = np.inf  # moving within the same machine is not a move
+        best_flat = int(metric.argmin())
+        a_index, target = np.unravel_index(best_flat, metric.shape)
+        job = int(source_jobs[a_index])
+
+        before = _fitness_of(schedule, evaluator)
+        schedule.move_job(job, int(target))
+        after = _fitness_of(schedule, evaluator)
+        if after < before:
+            return True
+        schedule.move_job(job, source)
+        return False
+
+
+class VariableNeighborhoodSearch(LocalSearch):
+    """VNS (extension): cycle LM → SLM → LMCTS, restarting on improvement."""
+
+    name = "vns"
+
+    def __init__(self, iterations: int = 5) -> None:
+        super().__init__(iterations)
+        self._stages: tuple[LocalSearch, ...] = (
+            LocalMoveSearch(1),
+            SteepestLocalMoveSearch(1),
+            LocalMCTSwapSearch(1),
+        )
+
+    def step(
+        self, schedule: Schedule, evaluator: FitnessEvaluator, rng: np.random.Generator
+    ) -> bool:
+        for stage in self._stages:
+            if stage.step(schedule, evaluator, rng):
+                return True
+        return False
+
+
+_REGISTRY: dict[str, Callable[..., LocalSearch]] = {
+    NullLocalSearch.name: NullLocalSearch,
+    LocalMoveSearch.name: LocalMoveSearch,
+    SteepestLocalMoveSearch.name: SteepestLocalMoveSearch,
+    LocalMCTSwapSearch.name: LocalMCTSwapSearch,
+    LocalMCTMoveSearch.name: LocalMCTMoveSearch,
+    VariableNeighborhoodSearch.name: VariableNeighborhoodSearch,
+}
+
+
+def register_local_search(factory: type[LocalSearch]) -> type[LocalSearch]:
+    """Register a user-defined local search under ``factory.name``.
+
+    Registered methods become addressable from :class:`repro.core.config.CMAConfig`
+    (``local_search="<name>"``) exactly like the built-in ones.  Usable as a
+    class decorator.
+    """
+    if not factory.name:
+        raise ValueError(f"{factory.__name__} must define a non-empty 'name'")
+    if factory.name in _REGISTRY:
+        raise ValueError(f"local search {factory.name!r} is already registered")
+    _REGISTRY[factory.name] = factory
+    return factory
+
+
+def get_local_search(name: str, *, iterations: int = 5) -> LocalSearch:
+    """Instantiate the local search registered under *name*."""
+    key = name.lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown local search {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(iterations=iterations)
+
+
+def list_local_searches() -> Iterator[str]:
+    """Names of all registered local-search methods, sorted."""
+    return iter(sorted(_REGISTRY))

@@ -1,0 +1,206 @@
+"""Pareto-front machinery for the bi-objective view of the problem.
+
+The paper scalarizes makespan and flowtime with a fixed weight (λ = 0.75) and
+explicitly lists "tackling the problem with a multi-objective algorithm in
+order to find a set of non-dominated solutions" as future work (Section 6).
+This module provides that extension:
+
+* :class:`ParetoArchive` — a bounded archive of mutually non-dominated
+  (makespan, flowtime) points with crowding-distance-based truncation, the
+  standard ingredient of Pareto-based evolutionary algorithms;
+* helpers to compute dominance, the non-dominated subset of a set of points
+  and the hypervolume indicator (used by tests and benchmarks to compare
+  fronts).
+
+The multi-objective scheduler built on top of this archive lives in
+:mod:`repro.core.mo_cma`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.schedule import Schedule
+
+__all__ = [
+    "ParetoPoint",
+    "ParetoArchive",
+    "dominates",
+    "non_dominated_subset",
+    "hypervolume_2d",
+]
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Pareto dominance for two (makespan, flowtime) points, both minimized."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated solution retained by the archive."""
+
+    makespan: float
+    flowtime: float
+    schedule: Schedule = field(compare=False, repr=False)
+
+    @property
+    def objectives(self) -> tuple[float, float]:
+        """The (makespan, flowtime) pair."""
+        return (self.makespan, self.flowtime)
+
+
+class ParetoArchive:
+    """A bounded archive of mutually non-dominated schedules.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of points kept.  When the archive overflows, the most
+        crowded points (smallest crowding distance, extremes excluded) are
+        dropped — the same truncation rule as NSGA-II's survivor selection.
+    """
+
+    def __init__(self, capacity: int = 50) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be at least 2, got {capacity}")
+        self.capacity = int(capacity)
+        self._points: list[ParetoPoint] = []
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def add(self, schedule: Schedule) -> bool:
+        """Offer a schedule to the archive.
+
+        Returns ``True`` when the schedule enters the archive (it is not
+        dominated by any archived point); dominated archive members are
+        removed, and the archive is truncated back to capacity if needed.
+        The schedule is copied, so the caller may keep mutating its own.
+        """
+        candidate = (schedule.makespan, schedule.flowtime)
+        for point in self._points:
+            if dominates(point.objectives, candidate) or point.objectives == candidate:
+                return False
+        survivors = [
+            point for point in self._points if not dominates(candidate, point.objectives)
+        ]
+        survivors.append(
+            ParetoPoint(
+                makespan=candidate[0], flowtime=candidate[1], schedule=schedule.copy()
+            )
+        )
+        self._points = survivors
+        if len(self._points) > self.capacity:
+            self._truncate()
+        return True
+
+    def _truncate(self) -> None:
+        """Drop the most crowded points until the archive fits its capacity."""
+        while len(self._points) > self.capacity:
+            distances = self._crowding_distances()
+            drop = int(np.argmin(distances))
+            del self._points[drop]
+
+    def _crowding_distances(self) -> np.ndarray:
+        """NSGA-II crowding distance of every archived point (∞ at the extremes)."""
+        count = len(self._points)
+        if count <= 2:
+            return np.full(count, np.inf)
+        distances = np.zeros(count)
+        objectives = np.array([p.objectives for p in self._points], dtype=float)
+        for column in range(2):
+            order = np.argsort(objectives[:, column], kind="stable")
+            spread = objectives[order[-1], column] - objectives[order[0], column]
+            distances[order[0]] = np.inf
+            distances[order[-1]] = np.inf
+            if spread <= 0:
+                continue
+            for rank in range(1, count - 1):
+                lower = objectives[order[rank - 1], column]
+                upper = objectives[order[rank + 1], column]
+                distances[order[rank]] += (upper - lower) / spread
+        return distances
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self.points())
+
+    def points(self) -> list[ParetoPoint]:
+        """The archived points sorted by increasing makespan."""
+        return sorted(self._points, key=lambda p: (p.makespan, p.flowtime))
+
+    def objectives(self) -> np.ndarray:
+        """An ``(n, 2)`` array of (makespan, flowtime) rows, makespan-sorted."""
+        pts = self.points()
+        if not pts:
+            return np.empty((0, 2))
+        return np.array([p.objectives for p in pts], dtype=float)
+
+    def best_makespan(self) -> ParetoPoint:
+        """The extreme point with the smallest makespan."""
+        if not self._points:
+            raise IndexError("archive is empty")
+        return min(self._points, key=lambda p: (p.makespan, p.flowtime))
+
+    def best_flowtime(self) -> ParetoPoint:
+        """The extreme point with the smallest flowtime."""
+        if not self._points:
+            raise IndexError("archive is empty")
+        return min(self._points, key=lambda p: (p.flowtime, p.makespan))
+
+    def is_consistent(self) -> bool:
+        """No archived point dominates another (used by tests)."""
+        for i, a in enumerate(self._points):
+            for j, b in enumerate(self._points):
+                if i != j and dominates(a.objectives, b.objectives):
+                    return False
+        return True
+
+    def hypervolume(self, reference: tuple[float, float]) -> float:
+        """Hypervolume of the archived front w.r.t. a reference point."""
+        return hypervolume_2d([p.objectives for p in self._points], reference)
+
+
+def non_dominated_subset(
+    points: Iterable[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """The non-dominated subset of a collection of (makespan, flowtime) points."""
+    unique = list(dict.fromkeys(points))
+    front = []
+    for candidate in unique:
+        if not any(dominates(other, candidate) for other in unique if other != candidate):
+            front.append(candidate)
+    return sorted(front)
+
+
+def hypervolume_2d(
+    points: Sequence[tuple[float, float]], reference: tuple[float, float]
+) -> float:
+    """Dominated hypervolume (area) of a 2-D front, both objectives minimized.
+
+    Points outside the reference box contribute nothing.  The classic sweep:
+    sort the non-dominated points by the first objective and accumulate the
+    rectangles between consecutive points and the reference.
+    """
+    front = [
+        p
+        for p in non_dominated_subset(points)
+        if p[0] < reference[0] and p[1] < reference[1]
+    ]
+    if not front:
+        return 0.0
+    area = 0.0
+    previous_flowtime = reference[1]
+    for makespan, flowtime in front:  # increasing makespan, decreasing flowtime
+        area += (reference[0] - makespan) * (previous_flowtime - flowtime)
+        previous_flowtime = flowtime
+    return area

@@ -1,0 +1,87 @@
+"""Cell replacement policies.
+
+After an offspring has been produced, locally improved and evaluated, a
+replacement policy decides whether it takes over the cell of the individual
+it was derived from.  The paper uses the elitist *add only if better* policy
+(Table 1); two alternatives are provided for ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterator
+
+from repro.core.individual import Individual
+
+__all__ = [
+    "ReplacementPolicy",
+    "ReplaceIfBetter",
+    "ReplaceIfNotWorse",
+    "AlwaysReplace",
+    "get_replacement",
+    "list_replacements",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Decide whether an offspring replaces the incumbent of its cell."""
+
+    #: Registry key; subclasses must override it.
+    name: str = ""
+
+    @abc.abstractmethod
+    def should_replace(self, incumbent: Individual, offspring: Individual) -> bool:
+        """Whether *offspring* should replace *incumbent* in the grid."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ReplaceIfBetter(ReplacementPolicy):
+    """Strict elitism: replace only when the offspring has lower fitness."""
+
+    name = "if_better"
+
+    def should_replace(self, incumbent: Individual, offspring: Individual) -> bool:
+        return offspring.fitness < incumbent.fitness
+
+
+class ReplaceIfNotWorse(ReplacementPolicy):
+    """Replace on ties as well, which lets the population drift along plateaus."""
+
+    name = "if_not_worse"
+
+    def should_replace(self, incumbent: Individual, offspring: Individual) -> bool:
+        return offspring.fitness <= incumbent.fitness
+
+
+class AlwaysReplace(ReplacementPolicy):
+    """Unconditional replacement (no elitism); the weakest policy, for ablations."""
+
+    name = "always"
+
+    def should_replace(self, incumbent: Individual, offspring: Individual) -> bool:
+        return True
+
+
+_REGISTRY: dict[str, Callable[[], ReplacementPolicy]] = {
+    ReplaceIfBetter.name: ReplaceIfBetter,
+    ReplaceIfNotWorse.name: ReplaceIfNotWorse,
+    AlwaysReplace.name: AlwaysReplace,
+}
+
+
+def get_replacement(name: str) -> ReplacementPolicy:
+    """Instantiate the replacement policy registered under *name*."""
+    key = name.lower()
+    try:
+        return _REGISTRY[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown replacement policy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_replacements() -> Iterator[str]:
+    """Names of all registered replacement policies, sorted."""
+    return iter(sorted(_REGISTRY))

@@ -1,0 +1,181 @@
+"""Parent-selection operators.
+
+Selection in a cellular algorithm happens *inside a neighborhood*: the
+candidates passed to an operator are the individuals currently living in the
+cells around the one being updated.  The paper uses N-Tournament selection
+with N = 3 (Table 1, tuned in Figure 4); additional classic operators are
+provided for ablation experiments and for the baseline GAs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.individual import Individual
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = [
+    "SelectionOperator",
+    "NTournamentSelection",
+    "RandomSelection",
+    "BestSelection",
+    "LinearRankSelection",
+    "get_selection",
+    "list_selections",
+]
+
+
+class SelectionOperator(abc.ABC):
+    """Select ``k`` parents from a pool of candidate individuals."""
+
+    #: Registry key; subclasses must override it.
+    name: str = ""
+
+    @abc.abstractmethod
+    def select(
+        self, candidates: Sequence[Individual], k: int, rng: RNGLike = None
+    ) -> list[Individual]:
+        """Return *k* (possibly repeated) individuals chosen from *candidates*."""
+
+    @staticmethod
+    def _check(candidates: Sequence[Individual], k: int) -> None:
+        if not candidates:
+            raise ValueError("cannot select from an empty candidate pool")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NTournamentSelection(SelectionOperator):
+    """N-way tournament: sample N candidates, keep the best; repeat k times.
+
+    ``tournament_size`` is the N of the paper; the tuning of Figure 4
+    selected N = 3.  Sampling is done *with* replacement when the pool is
+    smaller than N (relevant for the small L5 neighborhood).
+    """
+
+    name = "n_tournament"
+
+    def __init__(self, tournament_size: int = 3) -> None:
+        if tournament_size < 1:
+            raise ValueError(f"tournament_size must be >= 1, got {tournament_size}")
+        self.tournament_size = int(tournament_size)
+
+    def select(
+        self, candidates: Sequence[Individual], k: int, rng: RNGLike = None
+    ) -> list[Individual]:
+        self._check(candidates, k)
+        gen = as_generator(rng)
+        pool_size = len(candidates)
+        replace = pool_size < self.tournament_size
+        chosen: list[Individual] = []
+        for _ in range(k):
+            entrants = gen.choice(
+                pool_size, size=min(self.tournament_size, pool_size) if not replace else self.tournament_size,
+                replace=replace,
+            )
+            winner = min((candidates[int(i)] for i in entrants), key=lambda ind: ind.fitness)
+            chosen.append(winner)
+        return chosen
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NTournamentSelection(tournament_size={self.tournament_size})"
+
+
+class RandomSelection(SelectionOperator):
+    """Uniformly random selection (no selective pressure)."""
+
+    name = "random"
+
+    def select(
+        self, candidates: Sequence[Individual], k: int, rng: RNGLike = None
+    ) -> list[Individual]:
+        self._check(candidates, k)
+        gen = as_generator(rng)
+        indices = gen.integers(0, len(candidates), size=k)
+        return [candidates[int(i)] for i in indices]
+
+
+class BestSelection(SelectionOperator):
+    """Deterministically return the k best candidates (maximal pressure).
+
+    When k exceeds the pool size the best individual is repeated.
+    """
+
+    name = "best"
+
+    def select(
+        self, candidates: Sequence[Individual], k: int, rng: RNGLike = None
+    ) -> list[Individual]:
+        self._check(candidates, k)
+        ranked = sorted(candidates, key=lambda ind: ind.fitness)
+        if k <= len(ranked):
+            return list(ranked[:k])
+        return list(ranked) + [ranked[0]] * (k - len(ranked))
+
+
+class LinearRankSelection(SelectionOperator):
+    """Linear ranking: probability decreases linearly with the fitness rank."""
+
+    name = "linear_rank"
+
+    def __init__(self, pressure: float = 1.5) -> None:
+        if not 1.0 <= pressure <= 2.0:
+            raise ValueError(f"pressure must be in [1, 2], got {pressure}")
+        self.pressure = float(pressure)
+
+    def select(
+        self, candidates: Sequence[Individual], k: int, rng: RNGLike = None
+    ) -> list[Individual]:
+        self._check(candidates, k)
+        gen = as_generator(rng)
+        n = len(candidates)
+        order = sorted(range(n), key=lambda i: candidates[i].fitness)
+        # Rank 0 = best.  Expected offspring count per rank (Baker's formula).
+        ranks = np.empty(n, dtype=float)
+        for rank, index in enumerate(order):
+            ranks[index] = rank
+        if n == 1:
+            probs = np.ones(1)
+        else:
+            weights = self.pressure - (2.0 * self.pressure - 2.0) * ranks / (n - 1)
+            probs = weights / weights.sum()
+        indices = gen.choice(n, size=k, p=probs)
+        return [candidates[int(i)] for i in indices]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearRankSelection(pressure={self.pressure})"
+
+
+_REGISTRY: dict[str, Callable[..., SelectionOperator]] = {
+    NTournamentSelection.name: NTournamentSelection,
+    RandomSelection.name: RandomSelection,
+    BestSelection.name: BestSelection,
+    LinearRankSelection.name: LinearRankSelection,
+}
+
+
+def get_selection(name: str, **kwargs) -> SelectionOperator:
+    """Instantiate the selection operator registered under *name*.
+
+    Keyword arguments are forwarded to the operator constructor (e.g.
+    ``tournament_size`` for ``"n_tournament"``).
+    """
+    key = name.lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown selection operator {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def list_selections() -> Iterator[str]:
+    """Names of all registered selection operators, sorted."""
+    return iter(sorted(_REGISTRY))

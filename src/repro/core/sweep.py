@@ -1,0 +1,134 @@
+"""Asynchronous cell-update (sweep) orders.
+
+The cMA updates cells asynchronously: newly created offspring are visible to
+the updates that follow within the same iteration.  The order in which cells
+are visited is controlled by a *sweep*; the paper studies three of them
+(Figure 5):
+
+* **FLS** — Fixed Line Sweep: cells are visited row by row, always in the
+  same order.
+* **FRS** — Fixed Random Sweep: a random permutation drawn once at the start
+  of the run and reused in every iteration.
+* **NRS** — New Random Sweep: a fresh random permutation for every iteration.
+
+The recombination and the mutation streams each have their own independent
+sweep (``rec_order`` and ``mut_order`` in Algorithm 1); the cMA advances a
+sweep one cell at a time and calls :meth:`CellSweep.update` once per outer
+iteration, mirroring the template's ``order.next()`` / ``Update ... order``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = [
+    "CellSweep",
+    "FixedLineSweep",
+    "FixedRandomSweep",
+    "NewRandomSweep",
+    "get_sweep",
+    "list_sweeps",
+]
+
+
+class CellSweep(abc.ABC):
+    """An endless, cyclic visiting order over ``size`` cells."""
+
+    #: Registry key; subclasses must override it.
+    name: str = ""
+
+    def __init__(self, size: int, rng: RNGLike = None) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = int(size)
+        self._rng = as_generator(rng)
+        self._pointer = 0
+        self._sequence = self._initial_sequence()
+
+    @abc.abstractmethod
+    def _initial_sequence(self) -> np.ndarray:
+        """The visiting order used until the first :meth:`update` call."""
+
+    def _next_sequence(self) -> np.ndarray:
+        """The visiting order installed by :meth:`update` (default: unchanged)."""
+        return self._sequence
+
+    def current(self) -> int:
+        """The cell index the sweep currently points at."""
+        return int(self._sequence[self._pointer])
+
+    def advance(self) -> int:
+        """Move to the next cell and return the *previous* current cell."""
+        cell = self.current()
+        self._pointer = (self._pointer + 1) % self.size
+        return cell
+
+    def update(self) -> None:
+        """Hook called once per outer cMA iteration (template's ``Update order``)."""
+        self._sequence = self._next_sequence()
+        if self._sequence.shape != (self.size,):
+            raise AssertionError("sweep sequence has the wrong length")
+
+    def __iter__(self) -> Iterator[int]:  # pragma: no cover - convenience
+        while True:
+            yield self.advance()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(size={self.size})"
+
+
+class FixedLineSweep(CellSweep):
+    """Visit cells in row-major order, the same in every iteration."""
+
+    name = "fls"
+
+    def _initial_sequence(self) -> np.ndarray:
+        return np.arange(self.size, dtype=np.int64)
+
+
+class FixedRandomSweep(CellSweep):
+    """A single random permutation, fixed for the whole run."""
+
+    name = "frs"
+
+    def _initial_sequence(self) -> np.ndarray:
+        return self._rng.permutation(self.size)
+
+
+class NewRandomSweep(CellSweep):
+    """A fresh random permutation installed at every :meth:`update`."""
+
+    name = "nrs"
+
+    def _initial_sequence(self) -> np.ndarray:
+        return self._rng.permutation(self.size)
+
+    def _next_sequence(self) -> np.ndarray:
+        return self._rng.permutation(self.size)
+
+
+_REGISTRY: dict[str, Callable[..., CellSweep]] = {
+    cls.name: cls for cls in (FixedLineSweep, FixedRandomSweep, NewRandomSweep)
+}
+
+
+def get_sweep(name: str, size: int, rng: RNGLike = None) -> CellSweep:
+    """Instantiate the sweep registered under *name* for a grid of *size* cells."""
+    key = name.lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep order {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(size, rng)
+
+
+def list_sweeps() -> Iterator[str]:
+    """Names of all registered sweep orders, sorted."""
+    return iter(sorted(_REGISTRY))

@@ -1,0 +1,111 @@
+"""Termination criteria.
+
+The paper stops each run after a fixed wall-clock budget (90 seconds on the
+original AMD K6 hardware).  For reproducible tests and laptop-scale
+benchmarks the library additionally supports evaluation-count, iteration-
+count and stagnation budgets; the algorithm stops as soon as *any* enabled
+criterion is met.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.timer import Deadline
+
+__all__ = ["SearchState", "TerminationCriteria"]
+
+
+@dataclass
+class SearchState:
+    """Progress counters shared between an algorithm and its stopping rule."""
+
+    iterations: int = 0
+    evaluations: int = 0
+    stagnant_iterations: int = 0
+    best_fitness: float = math.inf
+
+    def register_iteration(self, improved: bool) -> None:
+        """Record the end of one outer iteration."""
+        self.iterations += 1
+        if improved:
+            self.stagnant_iterations = 0
+        else:
+            self.stagnant_iterations += 1
+
+
+@dataclass(frozen=True)
+class TerminationCriteria:
+    """A conjunction-free stopping rule: stop when *any* budget is exhausted.
+
+    Attributes
+    ----------
+    max_seconds:
+        Wall-clock budget; ``inf`` disables it.
+    max_evaluations:
+        Budget on fitness evaluations; ``None`` disables it.
+    max_iterations:
+        Budget on outer iterations of the algorithm; ``None`` disables it.
+    max_stagnant_iterations:
+        Stop after this many consecutive iterations without improvement of
+        the best fitness; ``None`` disables it.
+    """
+
+    max_seconds: float = math.inf
+    max_evaluations: int | None = None
+    max_iterations: int | None = None
+    max_stagnant_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_seconds < 0:
+            raise ValueError("max_seconds must be non-negative")
+        for name in ("max_evaluations", "max_iterations", "max_stagnant_iterations"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set, got {value}")
+        if (
+            math.isinf(self.max_seconds)
+            and self.max_evaluations is None
+            and self.max_iterations is None
+            and self.max_stagnant_iterations is None
+        ):
+            raise ValueError(
+                "at least one termination criterion must be set "
+                "(max_seconds, max_evaluations, max_iterations or "
+                "max_stagnant_iterations)"
+            )
+
+    def make_deadline(self) -> Deadline:
+        """Create the wall-clock deadline corresponding to :attr:`max_seconds`."""
+        return Deadline(self.max_seconds)
+
+    def should_stop(self, state: SearchState, deadline: Deadline) -> bool:
+        """Whether the search should stop given the current *state*."""
+        if deadline.expired():
+            return True
+        if self.max_evaluations is not None and state.evaluations >= self.max_evaluations:
+            return True
+        if self.max_iterations is not None and state.iterations >= self.max_iterations:
+            return True
+        if (
+            self.max_stagnant_iterations is not None
+            and state.stagnant_iterations >= self.max_stagnant_iterations
+        ):
+            return True
+        return False
+
+    @classmethod
+    def by_time(cls, seconds: float) -> "TerminationCriteria":
+        """Wall-clock-only budget (the paper's stopping rule)."""
+        return cls(max_seconds=seconds)
+
+    @classmethod
+    def by_evaluations(cls, evaluations: int) -> "TerminationCriteria":
+        """Evaluation-count-only budget (deterministic; used by the tests)."""
+        return cls(max_evaluations=evaluations)
+
+    @classmethod
+    def by_iterations(cls, iterations: int) -> "TerminationCriteria":
+        """Iteration-count-only budget."""
+        return cls(max_iterations=iterations)

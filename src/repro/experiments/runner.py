@@ -1,0 +1,381 @@
+"""Generic multi-run experiment machinery.
+
+The paper's methodology is: fix a configuration, run it 10 times with a
+90-second budget on every benchmark instance, report the best value and use
+the standard deviation across runs as a robustness indicator (Section 5.1).
+:class:`ExperimentSettings` captures the scale knobs (instance size, number
+of repetitions, budget) so that the same harness can run both the laptop-
+scale defaults used by tests/benchmarks and the full paper-scale protocol,
+and :class:`AlgorithmSpec` wraps each scheduler behind a uniform factory so
+tables and sweeps can iterate over algorithms as data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Protocol, Sequence
+
+from repro.baselines import (
+    CellularGA,
+    CellularGAConfig,
+    GAConfig,
+    GenerationalGA,
+    PanmicticMA,
+    PanmicticMAConfig,
+    SimulatedAnnealingConfig,
+    SimulatedAnnealingScheduler,
+    SteadyStateGA,
+    SteadyStateGAConfig,
+    StruggleGA,
+    StruggleGAConfig,
+    TabuSearchConfig,
+    TabuSearchScheduler,
+)
+from repro.core.cma import CellularMemeticAlgorithm, SchedulingResult
+from repro.core.config import CMAConfig
+from repro.core.termination import TerminationCriteria
+from repro.heuristics import build_schedule
+from repro.model.fitness import FitnessEvaluator
+from repro.model.instance import SchedulingInstance
+from repro.utils.history import ConvergenceHistory
+from repro.utils.rng import RNGLike, as_generator, spawn_generators
+from repro.utils.stats import RunStatistics, summarize
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "ExperimentSettings",
+    "AlgorithmSpec",
+    "cma_spec",
+    "braun_ga_spec",
+    "steady_state_ga_spec",
+    "struggle_ga_spec",
+    "cellular_ga_spec",
+    "panmictic_ma_spec",
+    "simulated_annealing_spec",
+    "tabu_search_spec",
+    "heuristic_spec",
+    "default_algorithm_specs",
+    "repeat_run",
+    "ComparisonCell",
+    "compare_algorithms",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale knobs shared by every experiment.
+
+    Attributes
+    ----------
+    nb_jobs, nb_machines:
+        Instance dimensions used when the experiment generates instances.
+    runs:
+        Number of independent repetitions per (algorithm, instance) pair.
+    max_seconds:
+        Wall-clock budget per run (``inf`` to disable).
+    max_evaluations, max_iterations:
+        Optional deterministic budgets; at least one budget must be finite.
+    seed:
+        Root seed; every repetition receives an independent child generator.
+    """
+
+    nb_jobs: int = 128
+    nb_machines: int = 16
+    runs: int = 3
+    max_seconds: float = 1.0
+    max_evaluations: int | None = None
+    max_iterations: int | None = None
+    seed: int = 2007
+
+    def __post_init__(self) -> None:
+        check_integer("nb_jobs", self.nb_jobs, minimum=1)
+        check_integer("nb_machines", self.nb_machines, minimum=1)
+        check_integer("runs", self.runs, minimum=1)
+        # Validation of the budget combination is delegated to TerminationCriteria.
+        self.termination()
+
+    def termination(self) -> TerminationCriteria:
+        """The termination criteria corresponding to these settings."""
+        return TerminationCriteria(
+            max_seconds=self.max_seconds,
+            max_evaluations=self.max_evaluations,
+            max_iterations=self.max_iterations,
+        )
+
+    def scaled(self, **changes) -> "ExperimentSettings":
+        """Copy with some fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def laptop_scale(cls) -> "ExperimentSettings":
+        """Defaults used by the test-suite and the benchmark harness."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentSettings":
+        """The paper's protocol: 512 × 16 instances, 10 runs of 90 seconds."""
+        return cls(
+            nb_jobs=512,
+            nb_machines=16,
+            runs=10,
+            max_seconds=90.0,
+            max_evaluations=None,
+            max_iterations=None,
+        )
+
+
+class _Scheduler(Protocol):
+    def run(self) -> SchedulingResult: ...
+
+
+#: Factory signature: (instance, termination, rng) -> scheduler object.
+SchedulerFactory = Callable[[SchedulingInstance, TerminationCriteria, RNGLike], _Scheduler]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named scheduler factory usable by every experiment."""
+
+    name: str
+    factory: SchedulerFactory
+    description: str = ""
+
+    def build(
+        self,
+        instance: SchedulingInstance,
+        termination: TerminationCriteria,
+        rng: RNGLike = None,
+    ) -> _Scheduler:
+        """Instantiate the scheduler for one run."""
+        return self.factory(instance, termination, rng)
+
+
+# --------------------------------------------------------------------------- #
+# Built-in algorithm specs
+# --------------------------------------------------------------------------- #
+def cma_spec(config: CMAConfig | None = None, name: str = "cma") -> AlgorithmSpec:
+    """The paper's cellular memetic algorithm (Table 1 configuration by default)."""
+    base = config if config is not None else CMAConfig.paper_defaults()
+
+    def factory(instance, termination, rng):
+        return CellularMemeticAlgorithm(instance, base.evolve(termination=termination), rng=rng)
+
+    return AlgorithmSpec(name=name, factory=factory, description="Cellular memetic algorithm")
+
+
+def braun_ga_spec(config: GAConfig | None = None, name: str = "braun_ga") -> AlgorithmSpec:
+    """The Braun et al.-style generational GA baseline."""
+    base = config if config is not None else GAConfig.fast_defaults()
+
+    def factory(instance, termination, rng):
+        return GenerationalGA(instance, base, termination=termination, rng=rng)
+
+    return AlgorithmSpec(name=name, factory=factory, description="Generational GA (Braun et al.)")
+
+
+def steady_state_ga_spec(
+    config: SteadyStateGAConfig | None = None, name: str = "carretero_xhafa_ga"
+) -> AlgorithmSpec:
+    """The Carretero & Xhafa-style steady-state GA baseline."""
+    base = config if config is not None else SteadyStateGAConfig.fast_defaults()
+
+    def factory(instance, termination, rng):
+        return SteadyStateGA(instance, base, termination=termination, rng=rng)
+
+    return AlgorithmSpec(
+        name=name, factory=factory, description="Steady-state GA (Carretero & Xhafa)"
+    )
+
+
+def struggle_ga_spec(
+    config: StruggleGAConfig | None = None, name: str = "struggle_ga"
+) -> AlgorithmSpec:
+    """Xhafa's Struggle GA baseline."""
+    base = config if config is not None else StruggleGAConfig.fast_defaults()
+
+    def factory(instance, termination, rng):
+        return StruggleGA(instance, base, termination=termination, rng=rng)
+
+    return AlgorithmSpec(name=name, factory=factory, description="Struggle GA (Xhafa)")
+
+
+def cellular_ga_spec(
+    config: CellularGAConfig | None = None, name: str = "cellular_ga"
+) -> AlgorithmSpec:
+    """Cellular GA ablation (cMA without local search)."""
+    base = config if config is not None else CellularGAConfig()
+
+    def factory(instance, termination, rng):
+        return CellularGA(instance, base, termination=termination, rng=rng)
+
+    return AlgorithmSpec(name=name, factory=factory, description="Cellular GA (no local search)")
+
+
+def panmictic_ma_spec(
+    config: PanmicticMAConfig | None = None, name: str = "panmictic_ma"
+) -> AlgorithmSpec:
+    """Panmictic MA ablation (local search without cellular structure)."""
+    base = config if config is not None else PanmicticMAConfig.fast_defaults()
+
+    def factory(instance, termination, rng):
+        return PanmicticMA(instance, base, termination=termination, rng=rng)
+
+    return AlgorithmSpec(
+        name=name, factory=factory, description="Unstructured memetic algorithm"
+    )
+
+
+def simulated_annealing_spec(
+    config: SimulatedAnnealingConfig | None = None, name: str = "simulated_annealing"
+) -> AlgorithmSpec:
+    """Simulated-annealing extension baseline."""
+    base = config if config is not None else SimulatedAnnealingConfig()
+
+    def factory(instance, termination, rng):
+        return SimulatedAnnealingScheduler(instance, base, termination=termination, rng=rng)
+
+    return AlgorithmSpec(name=name, factory=factory, description="Simulated annealing")
+
+
+def tabu_search_spec(
+    config: TabuSearchConfig | None = None, name: str = "tabu_search"
+) -> AlgorithmSpec:
+    """Tabu-search extension baseline."""
+    base = config if config is not None else TabuSearchConfig()
+
+    def factory(instance, termination, rng):
+        return TabuSearchScheduler(instance, base, termination=termination, rng=rng)
+
+    return AlgorithmSpec(name=name, factory=factory, description="Tabu search")
+
+
+class _HeuristicRunner:
+    """Adapts a constructive heuristic to the scheduler ``run()`` protocol."""
+
+    def __init__(self, heuristic: str, instance: SchedulingInstance, rng: RNGLike) -> None:
+        self.heuristic = heuristic
+        self.instance = instance
+        self.rng = rng
+
+    def run(self) -> SchedulingResult:
+        evaluator = FitnessEvaluator()
+        schedule = build_schedule(self.heuristic, self.instance, self.rng)
+        values = evaluator.evaluate(schedule)
+        history = ConvergenceHistory()
+        history.record(
+            elapsed_seconds=0.0,
+            evaluations=1,
+            iterations=0,
+            best_fitness=values.fitness,
+            best_makespan=values.makespan,
+            best_flowtime=values.flowtime,
+        )
+        return SchedulingResult(
+            algorithm=self.heuristic,
+            instance_name=self.instance.name,
+            best_schedule=schedule,
+            best_fitness=values.fitness,
+            makespan=values.makespan,
+            flowtime=values.flowtime,
+            mean_flowtime=values.mean_flowtime,
+            evaluations=1,
+            iterations=0,
+            elapsed_seconds=0.0,
+            history=history,
+        )
+
+
+def heuristic_spec(heuristic: str) -> AlgorithmSpec:
+    """A constructive heuristic (LJFR-SJFR, Min-Min, ...) as an algorithm spec."""
+
+    def factory(instance, termination, rng):
+        return _HeuristicRunner(heuristic, instance, rng)
+
+    return AlgorithmSpec(
+        name=heuristic, factory=factory, description=f"Constructive heuristic {heuristic}"
+    )
+
+
+def default_algorithm_specs() -> dict[str, AlgorithmSpec]:
+    """The algorithms the paper compares, keyed by their reporting name."""
+    return {
+        spec.name: spec
+        for spec in (
+            cma_spec(),
+            braun_ga_spec(),
+            steady_state_ga_spec(),
+            struggle_ga_spec(),
+            heuristic_spec("ljfr_sjfr"),
+        )
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Execution helpers
+# --------------------------------------------------------------------------- #
+def repeat_run(
+    spec: AlgorithmSpec,
+    instance: SchedulingInstance,
+    settings: ExperimentSettings,
+    rng: RNGLike = None,
+) -> list[SchedulingResult]:
+    """Run *spec* on *instance* ``settings.runs`` times with independent seeds."""
+    parent = as_generator(rng if rng is not None else settings.seed)
+    children = spawn_generators(parent, settings.runs)
+    termination = settings.termination()
+    results = []
+    for child in children:
+        scheduler = spec.build(instance, termination, child)
+        results.append(scheduler.run())
+    return results
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """Results of one (algorithm, instance) pair of a comparison experiment."""
+
+    algorithm: str
+    instance: str
+    makespan: RunStatistics
+    flowtime: RunStatistics
+    fitness: RunStatistics
+    results: tuple[SchedulingResult, ...] = field(repr=False, default=())
+
+    @property
+    def best_makespan(self) -> float:
+        """Best (smallest) makespan over the repetitions, as the paper reports."""
+        return self.makespan.best
+
+    @property
+    def best_flowtime(self) -> float:
+        """Best (smallest) flowtime over the repetitions."""
+        return self.flowtime.best
+
+
+def compare_algorithms(
+    specs: Sequence[AlgorithmSpec],
+    instances: Mapping[str, SchedulingInstance],
+    settings: ExperimentSettings,
+) -> dict[tuple[str, str], ComparisonCell]:
+    """Run every algorithm on every instance and summarize the repetitions.
+
+    Returns a mapping keyed by ``(instance_name, algorithm_name)``.  The seed
+    of each cell is derived deterministically from the experiment seed, the
+    instance name and the algorithm name, so adding an algorithm does not
+    change the results of the others.
+    """
+    cells: dict[tuple[str, str], ComparisonCell] = {}
+    for instance_name, instance in instances.items():
+        for spec in specs:
+            cell_seed = abs(hash((settings.seed, instance_name, spec.name))) % (2**32)
+            results = repeat_run(spec, instance, settings, rng=cell_seed)
+            cells[(instance_name, spec.name)] = ComparisonCell(
+                algorithm=spec.name,
+                instance=instance_name,
+                makespan=summarize([r.makespan for r in results]),
+                flowtime=summarize([r.flowtime for r in results]),
+                fitness=summarize([r.best_fitness for r in results]),
+                results=tuple(results),
+            )
+    return cells

@@ -1,0 +1,48 @@
+"""Dynamic grid simulation: the batch scheduler in its intended habitat.
+
+The static ETC benchmark evaluates one batch in isolation; this subpackage
+provides the discrete-event substrate needed to exercise the paper's actual
+deployment scenario — a grid where jobs arrive continuously, machines join
+and leave, and the cMA is activated periodically in batch mode.  It stands
+in for the external grid-simulator packages the paper defers to future work
+(see DESIGN.md §4, substitution 4).
+"""
+
+from repro.grid.job import GridJob, JobRecord, JobState
+from repro.grid.machine import GridMachine, MachineState
+from repro.grid.metrics import ActivationRecord, SimulationMetrics
+from repro.grid.scheduler import (
+    BatchSchedulingPolicy,
+    CMABatchPolicy,
+    HeuristicBatchPolicy,
+)
+from repro.grid.simulator import GridSimulator, SimulationConfig
+from repro.grid.workload import (
+    ArrivalModel,
+    BurstyArrivalModel,
+    ChurningResourceModel,
+    PoissonArrivalModel,
+    ResourceModel,
+    StaticResourceModel,
+)
+
+__all__ = [
+    "GridJob",
+    "JobRecord",
+    "JobState",
+    "GridMachine",
+    "MachineState",
+    "ActivationRecord",
+    "SimulationMetrics",
+    "BatchSchedulingPolicy",
+    "HeuristicBatchPolicy",
+    "CMABatchPolicy",
+    "GridSimulator",
+    "SimulationConfig",
+    "ArrivalModel",
+    "PoissonArrivalModel",
+    "BurstyArrivalModel",
+    "ResourceModel",
+    "StaticResourceModel",
+    "ChurningResourceModel",
+]

@@ -1,0 +1,104 @@
+"""Machines (grid resources) in the dynamic simulation.
+
+A machine has a computing capacity in MIPS and, to model the *inconsistent*
+grid scenarios of the benchmark, an optional per-machine affinity profile
+that makes some job/machine combinations relatively faster or slower than
+the pure MIPS ratio predicts.  Machines can join and leave the grid while
+the simulation runs (the paper's "resources could dynamically be
+added/dropped from the Grid").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.job import GridJob
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["GridMachine", "MachineState"]
+
+
+@dataclass(frozen=True)
+class GridMachine:
+    """A grid resource.
+
+    Attributes
+    ----------
+    machine_id:
+        Unique identifier within a simulation.
+    mips:
+        Computing capacity in millions of instructions per second.
+    join_time:
+        Simulated time at which the machine becomes available.
+    leave_time:
+        Simulated time at which the machine drops from the grid (``None`` if
+        it stays for the whole simulation).
+    affinity_spread:
+        Standard deviation (in log space) of the per-job execution-time
+        noise; 0 gives perfectly consistent behaviour, larger values model
+        inconsistent grids where a nominally fast machine can be slow for
+        particular jobs.
+    """
+
+    machine_id: int
+    mips: float
+    join_time: float = 0.0
+    leave_time: float | None = None
+    affinity_spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("mips", self.mips)
+        check_non_negative("join_time", self.join_time)
+        if self.leave_time is not None and self.leave_time <= self.join_time:
+            raise ValueError("leave_time must be after join_time")
+        check_non_negative("affinity_spread", self.affinity_spread)
+
+    def execution_time(self, job: GridJob, rng: RNGLike = None) -> float:
+        """Expected execution time of *job* on this machine.
+
+        With ``affinity_spread == 0`` this is simply ``workload / mips``;
+        otherwise a log-normal factor with the configured spread is applied,
+        drawn deterministically from the (job, machine) pair so repeated
+        queries agree.
+        """
+        base = job.workload / self.mips
+        if self.affinity_spread <= 0:
+            return base
+        # Deterministic per-pair noise: seed a tiny generator from the ids so
+        # that the same (job, machine) pair always gets the same factor,
+        # independent of query order.
+        seed = (job.job_id * 1_000_003 + self.machine_id * 7919) % (2**32)
+        factor = float(np.exp(as_generator(seed).normal(0.0, self.affinity_spread)))
+        return base * factor
+
+    def is_available(self, time: float) -> bool:
+        """Whether the machine is part of the grid at simulated *time*."""
+        if time < self.join_time:
+            return False
+        if self.leave_time is not None and time >= self.leave_time:
+            return False
+        return True
+
+
+@dataclass
+class MachineState:
+    """Mutable per-machine bookkeeping kept by the simulator."""
+
+    machine: GridMachine
+    busy_until: float = 0.0
+    queued_jobs: list[int] = field(default_factory=list)
+    busy_time: float = 0.0  # accumulated processing time, for utilization
+    completed_jobs: int = 0
+
+    def ready_time(self, now: float) -> float:
+        """Time from *now* until the machine finishes its committed work."""
+        return max(0.0, self.busy_until - now)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of the simulated horizon spent processing jobs."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)

@@ -1,0 +1,113 @@
+"""Metrics collected by the dynamic grid simulation.
+
+The static benchmark reports makespan and flowtime of one batch; the dynamic
+simulation generalizes both to a stream of jobs: the *makespan* becomes the
+completion time of the last job, the *flowtime* becomes the sum of response
+times (completion − arrival), and additional operational quantities —
+waiting time, machine utilization, scheduling overhead, number of jobs that
+had to be rescheduled because their machine left the grid — characterize the
+scheduler's behaviour over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ActivationRecord", "SimulationMetrics"]
+
+
+@dataclass(frozen=True)
+class ActivationRecord:
+    """What happened at one activation of the batch scheduler."""
+
+    time: float
+    pending_jobs: int
+    available_machines: int
+    scheduled_jobs: int
+    batch_makespan: float
+    scheduler_wall_seconds: float
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregate outcome of one simulation run."""
+
+    policy: str
+    nb_jobs: int
+    nb_machines: int
+    completed_jobs: int
+    rescheduled_jobs: int
+    makespan: float
+    total_flowtime: float
+    mean_response_time: float
+    max_response_time: float
+    mean_waiting_time: float
+    mean_utilization: float
+    nb_activations: int
+    mean_scheduler_seconds: float
+    activations: list[ActivationRecord] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per simulated second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.completed_jobs / self.makespan
+
+    def summary(self) -> dict[str, float | str]:
+        """Flat summary used by the reporting helpers and the examples."""
+        return {
+            "policy": self.policy,
+            "jobs": float(self.nb_jobs),
+            "machines": float(self.nb_machines),
+            "completed": float(self.completed_jobs),
+            "rescheduled": float(self.rescheduled_jobs),
+            "makespan": self.makespan,
+            "total_flowtime": self.total_flowtime,
+            "mean_response": self.mean_response_time,
+            "max_response": self.max_response_time,
+            "mean_waiting": self.mean_waiting_time,
+            "utilization": self.mean_utilization,
+            "throughput": self.throughput,
+            "activations": float(self.nb_activations),
+            "scheduler_seconds": self.mean_scheduler_seconds,
+        }
+
+    @staticmethod
+    def from_records(
+        *,
+        policy: str,
+        response_times: np.ndarray,
+        waiting_times: np.ndarray,
+        completion_times: np.ndarray,
+        utilizations: np.ndarray,
+        nb_jobs: int,
+        nb_machines: int,
+        rescheduled_jobs: int,
+        activations: list[ActivationRecord],
+    ) -> "SimulationMetrics":
+        """Assemble the metrics object from raw per-job / per-machine arrays."""
+        completed = int(completion_times.size)
+        scheduler_seconds = (
+            float(np.mean([a.scheduler_wall_seconds for a in activations]))
+            if activations
+            else 0.0
+        )
+        return SimulationMetrics(
+            policy=policy,
+            nb_jobs=nb_jobs,
+            nb_machines=nb_machines,
+            completed_jobs=completed,
+            rescheduled_jobs=rescheduled_jobs,
+            makespan=float(completion_times.max()) if completed else 0.0,
+            total_flowtime=float(response_times.sum()) if completed else 0.0,
+            mean_response_time=float(response_times.mean()) if completed else 0.0,
+            max_response_time=float(response_times.max()) if completed else 0.0,
+            mean_waiting_time=float(waiting_times.mean()) if completed else 0.0,
+            mean_utilization=float(utilizations.mean()) if utilizations.size else 0.0,
+            nb_activations=len(activations),
+            mean_scheduler_seconds=scheduler_seconds,
+            activations=list(activations),
+        )

@@ -1,0 +1,249 @@
+"""Workload and resource generators for the dynamic grid simulation.
+
+The paper's dynamic scenario ("jobs that periodically arrive in the Grid
+system") is driven by two stochastic processes:
+
+* a **job arrival model** that produces :class:`~repro.grid.job.GridJob`
+  streams — Poisson arrivals for steady parameter-sweep style submission and
+  a bursty variant for flash crowds; job sizes follow the hi/lo heterogeneity
+  conventions of the ETC benchmark;
+* a **resource model** that produces the machine park, optionally with
+  machines joining and leaving during the simulation (grid churn).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.job import GridJob
+from repro.grid.machine import GridMachine
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.validation import check_integer, check_positive, check_probability
+
+__all__ = [
+    "ArrivalModel",
+    "PoissonArrivalModel",
+    "BurstyArrivalModel",
+    "ResourceModel",
+    "StaticResourceModel",
+    "ChurningResourceModel",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Job arrivals
+# --------------------------------------------------------------------------- #
+class ArrivalModel(abc.ABC):
+    """Generates the stream of jobs submitted to the grid."""
+
+    @abc.abstractmethod
+    def generate(self, rng: RNGLike = None) -> list[GridJob]:
+        """Produce the full list of jobs for one simulation, sorted by arrival."""
+
+
+def _sample_workloads(
+    count: int, heterogeneity: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Job sizes following the hi/lo task-heterogeneity ranges of the benchmark."""
+    high = 3000.0 if heterogeneity == "hi" else 100.0
+    return rng.uniform(1.0, high, size=count) * 1e3  # millions of instructions
+
+
+@dataclass
+class PoissonArrivalModel(ArrivalModel):
+    """Jobs arrive as a Poisson process with a fixed rate.
+
+    Attributes
+    ----------
+    rate:
+        Expected number of job arrivals per simulated second.
+    duration:
+        Length of the submission window in simulated seconds (jobs only
+        arrive inside it; the simulation itself runs until the last job
+        completes).
+    heterogeneity:
+        ``"hi"`` or ``"lo"`` job-size heterogeneity.
+    """
+
+    rate: float = 1.0
+    duration: float = 100.0
+    heterogeneity: str = "hi"
+
+    def __post_init__(self) -> None:
+        check_positive("rate", self.rate)
+        check_positive("duration", self.duration)
+        if self.heterogeneity not in ("hi", "lo"):
+            raise ValueError("heterogeneity must be 'hi' or 'lo'")
+
+    def generate(self, rng: RNGLike = None) -> list[GridJob]:
+        gen = as_generator(rng)
+        arrivals: list[float] = []
+        time = 0.0
+        while True:
+            time += float(gen.exponential(1.0 / self.rate))
+            if time > self.duration:
+                break
+            arrivals.append(time)
+        workloads = _sample_workloads(len(arrivals), self.heterogeneity, gen)
+        return [
+            GridJob(job_id=i, workload=float(w), arrival_time=t)
+            for i, (t, w) in enumerate(zip(arrivals, workloads))
+        ]
+
+
+@dataclass
+class BurstyArrivalModel(ArrivalModel):
+    """Bursts of jobs at regular intervals (flash-crowd submission pattern).
+
+    Attributes
+    ----------
+    burst_interval:
+        Simulated seconds between consecutive bursts.
+    burst_size_mean:
+        Average number of jobs per burst (Poisson distributed).
+    nb_bursts:
+        Number of bursts in the submission window.
+    heterogeneity:
+        ``"hi"`` or ``"lo"`` job-size heterogeneity.
+    """
+
+    burst_interval: float = 30.0
+    burst_size_mean: float = 20.0
+    nb_bursts: int = 5
+    heterogeneity: str = "hi"
+
+    def __post_init__(self) -> None:
+        check_positive("burst_interval", self.burst_interval)
+        check_positive("burst_size_mean", self.burst_size_mean)
+        check_integer("nb_bursts", self.nb_bursts, minimum=1)
+        if self.heterogeneity not in ("hi", "lo"):
+            raise ValueError("heterogeneity must be 'hi' or 'lo'")
+
+    def generate(self, rng: RNGLike = None) -> list[GridJob]:
+        gen = as_generator(rng)
+        jobs: list[GridJob] = []
+        job_id = 0
+        for burst in range(self.nb_bursts):
+            burst_time = burst * self.burst_interval
+            size = int(gen.poisson(self.burst_size_mean))
+            if size == 0:
+                continue
+            # Jobs inside a burst arrive within a one-second window.
+            offsets = np.sort(gen.uniform(0.0, 1.0, size=size))
+            workloads = _sample_workloads(size, self.heterogeneity, gen)
+            for offset, workload in zip(offsets, workloads):
+                jobs.append(
+                    GridJob(
+                        job_id=job_id,
+                        workload=float(workload),
+                        arrival_time=float(burst_time + offset),
+                    )
+                )
+                job_id += 1
+        return jobs
+
+
+# --------------------------------------------------------------------------- #
+# Resources
+# --------------------------------------------------------------------------- #
+class ResourceModel(abc.ABC):
+    """Generates the machine park of one simulation."""
+
+    @abc.abstractmethod
+    def generate(self, rng: RNGLike = None) -> list[GridMachine]:
+        """Produce the machines (with their join/leave times)."""
+
+
+def _sample_mips(count: int, heterogeneity: str, rng: np.random.Generator) -> np.ndarray:
+    """Machine capacities following the hi/lo machine-heterogeneity ranges."""
+    high = 1000.0 if heterogeneity == "hi" else 10.0
+    return rng.uniform(1.0, high, size=count) * 10.0  # MIPS
+
+
+@dataclass
+class StaticResourceModel(ResourceModel):
+    """A fixed set of machines that stays in the grid for the whole run."""
+
+    nb_machines: int = 16
+    heterogeneity: str = "hi"
+    affinity_spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_integer("nb_machines", self.nb_machines, minimum=1)
+        if self.heterogeneity not in ("hi", "lo"):
+            raise ValueError("heterogeneity must be 'hi' or 'lo'")
+
+    def generate(self, rng: RNGLike = None) -> list[GridMachine]:
+        gen = as_generator(rng)
+        mips = _sample_mips(self.nb_machines, self.heterogeneity, gen)
+        return [
+            GridMachine(
+                machine_id=i,
+                mips=float(m),
+                affinity_spread=self.affinity_spread,
+            )
+            for i, m in enumerate(mips)
+        ]
+
+
+@dataclass
+class ChurningResourceModel(ResourceModel):
+    """Machines that may join late and leave early (grid churn).
+
+    Attributes
+    ----------
+    nb_machines:
+        Total number of machines ever part of the grid.
+    churn_fraction:
+        Fraction of the machines that have a finite membership window.
+    horizon:
+        Simulated time horizon used to draw join/leave times.
+    """
+
+    nb_machines: int = 16
+    heterogeneity: str = "hi"
+    churn_fraction: float = 0.25
+    horizon: float = 200.0
+    affinity_spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_integer("nb_machines", self.nb_machines, minimum=1)
+        check_probability("churn_fraction", self.churn_fraction)
+        check_positive("horizon", self.horizon)
+        if self.heterogeneity not in ("hi", "lo"):
+            raise ValueError("heterogeneity must be 'hi' or 'lo'")
+
+    def generate(self, rng: RNGLike = None) -> list[GridMachine]:
+        gen = as_generator(rng)
+        mips = _sample_mips(self.nb_machines, self.heterogeneity, gen)
+        churny = gen.random(self.nb_machines) < self.churn_fraction
+        machines: list[GridMachine] = []
+        for i in range(self.nb_machines):
+            if churny[i] and self.nb_machines > 1:
+                join = float(gen.uniform(0.0, self.horizon * 0.3))
+                leave = float(gen.uniform(self.horizon * 0.5, self.horizon))
+            else:
+                join, leave = 0.0, None
+            machines.append(
+                GridMachine(
+                    machine_id=i,
+                    mips=float(mips[i]),
+                    join_time=join,
+                    leave_time=leave,
+                    affinity_spread=self.affinity_spread,
+                )
+            )
+        # Guarantee that at least one machine is always available.
+        if all(m.leave_time is not None for m in machines):
+            first = machines[0]
+            machines[0] = GridMachine(
+                machine_id=first.machine_id,
+                mips=first.mips,
+                join_time=0.0,
+                leave_time=None,
+                affinity_spread=first.affinity_spread,
+            )
+        return machines

@@ -1,0 +1,73 @@
+"""Immediate-mode (single-pass) heuristics: MCT, MET and OLB.
+
+These three heuristics process the jobs in their submission order and assign
+each one immediately, without reconsidering earlier decisions:
+
+* **MCT** (Minimum Completion Time) — the machine that finishes the job
+  earliest, accounting for its current load.
+* **MET** (Minimum Execution Time) — the machine with the smallest ETC for
+  the job, ignoring load; fast but prone to overloading the globally fastest
+  machine on consistent instances.
+* **OLB** (Opportunistic Load Balancing) — the machine that becomes idle
+  first, ignoring the job's execution time.
+
+They are cheap baselines and useful building blocks for the dynamic grid
+scheduler, which must place newly arrived jobs between two activations of
+the batch scheduler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heuristics.base import ConstructiveHeuristic, register_heuristic
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+from repro.utils.rng import RNGLike
+
+__all__ = ["MCTHeuristic", "METHeuristic", "OLBHeuristic"]
+
+
+@register_heuristic
+class MCTHeuristic(ConstructiveHeuristic):
+    """Minimum Completion Time, jobs processed in submission order."""
+
+    name = "mct"
+
+    def build(self, instance: SchedulingInstance, rng: RNGLike = None) -> Schedule:
+        etc = instance.etc
+        assignment = np.empty(instance.nb_jobs, dtype=np.int64)
+        completion = instance.ready_times.copy()
+        for job in range(instance.nb_jobs):
+            machine = int((completion + etc[job]).argmin())
+            assignment[job] = machine
+            completion[machine] += etc[job, machine]
+        return Schedule(instance, assignment)
+
+
+@register_heuristic
+class METHeuristic(ConstructiveHeuristic):
+    """Minimum Execution Time, ignoring machine load."""
+
+    name = "met"
+
+    def build(self, instance: SchedulingInstance, rng: RNGLike = None) -> Schedule:
+        assignment = instance.etc.argmin(axis=1).astype(np.int64)
+        return Schedule(instance, assignment)
+
+
+@register_heuristic
+class OLBHeuristic(ConstructiveHeuristic):
+    """Opportunistic Load Balancing: earliest-idle machine, ignoring ETC."""
+
+    name = "olb"
+
+    def build(self, instance: SchedulingInstance, rng: RNGLike = None) -> Schedule:
+        etc = instance.etc
+        assignment = np.empty(instance.nb_jobs, dtype=np.int64)
+        completion = instance.ready_times.copy()
+        for job in range(instance.nb_jobs):
+            machine = int(completion.argmin())
+            assignment[job] = machine
+            completion[machine] += etc[job, machine]
+        return Schedule(instance, assignment)

@@ -1,0 +1,47 @@
+"""The Max-Min heuristic (Braun et al.).
+
+Like Min-Min, but the job scheduled at every step is the one whose *minimum*
+completion time is *largest*: long jobs are placed early so that they overlap
+with the many short jobs placed later, which tends to help on instances with
+a few dominant jobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heuristics.base import ConstructiveHeuristic, register_heuristic
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+from repro.utils.rng import RNGLike
+
+__all__ = ["MaxMinHeuristic"]
+
+
+@register_heuristic
+class MaxMinHeuristic(ConstructiveHeuristic):
+    """Maximum of the per-job minimum completion times."""
+
+    name = "max_min"
+
+    def build(self, instance: SchedulingInstance, rng: RNGLike = None) -> Schedule:
+        etc = instance.etc
+        nb_jobs = instance.nb_jobs
+        assignment = np.empty(nb_jobs, dtype=np.int64)
+        completion = instance.ready_times.copy()
+        unassigned = np.arange(nb_jobs)
+
+        while unassigned.size:
+            candidate = completion[None, :] + etc[unassigned, :]
+            best_machine_per_job = candidate.argmin(axis=1)
+            best_time_per_job = candidate[
+                np.arange(unassigned.size), best_machine_per_job
+            ]
+            pick = int(best_time_per_job.argmax())
+            job = int(unassigned[pick])
+            machine = int(best_machine_per_job[pick])
+            assignment[job] = machine
+            completion[machine] += etc[job, machine]
+            unassigned = np.delete(unassigned, pick)
+
+        return Schedule(instance, assignment)

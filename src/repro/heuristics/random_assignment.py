@@ -1,0 +1,25 @@
+"""Uniformly random assignment.
+
+The weakest possible baseline and the usual source of population diversity:
+the cMA population is seeded with one LJFR-SJFR individual plus perturbed /
+random individuals (see :class:`repro.core.population.PopulationInitializer`).
+"""
+
+from __future__ import annotations
+
+from repro.heuristics.base import ConstructiveHeuristic, register_heuristic
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = ["RandomAssignmentHeuristic"]
+
+
+@register_heuristic
+class RandomAssignmentHeuristic(ConstructiveHeuristic):
+    """Assign every job to a uniformly random machine."""
+
+    name = "random"
+
+    def build(self, instance: SchedulingInstance, rng: RNGLike = None) -> Schedule:
+        return Schedule.random(instance, as_generator(rng))

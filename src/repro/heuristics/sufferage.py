@@ -1,0 +1,52 @@
+"""The Sufferage heuristic (Maheswaran et al. / Braun et al.).
+
+At every step the job scheduled is the one that would "suffer" most if it did
+not get its best machine, measured as the difference between its second-best
+and best achievable completion times.  Jobs with a large sufferage value are
+given priority for their preferred machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heuristics.base import ConstructiveHeuristic, register_heuristic
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+from repro.utils.rng import RNGLike
+
+__all__ = ["SufferageHeuristic"]
+
+
+@register_heuristic
+class SufferageHeuristic(ConstructiveHeuristic):
+    """Schedule first the job with the largest best-vs-second-best gap."""
+
+    name = "sufferage"
+
+    def build(self, instance: SchedulingInstance, rng: RNGLike = None) -> Schedule:
+        etc = instance.etc
+        nb_jobs = instance.nb_jobs
+        nb_machines = instance.nb_machines
+        assignment = np.empty(nb_jobs, dtype=np.int64)
+        completion = instance.ready_times.copy()
+        unassigned = np.arange(nb_jobs)
+
+        while unassigned.size:
+            candidate = completion[None, :] + etc[unassigned, :]
+            best_machine_per_job = candidate.argmin(axis=1)
+            best_time = candidate[np.arange(unassigned.size), best_machine_per_job]
+            if nb_machines > 1:
+                two_smallest = np.partition(candidate, 1, axis=1)[:, :2]
+                second_best = two_smallest.max(axis=1)
+                sufferage = second_best - best_time
+            else:
+                sufferage = np.zeros(unassigned.size)
+            pick = int(sufferage.argmax())
+            job = int(unassigned[pick])
+            machine = int(best_machine_per_job[pick])
+            assignment[job] = machine
+            completion[machine] += etc[job, machine]
+            unassigned = np.delete(unassigned, pick)
+
+        return Schedule(instance, assignment)

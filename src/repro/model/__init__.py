@@ -1,0 +1,61 @@
+"""Problem model: the Expected-Time-to-Compute (ETC) scheduling formulation.
+
+This subpackage implements the static batch-scheduling model of Braun et al.
+(2001) that the paper evaluates on:
+
+* :class:`~repro.model.instance.SchedulingInstance` — a set of independent
+  jobs, a set of heterogeneous machines, machine ready times and the ETC
+  matrix giving the expected execution time of each job on each machine.
+* :class:`~repro.model.schedule.Schedule` — an assignment of every job to
+  exactly one machine, with cached, incrementally-maintained completion
+  times, makespan and flowtime.
+* :class:`~repro.model.fitness.FitnessEvaluator` — the weighted-sum fitness
+  ``λ·makespan + (1−λ)·mean_flowtime`` of the paper (λ = 0.75).
+* :mod:`~repro.model.generator` — the range-based instance generator used to
+  build Braun-style benchmark instances (consistency × heterogeneity).
+* :mod:`~repro.model.benchmark` — the 12-instance ``u_x_yyzz.0`` suite.
+"""
+
+from repro.model.etc import (
+    ETCProperties,
+    classify_consistency,
+    machine_heterogeneity,
+    make_consistent,
+    make_semiconsistent,
+    task_heterogeneity,
+)
+from repro.model.fitness import FitnessEvaluator, ObjectiveValues
+from repro.model.generator import ETCGeneratorConfig, generate_etc_matrix, generate_instance
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+from repro.model.benchmark import (
+    BRAUN_INSTANCE_NAMES,
+    braun_suite,
+    generate_braun_like_instance,
+    parse_instance_name,
+)
+from repro.model.io import load_etc_file, load_instance, save_etc_file, save_instance
+
+__all__ = [
+    "ETCProperties",
+    "classify_consistency",
+    "machine_heterogeneity",
+    "make_consistent",
+    "make_semiconsistent",
+    "task_heterogeneity",
+    "FitnessEvaluator",
+    "ObjectiveValues",
+    "ETCGeneratorConfig",
+    "generate_etc_matrix",
+    "generate_instance",
+    "SchedulingInstance",
+    "Schedule",
+    "BRAUN_INSTANCE_NAMES",
+    "braun_suite",
+    "generate_braun_like_instance",
+    "parse_instance_name",
+    "load_etc_file",
+    "load_instance",
+    "save_etc_file",
+    "save_instance",
+]

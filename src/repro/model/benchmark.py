@@ -1,0 +1,156 @@
+"""The Braun et al. benchmark suite used in the paper's evaluation.
+
+The paper reports results for the 12 instances ``u_x_yyzz.0`` with
+``x ∈ {c, i, s}`` (consistent / inconsistent / semi-consistent) and
+``yy, zz ∈ {hi, lo}`` (job and machine heterogeneity), all of them with 512
+jobs and 16 machines.  This module knows how to
+
+* parse and format the instance names,
+* regenerate statistically equivalent instances with the range-based
+  generator (the documented substitution for the original data files), and
+* build the full 12-instance suite deterministically from a single seed.
+
+If the user has the original benchmark files, :func:`repro.model.io.load_etc_file`
+can load them and the rest of the library works unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.model.generator import ETCGeneratorConfig, generate_instance
+from repro.model.instance import SchedulingInstance
+from repro.utils.rng import RNGLike, as_generator, spawn_generators
+
+__all__ = [
+    "BRAUN_INSTANCE_NAMES",
+    "BRAUN_NB_JOBS",
+    "BRAUN_NB_MACHINES",
+    "parse_instance_name",
+    "instance_name",
+    "generate_braun_like_instance",
+    "braun_suite",
+]
+
+#: Dimensions of every instance in the Braun et al. benchmark.
+BRAUN_NB_JOBS: int = 512
+BRAUN_NB_MACHINES: int = 16
+
+_CONSISTENCY_LETTERS = {"c": "consistent", "i": "inconsistent", "s": "semi-consistent"}
+_LETTER_OF_CONSISTENCY = {v: k for k, v in _CONSISTENCY_LETTERS.items()}
+
+#: The 12 instances reported in Tables 2-5 of the paper, in paper order.
+BRAUN_INSTANCE_NAMES: tuple[str, ...] = (
+    "u_c_hihi.0",
+    "u_c_hilo.0",
+    "u_c_lohi.0",
+    "u_c_lolo.0",
+    "u_i_hihi.0",
+    "u_i_hilo.0",
+    "u_i_lohi.0",
+    "u_i_lolo.0",
+    "u_s_hihi.0",
+    "u_s_hilo.0",
+    "u_s_lohi.0",
+    "u_s_lolo.0",
+)
+
+_NAME_PATTERN = re.compile(
+    r"^u_(?P<consistency>[cis])_(?P<task>hi|lo)(?P<machine>hi|lo)(?:\.(?P<index>\d+))?$"
+)
+
+
+def parse_instance_name(name: str) -> dict[str, str | int]:
+    """Decompose a Braun-style instance name into its components.
+
+    Returns a dict with keys ``consistency`` (full word), ``task_heterogeneity``,
+    ``machine_heterogeneity`` and ``index`` (0 when the ``.k`` suffix is absent).
+
+    Raises
+    ------
+    ValueError
+        If the name does not follow the ``u_x_yyzz[.k]`` convention.
+    """
+    match = _NAME_PATTERN.match(name.strip())
+    if match is None:
+        raise ValueError(
+            f"instance name {name!r} does not follow the 'u_x_yyzz.k' convention"
+        )
+    return {
+        "consistency": _CONSISTENCY_LETTERS[match.group("consistency")],
+        "task_heterogeneity": match.group("task"),
+        "machine_heterogeneity": match.group("machine"),
+        "index": int(match.group("index") or 0),
+    }
+
+
+def instance_name(
+    consistency: str, task_heterogeneity: str, machine_heterogeneity: str, index: int = 0
+) -> str:
+    """Format a Braun-style instance name from its components."""
+    letter = _LETTER_OF_CONSISTENCY.get(consistency, consistency)
+    if letter not in _CONSISTENCY_LETTERS:
+        raise ValueError(f"unknown consistency {consistency!r}")
+    if task_heterogeneity not in ("hi", "lo") or machine_heterogeneity not in ("hi", "lo"):
+        raise ValueError("heterogeneity levels must be 'hi' or 'lo'")
+    return f"u_{letter}_{task_heterogeneity}{machine_heterogeneity}.{int(index)}"
+
+
+def config_for_instance(
+    name: str, *, nb_jobs: int = BRAUN_NB_JOBS, nb_machines: int = BRAUN_NB_MACHINES
+) -> ETCGeneratorConfig:
+    """Generator configuration matching a Braun-style instance name."""
+    parts = parse_instance_name(name)
+    return ETCGeneratorConfig(
+        nb_jobs=nb_jobs,
+        nb_machines=nb_machines,
+        task_heterogeneity=str(parts["task_heterogeneity"]),
+        machine_heterogeneity=str(parts["machine_heterogeneity"]),
+        consistency=str(parts["consistency"]),
+    )
+
+
+def generate_braun_like_instance(
+    name: str,
+    rng: RNGLike = None,
+    *,
+    nb_jobs: int = BRAUN_NB_JOBS,
+    nb_machines: int = BRAUN_NB_MACHINES,
+) -> SchedulingInstance:
+    """Generate a statistically equivalent stand-in for a benchmark instance.
+
+    Parameters
+    ----------
+    name:
+        A Braun-style name such as ``"u_c_hihi.0"``.
+    rng:
+        Source of randomness; the same seed always produces the same instance.
+    nb_jobs, nb_machines:
+        Dimensions; defaults to the benchmark's 512 × 16 but smaller values
+        are convenient for fast tests.
+    """
+    config = config_for_instance(name, nb_jobs=nb_jobs, nb_machines=nb_machines)
+    return generate_instance(config, rng, name=name)
+
+
+def braun_suite(
+    rng: RNGLike = 2007,
+    *,
+    nb_jobs: int = BRAUN_NB_JOBS,
+    nb_machines: int = BRAUN_NB_MACHINES,
+    names: tuple[str, ...] = BRAUN_INSTANCE_NAMES,
+) -> Mapping[str, SchedulingInstance]:
+    """Generate the full benchmark suite as an ordered name → instance mapping.
+
+    A dedicated child generator is spawned per instance so that changing one
+    instance's position in *names* does not perturb the others.
+    """
+    parent = as_generator(rng)
+    children = spawn_generators(parent, len(names))
+    suite: dict[str, SchedulingInstance] = {}
+    for name, child in zip(names, children):
+        suite[name] = generate_braun_like_instance(
+            name, child, nb_jobs=nb_jobs, nb_machines=nb_machines
+        )
+    return suite

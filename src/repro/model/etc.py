@@ -1,0 +1,176 @@
+"""ETC-matrix structure: consistency classes and heterogeneity measures.
+
+The Braun et al. benchmark characterizes ETC matrices along three axes:
+
+* **consistency** — a matrix is *consistent* when machine ``a`` being faster
+  than machine ``b`` for one job implies it is faster for every job;
+  *inconsistent* when no such structure exists; and *semi-consistent* when a
+  consistent sub-matrix is embedded in an otherwise inconsistent matrix
+  (conventionally the even-indexed columns).
+* **task heterogeneity** — how much execution times vary across jobs.
+* **machine heterogeneity** — how much execution times vary across machines
+  for a single job.
+
+This module provides the transformations used by the generator
+(:func:`make_consistent`, :func:`make_semiconsistent`) and the diagnostics
+used by tests and experiments (:func:`classify_consistency`,
+:func:`task_heterogeneity`, :func:`machine_heterogeneity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = [
+    "ETCProperties",
+    "make_consistent",
+    "make_semiconsistent",
+    "is_consistent",
+    "consistent_column_fraction",
+    "classify_consistency",
+    "task_heterogeneity",
+    "machine_heterogeneity",
+]
+
+
+@dataclass(frozen=True)
+class ETCProperties:
+    """Summary of the structural properties of an ETC matrix."""
+
+    nb_jobs: int
+    nb_machines: int
+    consistency: str  # "consistent", "inconsistent" or "semi-consistent"
+    task_heterogeneity: float
+    machine_heterogeneity: float
+    mean_etc: float
+    min_etc: float
+    max_etc: float
+
+
+def make_consistent(etc: np.ndarray) -> np.ndarray:
+    """Return a consistent version of *etc* by sorting every row ascending.
+
+    After sorting, machine ``0`` is the fastest machine for every job and
+    machine ``m-1`` the slowest, which satisfies the consistency definition.
+    The input matrix is not modified.
+    """
+    etc = check_matrix("etc", etc)
+    return np.sort(etc, axis=1)
+
+
+def make_semiconsistent(etc: np.ndarray) -> np.ndarray:
+    """Return a semi-consistent version of *etc*.
+
+    Following the convention of the Braun et al. generator, the sub-matrix
+    formed by the **even-indexed columns** of every row is sorted ascending
+    (making it consistent) while odd-indexed columns are left untouched.
+    """
+    etc = check_matrix("etc", etc)
+    result = etc.copy()
+    even = result[:, 0::2]
+    result[:, 0::2] = np.sort(even, axis=1)
+    return result
+
+
+def is_consistent(etc: np.ndarray, *, columns: slice | None = None) -> bool:
+    """Whether *etc* (or a column subset of it) is consistent.
+
+    A matrix is consistent when there exists a total order of machines that
+    is respected by every row.  Equivalently, the column-wise ranking of
+    machines must be identical for all jobs, which we check by verifying
+    that sorting the columns by their values in the first row sorts every
+    other row as well.
+    """
+    etc = check_matrix("etc", etc)
+    sub = etc if columns is None else etc[:, columns]
+    if sub.shape[1] <= 1:
+        return True
+    order = np.argsort(sub[0], kind="stable")
+    reordered = sub[:, order]
+    return bool(np.all(np.diff(reordered, axis=1) >= 0))
+
+
+def consistent_column_fraction(etc: np.ndarray) -> float:
+    """Fraction of adjacent machine pairs whose ordering is job-independent.
+
+    1.0 for a fully consistent matrix; values near ``1/2`` are typical of
+    purely random (inconsistent) matrices.  Used as a soft diagnostic for
+    semi-consistent matrices where :func:`is_consistent` is too strict.
+    """
+    etc = check_matrix("etc", etc)
+    nb_machines = etc.shape[1]
+    if nb_machines <= 1:
+        return 1.0
+    consistent_pairs = 0
+    total_pairs = 0
+    for a in range(nb_machines):
+        for b in range(a + 1, nb_machines):
+            total_pairs += 1
+            diff = etc[:, a] - etc[:, b]
+            if np.all(diff <= 0) or np.all(diff >= 0):
+                consistent_pairs += 1
+    return consistent_pairs / total_pairs
+
+
+def classify_consistency(etc: np.ndarray) -> str:
+    """Classify *etc* as ``"consistent"``, ``"semi-consistent"`` or ``"inconsistent"``.
+
+    The classification mirrors the generator conventions: a matrix is
+    consistent if every row respects a common machine ordering;
+    semi-consistent if the even-column sub-matrix is consistent (but the
+    full matrix is not); inconsistent otherwise.
+    """
+    if is_consistent(etc):
+        return "consistent"
+    if is_consistent(etc, columns=slice(0, None, 2)):
+        return "semi-consistent"
+    return "inconsistent"
+
+
+def task_heterogeneity(etc: np.ndarray) -> float:
+    """Coefficient of variation of the mean job execution times.
+
+    For each job the mean ETC over machines is taken; the heterogeneity is
+    the coefficient of variation (std / mean) of those per-job means.  High
+    task heterogeneity benchmarks (``hi``) produce values well above the low
+    heterogeneity ones (``lo``).
+    """
+    etc = check_matrix("etc", etc)
+    per_job = etc.mean(axis=1)
+    mean = per_job.mean()
+    if mean == 0:
+        return 0.0
+    return float(per_job.std() / mean)
+
+
+def machine_heterogeneity(etc: np.ndarray) -> float:
+    """Average per-job coefficient of variation across machines.
+
+    For each job, the coefficient of variation of its execution times over
+    machines is computed; the result is the average over jobs.
+    """
+    etc = check_matrix("etc", etc)
+    means = etc.mean(axis=1)
+    stds = etc.std(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cvs = np.where(means > 0, stds / means, 0.0)
+    return float(cvs.mean())
+
+
+def properties(etc: np.ndarray) -> ETCProperties:
+    """Compute the full :class:`ETCProperties` summary of *etc*."""
+    etc = check_matrix("etc", etc)
+    return ETCProperties(
+        nb_jobs=int(etc.shape[0]),
+        nb_machines=int(etc.shape[1]),
+        consistency=classify_consistency(etc),
+        task_heterogeneity=task_heterogeneity(etc),
+        machine_heterogeneity=machine_heterogeneity(etc),
+        mean_etc=float(etc.mean()),
+        min_etc=float(etc.min()),
+        max_etc=float(etc.max()),
+    )

@@ -1,0 +1,180 @@
+"""The scheduling instance: jobs, machines, ready times and the ETC matrix.
+
+An instance follows the Expected Time to Compute (ETC) model of Braun et al.
+(2001), exactly as described in Section 2 of the paper:
+
+* a number of independent jobs to be scheduled,
+* a number of heterogeneous candidate machines,
+* the workload of each job (millions of instructions),
+* the computing capacity of each machine (MIPS),
+* ``ready[m]`` — when machine *m* finishes its previously assigned work, and
+* the ETC matrix where ``etc[i, j]`` is the expected execution time of job
+  *i* on machine *j*.
+
+Workloads and MIPS ratings are optional: when an ETC matrix is supplied
+directly (as in the Braun benchmark files) they are not needed; when they are
+supplied instead of an ETC matrix the instance derives a *consistent* ETC as
+``workload[i] / mips[j]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.model import etc as etc_module
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["SchedulingInstance"]
+
+
+@dataclass(frozen=True)
+class SchedulingInstance:
+    """An immutable batch-scheduling instance in the ETC model.
+
+    Parameters
+    ----------
+    etc:
+        Matrix of shape ``(nb_jobs, nb_machines)`` with strictly positive
+        expected execution times.
+    ready_times:
+        Optional vector of machine ready times (defaults to all zeros, i.e.
+        every machine is idle when the batch is scheduled).
+    workloads:
+        Optional per-job workloads in millions of instructions; informational
+        unless the instance is built through :meth:`from_workloads`.
+    mips:
+        Optional per-machine computing capacities; informational unless the
+        instance is built through :meth:`from_workloads`.
+    name:
+        Human-readable identifier (e.g. ``"u_c_hihi.0"``).
+    """
+
+    etc: np.ndarray
+    ready_times: np.ndarray = None  # type: ignore[assignment]
+    workloads: np.ndarray | None = None
+    mips: np.ndarray | None = None
+    name: str = "unnamed"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        matrix = check_matrix("etc", self.etc)
+        object.__setattr__(self, "etc", np.ascontiguousarray(matrix))
+        if self.ready_times is None:
+            ready = np.zeros(matrix.shape[1], dtype=float)
+        else:
+            ready = check_vector(
+                "ready_times", self.ready_times, length=matrix.shape[1]
+            )
+        object.__setattr__(self, "ready_times", ready)
+        if self.workloads is not None:
+            object.__setattr__(
+                self,
+                "workloads",
+                check_vector("workloads", self.workloads, length=matrix.shape[0]),
+            )
+        if self.mips is not None:
+            object.__setattr__(
+                self, "mips", check_vector("mips", self.mips, length=matrix.shape[1])
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_workloads(
+        cls,
+        workloads: np.ndarray,
+        mips: np.ndarray,
+        *,
+        ready_times: np.ndarray | None = None,
+        name: str = "derived",
+    ) -> "SchedulingInstance":
+        """Build an instance from job workloads and machine MIPS ratings.
+
+        The resulting ETC matrix is consistent by construction:
+        ``etc[i, j] = workloads[i] / mips[j]``.
+        """
+        workloads = check_vector("workloads", workloads, non_negative=False)
+        mips = check_vector("mips", mips, non_negative=False)
+        if np.any(workloads <= 0):
+            raise ValueError("workloads must be strictly positive")
+        if np.any(mips <= 0):
+            raise ValueError("mips must be strictly positive")
+        matrix = workloads[:, None] / mips[None, :]
+        return cls(
+            etc=matrix,
+            ready_times=ready_times,
+            workloads=workloads,
+            mips=mips,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dimensions and basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def nb_jobs(self) -> int:
+        """Number of jobs to schedule."""
+        return int(self.etc.shape[0])
+
+    @property
+    def nb_machines(self) -> int:
+        """Number of candidate machines."""
+        return int(self.etc.shape[1])
+
+    @property
+    def consistency(self) -> str:
+        """Consistency class of the ETC matrix (see :mod:`repro.model.etc`)."""
+        return etc_module.classify_consistency(self.etc)
+
+    def properties(self) -> etc_module.ETCProperties:
+        """Structural summary of the ETC matrix."""
+        return etc_module.properties(self.etc)
+
+    # ------------------------------------------------------------------ #
+    # Bounds (used for sanity checks in tests and reports)
+    # ------------------------------------------------------------------ #
+    def makespan_lower_bound(self) -> float:
+        """A simple lower bound on the achievable makespan.
+
+        The bound is the maximum of two quantities: the largest minimum ETC
+        of any job (some job has to run somewhere, at best on its fastest
+        machine) and the total minimum work divided by the number of
+        machines (perfect load balance of best-case execution times).
+        Ready times are folded in through their minimum.
+        """
+        best_per_job = self.etc.min(axis=1)
+        bound_single = float(best_per_job.max())
+        bound_balance = float(
+            best_per_job.sum() / self.nb_machines + self.ready_times.min()
+        )
+        return max(bound_single, bound_balance)
+
+    def makespan_upper_bound(self) -> float:
+        """A loose upper bound: run every job on its slowest machine serially."""
+        return float(self.etc.max(axis=1).sum() + self.ready_times.max())
+
+    # ------------------------------------------------------------------ #
+    # Python niceties
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SchedulingInstance(name={self.name!r}, jobs={self.nb_jobs}, "
+            f"machines={self.nb_machines}, consistency={self.consistency!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SchedulingInstance):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.etc.shape == other.etc.shape
+            and bool(np.array_equal(self.etc, other.etc))
+            and bool(np.array_equal(self.ready_times, other.ready_times))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.etc.shape, float(self.etc.sum())))

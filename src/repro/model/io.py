@@ -1,0 +1,114 @@
+"""Reading and writing ETC instances.
+
+Two formats are supported:
+
+* **Braun format** — the original benchmark distributes each instance as a
+  plain text file containing ``nb_jobs × nb_machines`` numbers, one per line,
+  in row-major (job-major) order.  :func:`load_etc_file` reads such files so
+  the original data can be dropped into the experiments; :func:`save_etc_file`
+  writes them.
+* **Instance format** — a small self-describing text format (JSON) that also
+  stores ready times, names and metadata, used to persist generated
+  instances between experiment stages.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.instance import SchedulingInstance
+
+__all__ = ["load_etc_file", "save_etc_file", "load_instance", "save_instance"]
+
+
+def load_etc_file(
+    path: str | Path,
+    nb_jobs: int,
+    nb_machines: int,
+    *,
+    name: str | None = None,
+) -> SchedulingInstance:
+    """Load a Braun-format ETC file.
+
+    Parameters
+    ----------
+    path:
+        Path to the text file containing ``nb_jobs * nb_machines`` numbers.
+    nb_jobs, nb_machines:
+        Dimensions of the matrix stored in the file (the format itself does
+        not record them; the benchmark convention is 512 × 16).
+    name:
+        Optional instance name; defaults to the file stem.
+
+    Raises
+    ------
+    ValueError
+        If the file does not contain exactly ``nb_jobs * nb_machines`` values.
+    """
+    path = Path(path)
+    values = np.loadtxt(path, dtype=float).ravel()
+    expected = nb_jobs * nb_machines
+    if values.size != expected:
+        raise ValueError(
+            f"{path} contains {values.size} values, expected {expected} "
+            f"({nb_jobs} jobs x {nb_machines} machines)"
+        )
+    matrix = values.reshape(nb_jobs, nb_machines)
+    # The benchmark names its instances after the full file name (the ".0"
+    # suffix is part of the instance identity, not an extension).
+    return SchedulingInstance(etc=matrix, name=name or path.name)
+
+
+def save_etc_file(instance: SchedulingInstance, path: str | Path) -> Path:
+    """Write the ETC matrix of *instance* in the Braun one-value-per-line format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savetxt(path, instance.etc.ravel()[:, None], fmt="%.6f")
+    return path
+
+
+def save_instance(instance: SchedulingInstance, path: str | Path) -> Path:
+    """Persist a full instance (ETC, ready times, metadata) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "name": instance.name,
+        "nb_jobs": instance.nb_jobs,
+        "nb_machines": instance.nb_machines,
+        "etc": instance.etc.tolist(),
+        "ready_times": instance.ready_times.tolist(),
+        "metadata": dict(instance.metadata),
+    }
+    if instance.workloads is not None:
+        payload["workloads"] = instance.workloads.tolist()
+    if instance.mips is not None:
+        payload["mips"] = instance.mips.tolist()
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_instance(path: str | Path) -> SchedulingInstance:
+    """Load an instance previously written by :func:`save_instance`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    etc = np.asarray(payload["etc"], dtype=float)
+    expected_shape = (int(payload["nb_jobs"]), int(payload["nb_machines"]))
+    if etc.shape != expected_shape:
+        raise ValueError(
+            f"{path} declares shape {expected_shape} but stores {etc.shape}"
+        )
+    return SchedulingInstance(
+        etc=etc,
+        ready_times=np.asarray(payload["ready_times"], dtype=float),
+        workloads=(
+            np.asarray(payload["workloads"], dtype=float)
+            if "workloads" in payload
+            else None
+        ),
+        mips=np.asarray(payload["mips"], dtype=float) if "mips" in payload else None,
+        name=str(payload.get("name", path.stem)),
+        metadata=dict(payload.get("metadata", {})),
+    )

@@ -1,0 +1,42 @@
+"""Shared utilities: random-number handling, timing, statistics and validation.
+
+These helpers are deliberately tiny and dependency-free (NumPy only) so that
+the rest of the library can rely on them without pulling in anything heavy.
+Everything stochastic in :mod:`repro` flows through :mod:`repro.utils.rng`
+so experiments are reproducible, and every time-limited run flows through
+:class:`repro.utils.timer.Deadline`.
+"""
+
+from repro.utils.history import ConvergenceHistory, HistoryRecord
+from repro.utils.rng import as_generator, spawn_generators, derive_seed
+from repro.utils.stats import (
+    RunStatistics,
+    coefficient_of_variation,
+    confidence_interval,
+    summarize,
+)
+from repro.utils.timer import Deadline, Stopwatch
+from repro.utils.validation import (
+    check_integer,
+    check_positive,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "ConvergenceHistory",
+    "HistoryRecord",
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "RunStatistics",
+    "coefficient_of_variation",
+    "confidence_interval",
+    "summarize",
+    "Deadline",
+    "Stopwatch",
+    "check_integer",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+]

@@ -1,0 +1,139 @@
+"""Convergence-history recording.
+
+Figures 2-5 of the paper plot the best makespan found so far against the
+wall-clock time of the run.  :class:`ConvergenceHistory` is a light-weight
+recorder that any algorithm in the library can feed; the experiment harness
+then resamples the recorded trajectory onto a common time grid so that the
+curves of different configurations can be compared and tabulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["HistoryRecord", "ConvergenceHistory"]
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    """One sample of the search trajectory."""
+
+    elapsed_seconds: float
+    evaluations: int
+    iterations: int
+    best_fitness: float
+    best_makespan: float
+    best_flowtime: float
+
+
+@dataclass
+class ConvergenceHistory:
+    """Chronological record of the best solution found so far.
+
+    The recorder keeps every improvement plus periodic snapshots.  It is not
+    a performance-critical structure (a few hundred entries per run), so a
+    simple Python list of frozen records is used.
+    """
+
+    records: list[HistoryRecord] = field(default_factory=list)
+
+    def record(
+        self,
+        *,
+        elapsed_seconds: float,
+        evaluations: int,
+        iterations: int,
+        best_fitness: float,
+        best_makespan: float,
+        best_flowtime: float,
+    ) -> None:
+        """Append a snapshot of the current best solution."""
+        self.records.append(
+            HistoryRecord(
+                elapsed_seconds=float(elapsed_seconds),
+                evaluations=int(evaluations),
+                iterations=int(iterations),
+                best_fitness=float(best_fitness),
+                best_makespan=float(best_makespan),
+                best_flowtime=float(best_flowtime),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:  # even an empty history is a valid object
+        return True
+
+    @property
+    def final(self) -> HistoryRecord:
+        """The last recorded snapshot.
+
+        Raises
+        ------
+        IndexError
+            If nothing has been recorded yet.
+        """
+        if not self.records:
+            raise IndexError("history is empty")
+        return self.records[-1]
+
+    def times(self) -> np.ndarray:
+        """Elapsed-seconds column as an array."""
+        return np.array([r.elapsed_seconds for r in self.records], dtype=float)
+
+    def makespans(self) -> np.ndarray:
+        """Best-makespan column as an array."""
+        return np.array([r.best_makespan for r in self.records], dtype=float)
+
+    def fitnesses(self) -> np.ndarray:
+        """Best-fitness column as an array."""
+        return np.array([r.best_fitness for r in self.records], dtype=float)
+
+    def flowtimes(self) -> np.ndarray:
+        """Best-flowtime column as an array."""
+        return np.array([r.best_flowtime for r in self.records], dtype=float)
+
+    def resample(
+        self, grid: Sequence[float] | np.ndarray, *, column: str = "best_makespan"
+    ) -> np.ndarray:
+        """Sample the best-so-far trajectory on a time *grid*.
+
+        For each grid point ``t`` the value returned is the best value
+        recorded at or before ``t``; grid points earlier than the first
+        record get the first recorded value (the history is a step function
+        that only improves over time).
+
+        Parameters
+        ----------
+        grid:
+            Increasing sequence of elapsed-seconds values.
+        column:
+            One of ``"best_makespan"``, ``"best_fitness"``, ``"best_flowtime"``.
+        """
+        if not self.records:
+            raise ValueError("cannot resample an empty history")
+        valid = {"best_makespan", "best_fitness", "best_flowtime"}
+        if column not in valid:
+            raise ValueError(f"column must be one of {sorted(valid)}, got {column!r}")
+        grid_arr = np.asarray(grid, dtype=float)
+        times = self.times()
+        values = np.array([getattr(r, column) for r in self.records], dtype=float)
+        # The trajectory is monotone non-increasing, so the value at time t is
+        # the value of the latest record with elapsed <= t.
+        indices = np.searchsorted(times, grid_arr, side="right") - 1
+        indices = np.clip(indices, 0, len(self.records) - 1)
+        return values[indices]
+
+    def improvement_ratio(self, *, column: str = "best_makespan") -> float:
+        """Relative improvement from the first to the last record (0..1)."""
+        if not self.records:
+            raise ValueError("history is empty")
+        values = np.array([getattr(r, column) for r in self.records], dtype=float)
+        first, last = float(values[0]), float(values[-1])
+        if first == 0:
+            return 0.0
+        return (first - last) / abs(first)

@@ -1,0 +1,129 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library accepts either a seed, ``None`` or
+an existing :class:`numpy.random.Generator` and normalizes it through
+:func:`as_generator`.  Experiments that need several *independent* streams
+(one per repetition, one per algorithm, ...) use :func:`spawn_generators`,
+which relies on NumPy's ``Generator.spawn`` / ``SeedSequence`` machinery so
+streams are statistically independent and reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators", "derive_seed"]
+
+#: Type accepted everywhere a source of randomness is expected.
+RNGLike = int | np.random.Generator | np.random.SeedSequence | None
+
+
+def as_generator(rng: RNGLike = None) -> np.random.Generator:
+    """Normalize *rng* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator, which
+        is returned unchanged.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator ready to be used.  Passing the same integer seed twice
+        produces generators with identical streams.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ValueError(f"seed must be non-negative, got {rng}")
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        "rng must be None, an int seed, a SeedSequence or a numpy Generator, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_generators(rng: RNGLike, count: int) -> list[np.random.Generator]:
+    """Create *count* statistically independent child generators.
+
+    The parent generator (or seed) is normalized first; the children are
+    derived via ``Generator.spawn`` so that they do not overlap with the
+    parent stream nor with each other.
+
+    Parameters
+    ----------
+    rng:
+        Parent source of randomness (seed, generator, ``None``).
+    count:
+        Number of child generators, must be non-negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = as_generator(rng)
+    if count == 0:
+        return []
+    return list(parent.spawn(count))
+
+
+def derive_seed(rng: RNGLike, *, low: int = 0, high: int = 2**31 - 1) -> int:
+    """Draw a single integer seed from *rng*.
+
+    Useful when an external component wants a plain integer seed (e.g. to
+    store in a result record for later replay) rather than a generator.
+    """
+    if high <= low:
+        raise ValueError("high must be strictly greater than low")
+    gen = as_generator(rng)
+    return int(gen.integers(low, high))
+
+
+def random_permutation(rng: RNGLike, n: int) -> np.ndarray:
+    """Return a random permutation of ``range(n)`` as an int64 array."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return as_generator(rng).permutation(n)
+
+
+def weighted_choice(rng: RNGLike, weights: Sequence[float] | np.ndarray) -> int:
+    """Sample an index proportionally to non-negative *weights*.
+
+    Raises
+    ------
+    ValueError
+        If the weights are empty, contain negative values, or sum to zero.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.size == 0:
+        raise ValueError("weights must be non-empty")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    probs = w / total
+    return int(as_generator(rng).choice(w.size, p=probs))
+
+
+def sample_without_replacement(
+    rng: RNGLike, population: Iterable[int] | int, k: int
+) -> np.ndarray:
+    """Sample *k* distinct items from *population* (an iterable or a size)."""
+    gen = as_generator(rng)
+    if isinstance(population, (int, np.integer)):
+        pool = np.arange(int(population))
+    else:
+        pool = np.asarray(list(population))
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k > pool.size:
+        raise ValueError(f"cannot sample {k} items from a population of {pool.size}")
+    return gen.choice(pool, size=k, replace=False)

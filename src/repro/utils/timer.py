@@ -1,0 +1,93 @@
+"""Wall-clock timing helpers.
+
+The paper's scheduler is time-boxed (90 seconds per run on the original
+hardware).  :class:`Deadline` encapsulates "run until this much wall-clock
+time has elapsed" in a way that is cheap to poll from inner loops, and
+:class:`Stopwatch` provides simple elapsed-time measurement for the
+convergence curves of Figures 2-5.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Deadline", "Stopwatch"]
+
+
+class Stopwatch:
+    """Measure elapsed wall-clock time.
+
+    The stopwatch starts automatically on construction; :meth:`restart`
+    resets the origin.  ``elapsed`` is always non-negative and monotonic
+    (it uses :func:`time.perf_counter`).
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        """Reset the elapsed time to zero."""
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._start
+
+
+@dataclass
+class Deadline:
+    """A wall-clock budget.
+
+    Parameters
+    ----------
+    seconds:
+        Budget in seconds.  ``math.inf`` (the default) means "no wall-clock
+        limit"; in that case :meth:`expired` always returns ``False`` and the
+        component relying on the deadline must terminate by some other
+        criterion (e.g. an iteration or evaluation budget).
+
+    Examples
+    --------
+    >>> deadline = Deadline(0.5)
+    >>> while not deadline.expired():
+    ...     pass  # do work
+    """
+
+    seconds: float = math.inf
+    _start: float = field(default_factory=time.perf_counter, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {self.seconds}")
+
+    def restart(self) -> None:
+        """Restart the budget from now."""
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds consumed so far."""
+        return time.perf_counter() - self._start
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left (may be negative once expired, ``inf`` if unlimited)."""
+        if math.isinf(self.seconds):
+            return math.inf
+        return self.seconds - self.elapsed
+
+    def expired(self) -> bool:
+        """Whether the budget has been exhausted."""
+        if math.isinf(self.seconds):
+            return False
+        return self.elapsed >= self.seconds
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(math.inf)

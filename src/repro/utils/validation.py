@@ -1,0 +1,109 @@
+"""Argument-validation helpers with consistent error messages.
+
+These are used at the public-API boundary (configuration objects, instance
+constructors) so that user mistakes fail fast with a clear message rather
+than surfacing as confusing NumPy broadcasting errors deep in a hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "check_integer",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_matrix",
+    "check_vector",
+]
+
+
+def check_integer(name: str, value: Any, *, minimum: int | None = None) -> int:
+    """Validate that *value* is an integer (optionally >= *minimum*)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is a strictly positive finite number."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that *value* is a non-negative finite number."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Validate that *value* lies inside [low, high] (or (low, high))."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value}")
+    return value
+
+
+def check_matrix(name: str, value: Any, *, positive: bool = True) -> np.ndarray:
+    """Validate and convert *value* to a 2-D float array.
+
+    Parameters
+    ----------
+    positive:
+        When true (the default), every entry must be strictly positive;
+        ETC entries of zero or less are meaningless.
+    """
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D matrix, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    if positive and np.any(arr <= 0):
+        raise ValueError(f"{name} must contain strictly positive values")
+    return arr
+
+
+def check_vector(
+    name: str, value: Any, *, length: int | None = None, non_negative: bool = True
+) -> np.ndarray:
+    """Validate and convert *value* to a 1-D float array."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D vector, got ndim={arr.ndim}")
+    if length is not None and arr.size != length:
+        raise ValueError(f"{name} must have length {length}, got {arr.size}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    if non_negative and np.any(arr < 0):
+        raise ValueError(f"{name} must contain non-negative values")
+    return arr

@@ -1,0 +1,122 @@
+"""Tests for the simulated-annealing and tabu-search extension baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SimulatedAnnealingConfig,
+    SimulatedAnnealingScheduler,
+    TabuSearchConfig,
+    TabuSearchScheduler,
+)
+from repro.core.termination import TerminationCriteria
+from repro.heuristics import build_schedule
+from repro.model.schedule import Schedule
+
+
+def budget(iterations=15):
+    return TerminationCriteria.by_iterations(iterations)
+
+
+def make(name, instance, iterations=15, rng=1):
+    if name == "simulated_annealing":
+        return SimulatedAnnealingScheduler(
+            instance,
+            SimulatedAnnealingConfig(steps_per_iteration=60),
+            termination=budget(iterations),
+            rng=rng,
+        )
+    return TabuSearchScheduler(
+        instance,
+        TabuSearchConfig(candidate_moves=24),
+        termination=budget(iterations),
+        rng=rng,
+    )
+
+
+@pytest.mark.parametrize("name", ["simulated_annealing", "tabu_search"])
+class TestContract:
+    def test_valid_result(self, name, tiny_instance):
+        result = make(name, tiny_instance).run()
+        assert result.algorithm == name
+        assert result.makespan == pytest.approx(result.best_schedule.makespan)
+        result.best_schedule.validate()
+
+    def test_deterministic(self, name, tiny_instance):
+        a = make(name, tiny_instance, rng=3).run()
+        b = make(name, tiny_instance, rng=3).run()
+        assert a.best_fitness == pytest.approx(b.best_fitness)
+        assert np.array_equal(a.best_schedule.assignment, b.best_schedule.assignment)
+
+    def test_history_monotone(self, name, small_instance):
+        result = make(name, small_instance, iterations=20).run()
+        assert np.all(np.diff(result.history.fitnesses()) <= 1e-9)
+
+    def test_improves_over_random(self, name, small_instance):
+        result = make(name, small_instance, iterations=25, rng=2).run()
+        random_mean = np.mean(
+            [Schedule.random(small_instance, rng=i).makespan for i in range(5)]
+        )
+        assert result.makespan < random_mean
+
+    def test_iteration_budget_respected(self, name, tiny_instance):
+        result = make(name, tiny_instance, iterations=4).run()
+        assert result.iterations <= 4
+
+
+class TestSimulatedAnnealingSpecifics:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingConfig(initial_acceptance=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingConfig(cooling_rate=1.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingConfig(steps_per_iteration=0)
+
+    def test_best_never_worse_than_seed(self, small_instance):
+        seed_schedule = build_schedule("ljfr_sjfr", small_instance)
+        result = SimulatedAnnealingScheduler(
+            small_instance, termination=budget(20), rng=4
+        ).run()
+        # The search tracks the best-so-far, which starts at the seed.
+        evaluator_weight = 0.75
+        seed_fitness = (
+            evaluator_weight * seed_schedule.makespan
+            + (1 - evaluator_weight) * seed_schedule.mean_flowtime
+        )
+        assert result.best_fitness <= seed_fitness + 1e-6
+
+    def test_random_start_supported(self, tiny_instance):
+        config = SimulatedAnnealingConfig(seeding_heuristic=None, steps_per_iteration=40)
+        result = SimulatedAnnealingScheduler(
+            tiny_instance, config, termination=budget(10), rng=5
+        ).run()
+        assert result.makespan > 0
+
+
+class TestTabuSearchSpecifics:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TabuSearchConfig(tabu_tenure=0)
+        with pytest.raises(ValueError):
+            TabuSearchConfig(candidate_moves=0)
+
+    def test_improves_on_min_min_seed(self, small_instance):
+        seed = build_schedule("min_min", small_instance)
+        result = TabuSearchScheduler(
+            small_instance,
+            TabuSearchConfig(candidate_moves=48),
+            termination=budget(30),
+            rng=6,
+        ).run()
+        # Tabu search starts from Min-Min and only records strictly better bests.
+        assert result.best_fitness <= (
+            0.75 * seed.makespan + 0.25 * seed.mean_flowtime
+        ) + 1e-6
+
+    def test_random_start_supported(self, tiny_instance):
+        config = TabuSearchConfig(seeding_heuristic=None, candidate_moves=16)
+        result = TabuSearchScheduler(
+            tiny_instance, config, termination=budget(10), rng=7
+        ).run()
+        assert result.makespan > 0

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Tests run on deliberately tiny instances (tens of jobs, a handful of
+machines) with iteration- or evaluation-based budgets so the whole suite is
+fast and fully deterministic; the benchmark harness is where realistic sizes
+and wall-clock budgets live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.fitness import FitnessEvaluator
+from repro.model.generator import ETCGeneratorConfig, generate_instance
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def tiny_instance() -> SchedulingInstance:
+    """A 16-job × 4-machine inconsistent instance (fast unit-test workhorse)."""
+    config = ETCGeneratorConfig(
+        nb_jobs=16, nb_machines=4, consistency="inconsistent"
+    )
+    return generate_instance(config, rng=123, name="tiny")
+
+
+@pytest.fixture
+def small_instance() -> SchedulingInstance:
+    """A 48-job × 8-machine inconsistent instance for integration-ish tests."""
+    config = ETCGeneratorConfig(
+        nb_jobs=48, nb_machines=8, consistency="inconsistent"
+    )
+    return generate_instance(config, rng=456, name="small")
+
+
+@pytest.fixture
+def consistent_instance() -> SchedulingInstance:
+    """A consistent 24-job × 6-machine instance."""
+    config = ETCGeneratorConfig(nb_jobs=24, nb_machines=6, consistency="consistent")
+    return generate_instance(config, rng=789, name="consistent")
+
+
+@pytest.fixture
+def ready_time_instance() -> SchedulingInstance:
+    """An instance whose machines start with non-zero ready times."""
+    config = ETCGeneratorConfig(nb_jobs=20, nb_machines=5, consistency="inconsistent")
+    base = generate_instance(config, rng=321, name="ready")
+    ready = np.linspace(10.0, 50.0, base.nb_machines)
+    return SchedulingInstance(etc=base.etc, ready_times=ready, name="ready")
+
+
+@pytest.fixture
+def evaluator() -> FitnessEvaluator:
+    """A fresh fitness evaluator with the paper's λ."""
+    return FitnessEvaluator()
+
+
+@pytest.fixture
+def random_schedule(tiny_instance) -> Schedule:
+    """A random (but deterministic) schedule on the tiny instance."""
+    return Schedule.random(tiny_instance, rng=7)

@@ -1,0 +1,111 @@
+"""Tests for the recombination operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossover import (
+    OnePointCrossover,
+    TwoPointCrossover,
+    UniformCrossover,
+    get_crossover,
+    list_crossovers,
+)
+
+
+@pytest.fixture
+def parents():
+    parent_a = np.zeros(20, dtype=np.int64)
+    parent_b = np.ones(20, dtype=np.int64)
+    return parent_a, parent_b
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(list_crossovers()) == {"one_point", "two_point", "uniform"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_crossover("three_point")
+
+    def test_kwargs_forwarded(self):
+        assert get_crossover("uniform", bias=0.7).bias == 0.7
+
+
+class TestOnePoint:
+    def test_child_is_prefix_suffix_combination(self, parents):
+        parent_a, parent_b = parents
+        child = OnePointCrossover().recombine([parent_a, parent_b], rng=3)
+        # The child must be 0s followed by 1s with exactly one switch point.
+        switches = np.count_nonzero(np.diff(child))
+        assert switches == 1
+        assert child[0] == 0 and child[-1] == 1
+
+    def test_genes_come_from_parents(self, tiny_instance, rng):
+        parent_a = rng.integers(0, 4, size=30)
+        parent_b = rng.integers(0, 4, size=30)
+        child = OnePointCrossover().recombine([parent_a, parent_b], rng=5)
+        assert np.all((child == parent_a) | (child == parent_b))
+
+    def test_single_parent_returns_copy(self, parents):
+        parent_a, _ = parents
+        child = OnePointCrossover().recombine([parent_a], rng=0)
+        assert np.array_equal(child, parent_a)
+        assert child is not parent_a
+
+    def test_three_parents_folded(self, rng):
+        parents = [rng.integers(0, 5, size=40) for _ in range(3)]
+        child = OnePointCrossover().recombine(parents, rng=1)
+        stacked = np.stack(parents)
+        assert np.all((child[None, :] == stacked).any(axis=0))
+
+    def test_length_one_chromosome(self):
+        child = OnePointCrossover().recombine(
+            [np.array([2], dtype=np.int64), np.array([3], dtype=np.int64)], rng=0
+        )
+        assert child.shape == (1,)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            OnePointCrossover().recombine([np.zeros(3, dtype=int), np.zeros(4, dtype=int)], rng=0)
+
+    def test_no_parents_rejected(self):
+        with pytest.raises(ValueError):
+            OnePointCrossover().recombine([], rng=0)
+
+    def test_deterministic_given_seed(self, rng):
+        parent_a = rng.integers(0, 4, size=25)
+        parent_b = rng.integers(0, 4, size=25)
+        a = OnePointCrossover().recombine([parent_a, parent_b], rng=9)
+        b = OnePointCrossover().recombine([parent_a, parent_b], rng=9)
+        assert np.array_equal(a, b)
+
+
+class TestTwoPoint:
+    def test_two_switch_points(self, parents):
+        parent_a, parent_b = parents
+        child = TwoPointCrossover().recombine([parent_a, parent_b], rng=4)
+        switches = np.count_nonzero(np.diff(child))
+        assert switches in (1, 2)  # 1 when the segment touches the end
+        assert child[0] == 0
+
+    def test_short_chromosome_falls_back(self):
+        child = TwoPointCrossover().recombine(
+            [np.array([0, 0], dtype=np.int64), np.array([1, 1], dtype=np.int64)], rng=0
+        )
+        assert child.shape == (2,)
+
+
+class TestUniform:
+    def test_mixes_both_parents(self, parents):
+        parent_a, parent_b = parents
+        child = UniformCrossover().recombine([parent_a, parent_b], rng=2)
+        assert 0 < child.sum() < child.size
+
+    def test_bias_validated(self):
+        with pytest.raises(ValueError):
+            UniformCrossover(bias=0.0)
+
+    def test_extreme_bias_prefers_first_parent(self, parents):
+        parent_a, parent_b = parents
+        child = UniformCrossover(bias=0.99).recombine([parent_a, parent_b], rng=1)
+        assert child.sum() < child.size // 2

@@ -1,0 +1,63 @@
+"""Tests for repro.core.individual."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.individual import Individual
+from repro.model.fitness import FitnessEvaluator
+from repro.model.schedule import Schedule
+
+
+class TestEvaluation:
+    def test_unevaluated_has_infinite_fitness(self, random_schedule):
+        individual = Individual(random_schedule)
+        assert math.isinf(individual.fitness)
+        assert not individual.is_evaluated
+
+    def test_evaluate_fills_caches(self, random_schedule, evaluator):
+        individual = Individual(random_schedule)
+        fitness = individual.evaluate(evaluator)
+        assert individual.is_evaluated
+        assert fitness == individual.fitness
+        assert individual.makespan == pytest.approx(random_schedule.makespan)
+        assert individual.flowtime == pytest.approx(random_schedule.flowtime)
+
+    def test_evaluate_increments_counter(self, random_schedule, evaluator):
+        Individual(random_schedule).evaluate(evaluator)
+        assert evaluator.evaluations == 1
+
+
+class TestCopy:
+    def test_copy_is_deep(self, random_schedule, evaluator):
+        individual = Individual(random_schedule)
+        individual.evaluate(evaluator)
+        clone = individual.copy()
+        clone.schedule.move_job(0, (clone.schedule.assignment[0] + 1) % 4)
+        assert not np.array_equal(
+            clone.schedule.assignment, individual.schedule.assignment
+        )
+        assert clone.fitness == individual.fitness
+
+    def test_copy_preserves_caches(self, random_schedule, evaluator):
+        individual = Individual(random_schedule)
+        individual.evaluate(evaluator)
+        clone = individual.copy()
+        assert clone.makespan == individual.makespan
+        assert clone.flowtime == individual.flowtime
+
+
+class TestComparison:
+    def test_better_than(self, tiny_instance, evaluator):
+        good = Individual(Schedule.random(tiny_instance, rng=1))
+        bad = Individual(Schedule(tiny_instance))  # everything on machine 0
+        good.evaluate(evaluator)
+        bad.evaluate(evaluator)
+        assert good.better_than(bad)
+        assert not bad.better_than(good)
+
+    def test_not_better_than_itself(self, random_schedule, evaluator):
+        individual = Individual(random_schedule)
+        individual.evaluate(evaluator)
+        assert not individual.better_than(individual)

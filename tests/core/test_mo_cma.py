@@ -1,0 +1,114 @@
+"""Tests for the multi-objective extension of the cMA."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CMAConfig
+from repro.core.mo_cma import MOCMAConfig, MultiObjectiveCellularMA
+from repro.core.termination import TerminationCriteria
+
+
+def small_mo_config(weights=(0.9, 0.5, 0.1)):
+    base = CMAConfig.fast_defaults()
+    return MOCMAConfig(base=base, weights=weights, archive_capacity=20)
+
+
+class TestConfig:
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            MOCMAConfig(weights=())
+        with pytest.raises(ValueError):
+            MOCMAConfig(weights=(0.5, 1.5))
+        with pytest.raises(ValueError):
+            MOCMAConfig(weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            MOCMAConfig(archive_capacity=1)
+
+    def test_default_includes_paper_weight(self):
+        assert 0.75 in MOCMAConfig().weights
+
+
+class TestRun:
+    def test_returns_consistent_front(self, tiny_instance):
+        algorithm = MultiObjectiveCellularMA(
+            tiny_instance,
+            small_mo_config(),
+            termination=TerminationCriteria.by_iterations(9),
+            rng=1,
+        )
+        result = algorithm.run()
+        assert len(result.archive) >= 1
+        assert result.archive.is_consistent()
+        assert result.front.shape[1] == 2
+        assert result.evaluations > 0
+        assert result.instance_name == tiny_instance.name
+
+    def test_one_result_per_weight(self, tiny_instance):
+        config = small_mo_config()
+        result = MultiObjectiveCellularMA(
+            tiny_instance, config, termination=TerminationCriteria.by_iterations(6), rng=2
+        ).run()
+        assert set(result.per_weight_results) == set(config.weights)
+
+    def test_budget_split_across_weights(self, tiny_instance):
+        config = small_mo_config(weights=(0.9, 0.5, 0.1))
+        result = MultiObjectiveCellularMA(
+            tiny_instance, config, termination=TerminationCriteria.by_iterations(9), rng=3
+        ).run()
+        for weight_result in result.per_weight_results.values():
+            assert weight_result.iterations <= 3
+
+    def test_front_spans_the_tradeoff(self, small_instance):
+        """Makespan-leaning weights give lower makespan than flowtime-leaning ones.
+
+        The two objectives are strongly correlated on ETC instances, so the
+        flowtime-leaning run is not guaranteed to win on flowtime in a short
+        stochastic run; the robust claims are (a) the makespan-leaning run
+        does not lose on makespan and (b) the merged archive orders its own
+        extreme points consistently.
+        """
+        config = small_mo_config(weights=(0.95, 0.05))
+        result = MultiObjectiveCellularMA(
+            small_instance, config, termination=TerminationCriteria.by_iterations(16), rng=4
+        ).run()
+        makespan_leaning = result.per_weight_results[0.95]
+        flowtime_leaning = result.per_weight_results[0.05]
+        assert makespan_leaning.makespan <= flowtime_leaning.makespan * 1.05
+        best_flowtime_point = result.archive.best_flowtime()
+        best_makespan_point = result.archive.best_makespan()
+        assert best_flowtime_point.flowtime <= best_makespan_point.flowtime
+        assert best_makespan_point.makespan <= best_flowtime_point.makespan
+
+    def test_knee_point_lies_on_front(self, tiny_instance):
+        result = MultiObjectiveCellularMA(
+            tiny_instance,
+            small_mo_config(),
+            termination=TerminationCriteria.by_iterations(6),
+            rng=5,
+        ).run()
+        knee = result.knee_point()
+        front_rows = [tuple(row) for row in result.front]
+        assert knee in front_rows
+
+    def test_deterministic_given_seed(self, tiny_instance):
+        def run(seed):
+            return MultiObjectiveCellularMA(
+                tiny_instance,
+                small_mo_config(),
+                termination=TerminationCriteria.by_iterations(5),
+                rng=seed,
+            ).run()
+
+        a, b = run(7), run(7)
+        assert np.array_equal(a.front, b.front)
+
+    def test_front_at_least_as_good_as_single_objective_extremes(self, small_instance):
+        """The archive's best makespan is no worse than the makespan-only run's."""
+        config = small_mo_config(weights=(1.0, 0.0))
+        result = MultiObjectiveCellularMA(
+            small_instance, config, termination=TerminationCriteria.by_iterations(10), rng=8
+        ).run()
+        best_archive_makespan = result.archive.best_makespan().makespan
+        assert best_archive_makespan <= result.per_weight_results[1.0].makespan + 1e-9
+        best_archive_flowtime = result.archive.best_flowtime().flowtime
+        assert best_archive_flowtime <= result.per_weight_results[0.0].flowtime + 1e-9

@@ -1,0 +1,123 @@
+"""Tests for the mutation operators (rebalance, move, swap)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mutation import (
+    MoveMutation,
+    RebalanceMutation,
+    RebalanceSwapMutation,
+    SwapMutation,
+    get_mutation,
+    list_mutations,
+)
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(list_mutations()) == {"rebalance", "move", "swap", "rebalance_swap"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_mutation("scramble")
+
+    def test_kwargs_forwarded(self):
+        assert get_mutation("rebalance", underloaded_fraction=0.5).underloaded_fraction == 0.5
+
+
+class TestRebalanceMutation:
+    def test_moves_job_off_the_makespan_machine(self, small_instance):
+        schedule = Schedule.random(small_instance, rng=1)
+        overloaded = schedule.most_loaded_machine()
+        count_before = schedule.machine_jobs(overloaded).size
+        makespan_before = schedule.makespan
+        RebalanceMutation().mutate(schedule, rng=2)
+        schedule.validate()
+        # The overloaded machine lost a job (or, in degenerate cases, the
+        # schedule changed some other way); its completion cannot increase.
+        assert schedule.completion_times[overloaded] <= makespan_before + 1e-9
+        assert schedule.machine_jobs(overloaded).size <= count_before
+
+    def test_target_is_an_underloaded_machine(self, small_instance):
+        schedule = Schedule.random(small_instance, rng=3)
+        before = np.array(schedule.assignment)
+        completion_before = schedule.completion_times.copy()
+        threshold = np.sort(completion_before)[
+            max(0, int(np.ceil(0.25 * small_instance.nb_machines)) - 1)
+        ]
+        RebalanceMutation().mutate(schedule, rng=4)
+        changed = np.nonzero(before != schedule.assignment)[0]
+        if changed.size:  # a degenerate fall-back move may pick any machine
+            target = int(schedule.assignment[changed[0]])
+            source = int(before[changed[0]])
+            if completion_before[source] == completion_before.max():
+                assert completion_before[target] <= threshold + 1e-9
+
+    def test_changes_exactly_zero_or_one_gene(self, small_instance):
+        schedule = Schedule.random(small_instance, rng=5)
+        before = np.array(schedule.assignment)
+        RebalanceMutation().mutate(schedule, rng=6)
+        assert np.count_nonzero(before != schedule.assignment) <= 1
+
+    def test_single_machine_is_noop(self):
+        instance = SchedulingInstance(etc=np.arange(1.0, 6.0).reshape(5, 1))
+        schedule = Schedule(instance)
+        RebalanceMutation().mutate(schedule, rng=0)
+        assert set(schedule.assignment.tolist()) == {0}
+
+    def test_uniform_load_falls_back_to_move(self):
+        # Two identical machines, two identical jobs: every machine is "overloaded".
+        etc = np.full((2, 2), 3.0)
+        schedule = Schedule(SchedulingInstance(etc=etc), [0, 1])
+        RebalanceMutation().mutate(schedule, rng=1)
+        schedule.validate()
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            RebalanceMutation(underloaded_fraction=0.0)
+
+
+class TestMoveMutation:
+    def test_changes_at_most_one_gene(self, tiny_instance):
+        schedule = Schedule.random(tiny_instance, rng=1)
+        before = np.array(schedule.assignment)
+        MoveMutation().mutate(schedule, rng=2)
+        assert np.count_nonzero(before != schedule.assignment) <= 1
+        schedule.validate()
+
+    def test_deterministic_given_seed(self, tiny_instance):
+        a = Schedule.random(tiny_instance, rng=1)
+        b = Schedule.random(tiny_instance, rng=1)
+        MoveMutation().mutate(a, rng=9)
+        MoveMutation().mutate(b, rng=9)
+        assert np.array_equal(a.assignment, b.assignment)
+
+
+class TestSwapMutation:
+    def test_preserves_machine_job_counts(self, tiny_instance):
+        schedule = Schedule.random(tiny_instance, rng=2)
+        counts_before = schedule.machine_job_counts()
+        SwapMutation().mutate(schedule, rng=3)
+        schedule.validate()
+        assert np.array_equal(counts_before, schedule.machine_job_counts())
+
+    def test_changes_exactly_two_genes_or_none(self, tiny_instance):
+        schedule = Schedule.random(tiny_instance, rng=4)
+        before = np.array(schedule.assignment)
+        SwapMutation().mutate(schedule, rng=5)
+        assert np.count_nonzero(before != schedule.assignment) in (0, 1, 2)
+
+    def test_single_job_instance_is_safe(self):
+        instance = SchedulingInstance(etc=np.array([[1.0, 2.0]]))
+        schedule = Schedule(instance, [0])
+        SwapMutation().mutate(schedule, rng=0)
+        schedule.validate()
+
+
+class TestRebalanceSwap:
+    def test_keeps_schedule_valid(self, small_instance):
+        schedule = Schedule.random(small_instance, rng=6)
+        RebalanceSwapMutation().mutate(schedule, rng=7)
+        schedule.validate()

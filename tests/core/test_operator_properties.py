@@ -1,0 +1,123 @@
+"""Property-based tests for the cMA operators.
+
+The invariants checked here are the ones the algorithm's correctness rests
+on: offspring are always valid assignments, local search never increases the
+fitness, neighborhoods are translation-invariant on the torus, and sweeps
+always enumerate every cell exactly once per cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crossover import get_crossover
+from repro.core.local_search import get_local_search
+from repro.core.mutation import get_mutation
+from repro.core.neighborhood import get_neighborhood
+from repro.core.sweep import get_sweep
+from repro.model.fitness import FitnessEvaluator
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+
+CROSSOVERS = ["one_point", "two_point", "uniform"]
+MUTATIONS = ["rebalance", "move", "swap", "rebalance_swap"]
+LOCAL_SEARCHES = ["lm", "slm", "lmcts", "lmctm", "vns"]
+NEIGHBORHOODS = ["panmictic", "l5", "l9", "c9", "c13"]
+SWEEPS = ["fls", "frs", "nrs"]
+
+
+@st.composite
+def small_problem(draw):
+    """A small instance plus a valid random schedule on it."""
+    nb_jobs = draw(st.integers(min_value=2, max_value=20))
+    nb_machines = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    etc = rng.uniform(0.5, 50.0, size=(nb_jobs, nb_machines))
+    instance = SchedulingInstance(etc=etc, name=f"hyp-{seed}")
+    assignment = rng.integers(0, nb_machines, size=nb_jobs)
+    return instance, assignment, seed
+
+
+@given(small_problem(), st.sampled_from(CROSSOVERS))
+@settings(max_examples=60, deadline=None)
+def test_crossover_produces_valid_assignment(problem, crossover_name):
+    instance, assignment, seed = problem
+    rng = np.random.default_rng(seed)
+    other = rng.integers(0, instance.nb_machines, size=instance.nb_jobs)
+    child = get_crossover(crossover_name).recombine([assignment, other], rng=seed)
+    assert child.shape == (instance.nb_jobs,)
+    assert child.min() >= 0 and child.max() < instance.nb_machines
+    # every gene comes from one of the parents
+    assert np.all((child == assignment) | (child == other))
+
+
+@given(small_problem(), st.sampled_from(MUTATIONS))
+@settings(max_examples=60, deadline=None)
+def test_mutation_keeps_schedule_valid(problem, mutation_name):
+    instance, assignment, seed = problem
+    schedule = Schedule(instance, assignment)
+    get_mutation(mutation_name).mutate(schedule, rng=seed)
+    schedule.validate()
+    assert schedule.assignment.min() >= 0
+    assert schedule.assignment.max() < instance.nb_machines
+
+
+@given(small_problem(), st.sampled_from(LOCAL_SEARCHES))
+@settings(max_examples=40, deadline=None)
+def test_local_search_never_degrades(problem, search_name):
+    instance, assignment, seed = problem
+    schedule = Schedule(instance, assignment)
+    evaluator = FitnessEvaluator()
+    before = evaluator.scalarize(schedule.makespan, schedule.mean_flowtime)
+    get_local_search(search_name, iterations=3).improve(schedule, evaluator, rng=seed)
+    after = evaluator.scalarize(schedule.makespan, schedule.mean_flowtime)
+    assert after <= before + 1e-9
+    schedule.validate()
+
+
+@given(
+    st.sampled_from(NEIGHBORHOODS),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_neighborhood_size_is_position_invariant(name, height, width):
+    pattern = get_neighborhood(name)
+    sizes = {
+        np.unique(pattern.neighbors(position, height, width)).size
+        for position in range(height * width)
+    }
+    assert len(sizes) == 1
+
+
+@given(
+    st.sampled_from(NEIGHBORHOODS),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=80, deadline=None)
+def test_neighborhood_indices_are_in_range(name, height, width, position):
+    position = position % (height * width)
+    neighbors = get_neighborhood(name).neighbors(position, height, width)
+    assert neighbors.min() >= 0
+    assert neighbors.max() < height * width
+    assert position in neighbors
+
+
+@given(
+    st.sampled_from(SWEEPS),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_sweep_visits_every_cell_once_per_cycle(name, size, seed, cycles):
+    sweep = get_sweep(name, size, rng=seed)
+    for _ in range(cycles):
+        visited = [sweep.advance() for _ in range(size)]
+        assert sorted(visited) == list(range(size))
+        sweep.update()

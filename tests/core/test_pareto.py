@@ -1,0 +1,157 @@
+"""Tests for the Pareto archive and the bi-objective helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import (
+    ParetoArchive,
+    dominates,
+    hypervolume_2d,
+    non_dominated_subset,
+)
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+
+
+def schedule_with_objectives(instance, makespan_machine_jobs):
+    """Helper: build distinct schedules on a shared instance."""
+    return Schedule.random(instance, rng=makespan_machine_jobs)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_no_self_dominance(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+
+class TestNonDominatedSubset:
+    def test_filters_dominated(self):
+        points = [(1.0, 5.0), (2.0, 4.0), (3.0, 6.0), (1.5, 4.5)]
+        front = non_dominated_subset(points)
+        assert (3.0, 6.0) not in front
+        assert (1.0, 5.0) in front and (2.0, 4.0) in front
+
+    def test_duplicates_collapse(self):
+        front = non_dominated_subset([(1.0, 1.0), (1.0, 1.0)])
+        assert front == [(1.0, 1.0)]
+
+    def test_empty(self):
+        assert non_dominated_subset([]) == []
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([(1.0, 1.0)], reference=(3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_two_point_front(self):
+        value = hypervolume_2d([(1.0, 2.0), (2.0, 1.0)], reference=(3.0, 3.0))
+        assert value == pytest.approx(3.0)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume_2d([(5.0, 5.0)], reference=(3.0, 3.0)) == 0.0
+
+    def test_dominated_points_do_not_add_area(self):
+        base = hypervolume_2d([(1.0, 1.0)], reference=(4.0, 4.0))
+        extended = hypervolume_2d([(1.0, 1.0), (2.0, 2.0)], reference=(4.0, 4.0))
+        assert extended == pytest.approx(base)
+
+
+class TestParetoArchive:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ParetoArchive(capacity=1)
+
+    def test_add_and_consistency(self, tiny_instance):
+        archive = ParetoArchive(capacity=10)
+        for seed in range(15):
+            archive.add(Schedule.random(tiny_instance, rng=seed))
+        assert 1 <= len(archive) <= 10
+        assert archive.is_consistent()
+
+    def test_dominated_candidate_rejected(self, tiny_instance):
+        archive = ParetoArchive()
+        good = Schedule(tiny_instance, np.zeros(tiny_instance.nb_jobs, dtype=int))
+        # Build a schedule dominated by construction: same assignment => equal,
+        # so it is rejected as a duplicate; a strictly worse one is rejected too.
+        assert archive.add(good)
+        assert not archive.add(good.copy())
+
+    def test_duplicate_objectives_rejected(self, tiny_instance):
+        archive = ParetoArchive()
+        schedule = Schedule.random(tiny_instance, rng=1)
+        assert archive.add(schedule)
+        assert not archive.add(schedule.copy())
+
+    def test_archive_members_are_copies(self, tiny_instance):
+        archive = ParetoArchive()
+        schedule = Schedule.random(tiny_instance, rng=2)
+        archive.add(schedule)
+        original_makespan = archive.points()[0].makespan
+        schedule.move_job(0, (schedule.assignment[0] + 1) % tiny_instance.nb_machines)
+        assert archive.points()[0].makespan == original_makespan
+
+    def test_extremes_available(self, tiny_instance):
+        archive = ParetoArchive()
+        for seed in range(10):
+            archive.add(Schedule.random(tiny_instance, rng=seed))
+        best_makespan = archive.best_makespan()
+        best_flowtime = archive.best_flowtime()
+        objectives = archive.objectives()
+        assert best_makespan.makespan == pytest.approx(objectives[:, 0].min())
+        assert best_flowtime.flowtime == pytest.approx(objectives[:, 1].min())
+
+    def test_empty_archive_extremes_raise(self):
+        archive = ParetoArchive()
+        with pytest.raises(IndexError):
+            archive.best_makespan()
+        with pytest.raises(IndexError):
+            archive.best_flowtime()
+
+    def test_truncation_respects_capacity(self, small_instance):
+        archive = ParetoArchive(capacity=5)
+        for seed in range(60):
+            archive.add(Schedule.random(small_instance, rng=seed))
+        assert len(archive) <= 5
+        assert archive.is_consistent()
+
+    def test_points_sorted_by_makespan(self, small_instance):
+        archive = ParetoArchive()
+        for seed in range(20):
+            archive.add(Schedule.random(small_instance, rng=seed))
+        makespans = [p.makespan for p in archive.points()]
+        assert makespans == sorted(makespans)
+
+    def test_hypervolume_monotone_under_additions(self, small_instance):
+        archive = ParetoArchive(capacity=100)
+        reference = (
+            small_instance.makespan_upper_bound(),
+            small_instance.makespan_upper_bound() * small_instance.nb_jobs,
+        )
+        previous = 0.0
+        for seed in range(25):
+            archive.add(Schedule.random(small_instance, rng=seed))
+            current = archive.hypervolume(reference)
+            assert current >= previous - 1e-9
+            previous = current
+
+
+@given(st.lists(st.tuples(st.floats(1, 100), st.floats(1, 100)), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_non_dominated_subset_property(points):
+    front = non_dominated_subset(points)
+    # Nothing in the front is dominated by anything in the original set.
+    for candidate in front:
+        assert not any(dominates(other, candidate) for other in points)
+    # Everything outside the front is dominated by something in the front or a duplicate.
+    for point in points:
+        if point not in front:
+            assert any(dominates(member, point) for member in front) or point in points

@@ -1,0 +1,120 @@
+"""Tests for the parent-selection operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.individual import Individual
+from repro.core.selection import (
+    BestSelection,
+    LinearRankSelection,
+    NTournamentSelection,
+    RandomSelection,
+    get_selection,
+    list_selections,
+)
+from repro.model.schedule import Schedule
+
+
+@pytest.fixture
+def candidates(tiny_instance, evaluator):
+    """Nine evaluated individuals with strictly increasing fitness."""
+    pool = []
+    for i in range(9):
+        individual = Individual(Schedule.random(tiny_instance, rng=i))
+        individual.evaluate(evaluator)
+        individual.fitness = float(i)  # force a known, strict ordering
+        pool.append(individual)
+    return pool
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(list_selections()) == {"n_tournament", "random", "best", "linear_rank"}
+
+    def test_kwargs_forwarded(self):
+        selection = get_selection("n_tournament", tournament_size=5)
+        assert selection.tournament_size == 5
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_selection("roulette")
+
+
+class TestNTournament:
+    def test_returns_k_individuals(self, candidates):
+        selected = NTournamentSelection(3).select(candidates, 4, rng=1)
+        assert len(selected) == 4
+        assert all(ind in candidates for ind in selected)
+
+    def test_prefers_better_individuals(self, candidates):
+        selection = NTournamentSelection(3)
+        picks = [selection.select(candidates, 1, rng=i)[0].fitness for i in range(200)]
+        # Expected winner fitness of a 3-tournament over uniform [0..8] is well
+        # below the pool mean of 4.
+        assert np.mean(picks) < 3.5
+
+    def test_larger_n_increases_pressure(self, candidates):
+        gentle = [NTournamentSelection(2).select(candidates, 1, rng=i)[0].fitness for i in range(200)]
+        harsh = [NTournamentSelection(7).select(candidates, 1, rng=i)[0].fitness for i in range(200)]
+        assert np.mean(harsh) < np.mean(gentle)
+
+    def test_tournament_of_one_is_uniform(self, candidates):
+        picks = {
+            NTournamentSelection(1).select(candidates, 1, rng=i)[0].fitness
+            for i in range(300)
+        }
+        assert len(picks) == len(candidates)  # every individual eventually picked
+
+    def test_pool_smaller_than_n(self, candidates):
+        # Sampling with replacement must still work with a 2-element pool.
+        selected = NTournamentSelection(5).select(candidates[:2], 3, rng=0)
+        assert len(selected) == 3
+
+    def test_invalid_tournament_size(self):
+        with pytest.raises(ValueError):
+            NTournamentSelection(0)
+
+    def test_empty_pool_rejected(self, candidates):
+        with pytest.raises(ValueError):
+            NTournamentSelection(3).select([], 1, rng=0)
+
+    def test_non_positive_k_rejected(self, candidates):
+        with pytest.raises(ValueError):
+            NTournamentSelection(3).select(candidates, 0, rng=0)
+
+
+class TestRandomSelection:
+    def test_returns_requested_count(self, candidates):
+        assert len(RandomSelection().select(candidates, 5, rng=0)) == 5
+
+    def test_no_pressure(self, candidates):
+        picks = [RandomSelection().select(candidates, 1, rng=i)[0].fitness for i in range(400)]
+        assert abs(np.mean(picks) - 4.0) < 0.6  # close to the uniform mean
+
+
+class TestBestSelection:
+    def test_returns_best_k(self, candidates):
+        selected = BestSelection().select(candidates, 3)
+        assert [ind.fitness for ind in selected] == [0.0, 1.0, 2.0]
+
+    def test_pads_with_best_when_k_exceeds_pool(self, candidates):
+        selected = BestSelection().select(candidates[:2], 4)
+        assert len(selected) == 4
+        assert selected[-1].fitness == 0.0
+
+
+class TestLinearRank:
+    def test_pressure_parameter_validated(self):
+        with pytest.raises(ValueError):
+            LinearRankSelection(pressure=3.0)
+
+    def test_prefers_better_individuals(self, candidates):
+        picks = [
+            LinearRankSelection(1.9).select(candidates, 1, rng=i)[0].fitness
+            for i in range(300)
+        ]
+        assert np.mean(picks) < 4.0
+
+    def test_single_candidate(self, candidates):
+        selected = LinearRankSelection().select(candidates[:1], 2, rng=0)
+        assert all(ind is candidates[0] for ind in selected)

@@ -1,0 +1,112 @@
+"""Tests for the asynchronous cell-update orders (FLS / FRS / NRS)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sweep import (
+    FixedLineSweep,
+    FixedRandomSweep,
+    NewRandomSweep,
+    get_sweep,
+    list_sweeps,
+)
+
+
+def drain(sweep, count):
+    """Advance the sweep *count* times and return the visited cells."""
+    return [sweep.advance() for _ in range(count)]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(list_sweeps()) == {"fls", "frs", "nrs"}
+
+    def test_get_sweep(self):
+        assert isinstance(get_sweep("FLS", 9), FixedLineSweep)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_sweep("xyz", 9)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLineSweep(0)
+
+
+class TestFixedLineSweep:
+    def test_row_major_order(self):
+        sweep = FixedLineSweep(6)
+        assert drain(sweep, 6) == [0, 1, 2, 3, 4, 5]
+
+    def test_wraps_around(self):
+        sweep = FixedLineSweep(4)
+        assert drain(sweep, 6) == [0, 1, 2, 3, 0, 1]
+
+    def test_update_does_not_change_order(self):
+        sweep = FixedLineSweep(4)
+        drain(sweep, 2)
+        sweep.update()
+        assert sweep.current() == 2  # pointer preserved, sequence unchanged
+
+
+class TestFixedRandomSweep:
+    def test_is_permutation(self):
+        sweep = FixedRandomSweep(10, rng=3)
+        assert sorted(drain(sweep, 10)) == list(range(10))
+
+    def test_same_permutation_every_cycle(self):
+        sweep = FixedRandomSweep(8, rng=3)
+        first = drain(sweep, 8)
+        sweep.update()
+        second = drain(sweep, 8)
+        assert first == second
+
+    def test_seed_controls_permutation(self):
+        a = drain(FixedRandomSweep(12, rng=1), 12)
+        b = drain(FixedRandomSweep(12, rng=1), 12)
+        c = drain(FixedRandomSweep(12, rng=2), 12)
+        assert a == b
+        assert a != c
+
+
+class TestNewRandomSweep:
+    def test_is_permutation_each_iteration(self):
+        sweep = NewRandomSweep(10, rng=5)
+        first = drain(sweep, 10)
+        sweep.update()
+        second = drain(sweep, 10)
+        assert sorted(first) == list(range(10))
+        assert sorted(second) == list(range(10))
+
+    def test_update_changes_sequence(self):
+        sweep = NewRandomSweep(25, rng=5)
+        first = drain(sweep, 25)
+        sweep.update()
+        second = drain(sweep, 25)
+        assert first != second  # 25! permutations: a collision would be astronomical
+
+    def test_without_update_sequence_repeats(self):
+        sweep = NewRandomSweep(6, rng=7)
+        first = drain(sweep, 6)
+        second = drain(sweep, 6)
+        assert first == second
+
+
+class TestCurrentAdvanceContract:
+    @pytest.mark.parametrize("name", ["fls", "frs", "nrs"])
+    def test_advance_returns_previous_current(self, name):
+        sweep = get_sweep(name, 9, rng=0)
+        current = sweep.current()
+        assert sweep.advance() == current
+        assert sweep.current() != current or sweep.size == 1
+
+    @pytest.mark.parametrize("name", ["fls", "frs", "nrs"])
+    def test_every_cell_visited_once_per_cycle(self, name):
+        sweep = get_sweep(name, 25, rng=1)
+        visited = drain(sweep, 25)
+        assert sorted(visited) == list(range(25))
+
+    def test_iter_protocol(self):
+        sweep = FixedLineSweep(3)
+        iterator = iter(sweep)
+        assert [next(iterator) for _ in range(4)] == [0, 1, 2, 0]

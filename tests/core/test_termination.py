@@ -1,0 +1,77 @@
+"""Tests for the termination criteria and the search state counters."""
+
+import math
+import time
+
+import pytest
+
+from repro.core.termination import SearchState, TerminationCriteria
+from repro.utils.timer import Deadline
+
+
+class TestValidation:
+    def test_at_least_one_budget_required(self):
+        with pytest.raises(ValueError):
+            TerminationCriteria()
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            TerminationCriteria(max_seconds=-1)
+
+    @pytest.mark.parametrize(
+        "field", ["max_evaluations", "max_iterations", "max_stagnant_iterations"]
+    )
+    def test_non_positive_counts_rejected(self, field):
+        with pytest.raises(ValueError):
+            TerminationCriteria(**{field: 0})
+
+    def test_factories(self):
+        assert TerminationCriteria.by_time(5.0).max_seconds == 5.0
+        assert TerminationCriteria.by_evaluations(10).max_evaluations == 10
+        assert TerminationCriteria.by_iterations(3).max_iterations == 3
+
+
+class TestShouldStop:
+    def test_iteration_budget(self):
+        criteria = TerminationCriteria.by_iterations(5)
+        deadline = criteria.make_deadline()
+        state = SearchState(iterations=4)
+        assert not criteria.should_stop(state, deadline)
+        state.iterations = 5
+        assert criteria.should_stop(state, deadline)
+
+    def test_evaluation_budget(self):
+        criteria = TerminationCriteria.by_evaluations(100)
+        deadline = criteria.make_deadline()
+        assert not criteria.should_stop(SearchState(evaluations=99), deadline)
+        assert criteria.should_stop(SearchState(evaluations=100), deadline)
+
+    def test_stagnation_budget(self):
+        criteria = TerminationCriteria(max_stagnant_iterations=3)
+        deadline = criteria.make_deadline()
+        assert not criteria.should_stop(SearchState(stagnant_iterations=2), deadline)
+        assert criteria.should_stop(SearchState(stagnant_iterations=3), deadline)
+
+    def test_wall_clock_budget(self):
+        criteria = TerminationCriteria.by_time(0.02)
+        deadline = criteria.make_deadline()
+        assert not criteria.should_stop(SearchState(), deadline)
+        time.sleep(0.03)
+        assert criteria.should_stop(SearchState(), deadline)
+
+    def test_any_budget_triggers(self):
+        criteria = TerminationCriteria(max_seconds=math.inf, max_iterations=10, max_evaluations=5)
+        deadline = Deadline.unlimited()
+        assert criteria.should_stop(SearchState(iterations=0, evaluations=5), deadline)
+
+
+class TestSearchState:
+    def test_register_iteration_tracks_stagnation(self):
+        state = SearchState()
+        state.register_iteration(improved=False)
+        state.register_iteration(improved=False)
+        assert state.iterations == 2
+        assert state.stagnant_iterations == 2
+        state.register_iteration(improved=True)
+        assert state.stagnant_iterations == 0
+        assert state.iterations == 3

@@ -1,0 +1,48 @@
+"""Tests for the extension algorithm specs (SA / TS) in the experiment runner."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    compare_algorithms,
+    cma_spec,
+    simulated_annealing_spec,
+    tabu_search_spec,
+)
+from repro.model.benchmark import generate_braun_like_instance
+
+FAST = ExperimentSettings(
+    nb_jobs=24, nb_machines=4, runs=2, max_seconds=math.inf, max_iterations=6, seed=31
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_braun_like_instance("u_s_hihi.0", rng=2, nb_jobs=24, nb_machines=4)
+
+
+@pytest.mark.parametrize("factory", [simulated_annealing_spec, tabu_search_spec])
+def test_extension_specs_run(factory, instance):
+    spec = factory()
+    result = spec.build(instance, FAST.termination(), rng=1).run()
+    assert result.algorithm == spec.name
+    assert result.makespan > 0
+    result.best_schedule.validate()
+
+
+def test_extension_specs_in_comparison(instance):
+    cells = compare_algorithms(
+        [cma_spec(), simulated_annealing_spec(), tabu_search_spec()],
+        {"i1": instance},
+        FAST,
+    )
+    assert set(cells) == {
+        ("i1", "cma"),
+        ("i1", "simulated_annealing"),
+        ("i1", "tabu_search"),
+    }
+    for cell in cells.values():
+        assert cell.makespan.best > 0
+        assert cell.makespan.count == FAST.runs

@@ -1,0 +1,122 @@
+"""Tests for the comparison tables (Tables 2-5 and the robustness study)."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.tables import (
+    benchmark_instances,
+    flowtime_comparison_table,
+    flowtime_table,
+    makespan_comparison_table,
+    makespan_table,
+    robustness_table,
+    table1_configuration,
+)
+
+# Two instances, tiny budget: enough to exercise the full code path quickly.
+FAST = ExperimentSettings(
+    nb_jobs=20, nb_machines=4, runs=2, max_seconds=math.inf, max_iterations=4, seed=23
+)
+SUBSET = ("u_c_hihi.0", "u_i_lolo.0")
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return benchmark_instances(FAST, names=SUBSET)
+
+
+class TestBenchmarkInstances:
+    def test_dimensions_follow_settings(self, instances):
+        for instance in instances.values():
+            assert instance.nb_jobs == 20
+            assert instance.nb_machines == 4
+
+    def test_names_preserved(self, instances):
+        assert tuple(instances) == SUBSET
+
+
+class TestTable1:
+    def test_mentions_all_parameters(self):
+        text = table1_configuration()
+        for label in (
+            "population height",
+            "nb recombinations",
+            "neighborhood pattern",
+            "local search choice",
+            "lambda",
+        ):
+            assert label in text
+
+
+class TestTable2:
+    def test_structure(self, instances):
+        table = makespan_table(FAST, instances)
+        assert len(table.rows) == len(SUBSET)
+        assert "cMA (measured)" in table.headers
+        assert table.row_for("u_c_hihi.0")[0] == "u_c_hihi.0"
+        with pytest.raises(KeyError):
+            table.row_for("u_x_none.0")
+
+    def test_paper_columns_match_reference(self, instances):
+        from repro.experiments import reference
+
+        table = makespan_table(FAST, instances)
+        row = table.row_for("u_c_hihi.0")
+        assert row[1] == pytest.approx(reference.TABLE2_MAKESPAN["u_c_hihi.0"].braun_ga)
+        assert row[2] == pytest.approx(reference.TABLE2_MAKESPAN["u_c_hihi.0"].cma)
+
+    def test_measured_values_positive(self, instances):
+        table = makespan_table(FAST, instances)
+        for header in ("Braun GA (measured)", "cMA (measured)"):
+            assert all(value > 0 for value in table.column(header))
+
+    def test_render_and_column_access(self, instances):
+        table = makespan_table(FAST, instances)
+        text = table.render(precision=1)
+        assert "Table 2" in text
+        assert len(table.column("Instance")) == len(SUBSET)
+        with pytest.raises(KeyError):
+            table.column("not a column")
+
+
+class TestTable3:
+    def test_three_measured_algorithms(self, instances):
+        table = makespan_comparison_table(FAST, instances)
+        for header in (
+            "C&X GA (measured)",
+            "Struggle GA (measured)",
+            "cMA (measured)",
+        ):
+            assert header in table.headers
+            assert all(value > 0 for value in table.column(header))
+
+
+class TestTable4:
+    def test_cma_improves_on_ljfr_flowtime(self, instances):
+        table = flowtime_table(FAST, instances)
+        deltas = table.column("d% (measured)")
+        # The cMA starts from the LJFR-SJFR seed, so it can only improve on it.
+        assert all(delta >= -1e-6 for delta in deltas)
+
+    def test_flowtime_columns_positive(self, instances):
+        table = flowtime_table(FAST, instances)
+        assert all(value > 0 for value in table.column("LJFR-SJFR (measured)"))
+        assert all(value > 0 for value in table.column("cMA (measured)"))
+
+
+class TestTable5:
+    def test_structure(self, instances):
+        table = flowtime_comparison_table(FAST, instances)
+        assert len(table.rows) == len(SUBSET)
+        assert "Struggle GA (measured)" in table.headers
+
+
+class TestRobustness:
+    def test_cv_reported_per_instance(self, instances):
+        table = robustness_table(FAST, instances)
+        cvs = table.column("cv (%)")
+        assert len(cvs) == len(SUBSET)
+        assert all(cv >= 0 for cv in cvs)
+        assert all(cv < 100 for cv in cvs)

@@ -1,0 +1,119 @@
+"""Tests for the tuning sweeps (Figures 2-5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CMAConfig
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.tuning import (
+    ALL_SWEEPS,
+    TuningSettings,
+    local_search_sweep,
+    neighborhood_sweep,
+    run_variant_sweep,
+    sweep_order_sweep,
+    tournament_sweep,
+)
+from repro.model.generator import ETCGeneratorConfig
+
+
+def tiny_tuning(runs=1, iterations=4):
+    """Small, deterministic tuning settings for tests."""
+    return TuningSettings(
+        settings=ExperimentSettings(
+            nb_jobs=24,
+            nb_machines=4,
+            runs=runs,
+            max_seconds=math.inf,
+            max_iterations=iterations,
+            seed=17,
+        ),
+        generator=ETCGeneratorConfig(nb_jobs=24, nb_machines=4, consistency="inconsistent"),
+        grid_points=5,
+    )
+
+
+class TestTuningSettings:
+    def test_instance_generation_deterministic(self):
+        tuning = tiny_tuning()
+        a = tuning.make_instance()
+        b = tuning.make_instance()
+        assert np.array_equal(a.etc, b.etc)
+
+    def test_time_grid_shape(self):
+        grid = tiny_tuning().time_grid()
+        assert grid.shape == (5,)
+        assert grid[0] == 0.0
+
+    def test_infinite_budget_grid_falls_back(self):
+        grid = tiny_tuning().time_grid()
+        assert np.isfinite(grid).all()
+
+    def test_grid_points_validated(self):
+        with pytest.raises(ValueError):
+            TuningSettings(grid_points=1)
+
+
+class TestRunVariantSweep:
+    def test_result_structure(self):
+        tuning = tiny_tuning()
+        base = CMAConfig.fast_defaults()
+        result = run_variant_sweep(
+            "demo",
+            "local search",
+            {"A": base.evolve(local_search="lm"), "B": base.evolve(local_search="lmcts")},
+            tuning,
+        )
+        assert set(result.curves) == {"A", "B"}
+        assert all(curve.shape == (5,) for curve in result.curves.values())
+        assert set(result.final_makespan) == {"A", "B"}
+        assert result.best_variant() in ("A", "B")
+        assert len(result.ranking()) == 2
+
+    def test_curves_are_non_increasing(self):
+        tuning = tiny_tuning()
+        base = CMAConfig.fast_defaults()
+        result = run_variant_sweep("demo", "x", {"A": base}, tuning)
+        curve = result.curves["A"]
+        assert np.all(np.diff(curve) <= 1e-9)
+
+    def test_text_rendering(self):
+        tuning = tiny_tuning()
+        result = run_variant_sweep("demo", "x", {"A": CMAConfig.fast_defaults()}, tuning)
+        assert "demo" in result.as_series_text()
+        assert "A" in result.as_summary_text()
+
+    def test_empty_variants_rejected(self):
+        with pytest.raises(ValueError):
+            run_variant_sweep("demo", "x", {}, tiny_tuning())
+
+
+class TestPaperSweeps:
+    def test_figure2_variants(self):
+        result = local_search_sweep(tiny_tuning())
+        assert set(result.curves) == {"LM", "SLM", "LMCTS"}
+
+    def test_figure3_variants(self):
+        result = neighborhood_sweep(tiny_tuning())
+        assert set(result.curves) == {"PANMICTIC", "L5", "L9", "C9", "C13"}
+
+    def test_figure4_variants(self):
+        result = tournament_sweep(tiny_tuning())
+        assert set(result.curves) == {"Ntour(3)", "Ntour(5)", "Ntour(7)"}
+
+    def test_figure5_variants(self):
+        result = sweep_order_sweep(tiny_tuning())
+        assert set(result.curves) == {"FLS", "FRS", "NRS"}
+
+    def test_all_sweeps_registry(self):
+        assert set(ALL_SWEEPS) == {"figure2", "figure3", "figure4", "figure5"}
+
+    def test_figure2_lmcts_not_worse_than_lm(self):
+        """The qualitative conclusion of Figure 2 at small scale."""
+        result = local_search_sweep(tiny_tuning(runs=2, iterations=8))
+        assert (
+            result.final_makespan["LMCTS"].mean
+            <= result.final_makespan["LM"].mean * 1.05
+        )

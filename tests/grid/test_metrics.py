@@ -1,0 +1,87 @@
+"""Tests for the simulation metrics container."""
+
+import numpy as np
+import pytest
+
+from repro.grid.metrics import ActivationRecord, SimulationMetrics
+
+
+def make_metrics(**overrides):
+    activations = [
+        ActivationRecord(
+            time=0.0,
+            pending_jobs=5,
+            available_machines=2,
+            scheduled_jobs=5,
+            batch_makespan=10.0,
+            scheduler_wall_seconds=0.01,
+        ),
+        ActivationRecord(
+            time=10.0,
+            pending_jobs=3,
+            available_machines=2,
+            scheduled_jobs=3,
+            batch_makespan=7.0,
+            scheduler_wall_seconds=0.03,
+        ),
+    ]
+    defaults = dict(
+        policy="test",
+        response_times=np.array([5.0, 7.0, 9.0]),
+        waiting_times=np.array([1.0, 2.0, 3.0]),
+        completion_times=np.array([5.0, 12.0, 20.0]),
+        utilizations=np.array([0.5, 0.7]),
+        nb_jobs=3,
+        nb_machines=2,
+        rescheduled_jobs=1,
+        activations=activations,
+    )
+    defaults.update(overrides)
+    return SimulationMetrics.from_records(**defaults)
+
+
+class TestFromRecords:
+    def test_aggregates(self):
+        metrics = make_metrics()
+        assert metrics.completed_jobs == 3
+        assert metrics.makespan == 20.0
+        assert metrics.total_flowtime == pytest.approx(21.0)
+        assert metrics.mean_response_time == pytest.approx(7.0)
+        assert metrics.max_response_time == 9.0
+        assert metrics.mean_waiting_time == pytest.approx(2.0)
+        assert metrics.mean_utilization == pytest.approx(0.6)
+        assert metrics.nb_activations == 2
+        assert metrics.mean_scheduler_seconds == pytest.approx(0.02)
+
+    def test_throughput(self):
+        metrics = make_metrics()
+        assert metrics.throughput == pytest.approx(3 / 20.0)
+
+    def test_empty_run(self):
+        metrics = make_metrics(
+            response_times=np.array([]),
+            waiting_times=np.array([]),
+            completion_times=np.array([]),
+            utilizations=np.array([]),
+            nb_jobs=0,
+            rescheduled_jobs=0,
+            activations=[],
+        )
+        assert metrics.completed_jobs == 0
+        assert metrics.makespan == 0.0
+        assert metrics.throughput == 0.0
+        assert metrics.mean_scheduler_seconds == 0.0
+
+    def test_summary_round_trip(self):
+        summary = make_metrics().summary()
+        assert summary["policy"] == "test"
+        assert summary["completed"] == 3.0
+        assert summary["rescheduled"] == 1.0
+        assert set(summary) >= {
+            "makespan",
+            "total_flowtime",
+            "mean_response",
+            "utilization",
+            "throughput",
+            "activations",
+        }

@@ -1,0 +1,108 @@
+"""Tests for the arrival and resource models of the grid simulation."""
+
+import numpy as np
+import pytest
+
+from repro.grid.workload import (
+    BurstyArrivalModel,
+    ChurningResourceModel,
+    PoissonArrivalModel,
+    StaticResourceModel,
+)
+
+
+class TestPoissonArrivals:
+    def test_jobs_sorted_and_within_window(self):
+        jobs = PoissonArrivalModel(rate=2.0, duration=50.0).generate(rng=1)
+        arrivals = [job.arrival_time for job in jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < t <= 50.0 for t in arrivals)
+
+    def test_rate_controls_count(self):
+        low = PoissonArrivalModel(rate=0.5, duration=200.0).generate(rng=2)
+        high = PoissonArrivalModel(rate=5.0, duration=200.0).generate(rng=2)
+        assert len(high) > len(low)
+
+    def test_job_ids_unique_and_sequential(self):
+        jobs = PoissonArrivalModel(rate=1.0, duration=30.0).generate(rng=3)
+        assert [job.job_id for job in jobs] == list(range(len(jobs)))
+
+    def test_heterogeneity_scales_workloads(self):
+        hi = PoissonArrivalModel(rate=2.0, duration=100.0, heterogeneity="hi").generate(rng=4)
+        lo = PoissonArrivalModel(rate=2.0, duration=100.0, heterogeneity="lo").generate(rng=4)
+        assert np.mean([j.workload for j in hi]) > np.mean([j.workload for j in lo])
+
+    def test_deterministic_for_seed(self):
+        a = PoissonArrivalModel(rate=1.0, duration=40.0).generate(rng=5)
+        b = PoissonArrivalModel(rate=1.0, duration=40.0).generate(rng=5)
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalModel(rate=0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivalModel(heterogeneity="medium")
+
+
+class TestBurstyArrivals:
+    def test_bursts_cluster_in_time(self):
+        jobs = BurstyArrivalModel(
+            burst_interval=50.0, burst_size_mean=10.0, nb_bursts=3
+        ).generate(rng=1)
+        assert jobs, "expected at least one job"
+        for job in jobs:
+            offset = job.arrival_time % 50.0
+            assert offset <= 1.0  # jobs arrive within one second of a burst start
+
+    def test_number_of_bursts_bounds_arrival_times(self):
+        jobs = BurstyArrivalModel(
+            burst_interval=10.0, burst_size_mean=5.0, nb_bursts=4
+        ).generate(rng=2)
+        assert max(job.arrival_time for job in jobs) < 4 * 10.0
+
+    def test_ids_unique(self):
+        jobs = BurstyArrivalModel(nb_bursts=3).generate(rng=3)
+        ids = [job.job_id for job in jobs]
+        assert len(ids) == len(set(ids))
+
+
+class TestStaticResources:
+    def test_count_and_determinism(self):
+        a = StaticResourceModel(nb_machines=6).generate(rng=1)
+        b = StaticResourceModel(nb_machines=6).generate(rng=1)
+        assert len(a) == 6
+        assert [m.mips for m in a] == [m.mips for m in b]
+
+    def test_machines_never_leave(self):
+        machines = StaticResourceModel(nb_machines=4).generate(rng=2)
+        assert all(m.leave_time is None for m in machines)
+        assert all(m.join_time == 0.0 for m in machines)
+
+    def test_heterogeneity_scales_mips(self):
+        hi = StaticResourceModel(nb_machines=30, heterogeneity="hi").generate(rng=3)
+        lo = StaticResourceModel(nb_machines=30, heterogeneity="lo").generate(rng=3)
+        assert np.mean([m.mips for m in hi]) > np.mean([m.mips for m in lo])
+
+
+class TestChurningResources:
+    def test_some_machines_have_membership_windows(self):
+        machines = ChurningResourceModel(
+            nb_machines=20, churn_fraction=0.5, horizon=100.0
+        ).generate(rng=4)
+        churny = [m for m in machines if m.leave_time is not None]
+        stable = [m for m in machines if m.leave_time is None]
+        assert churny and stable
+
+    def test_at_least_one_machine_always_available(self):
+        machines = ChurningResourceModel(
+            nb_machines=3, churn_fraction=1.0, horizon=50.0
+        ).generate(rng=5)
+        assert any(m.leave_time is None for m in machines)
+
+    def test_windows_are_well_formed(self):
+        machines = ChurningResourceModel(
+            nb_machines=15, churn_fraction=0.4, horizon=80.0
+        ).generate(rng=6)
+        for machine in machines:
+            if machine.leave_time is not None:
+                assert machine.leave_time > machine.join_time

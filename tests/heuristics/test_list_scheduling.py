@@ -1,0 +1,115 @@
+"""Tests for Min-Min, Max-Min, Sufferage and the immediate-mode heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics import build_schedule
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+
+
+@pytest.fixture
+def two_machine_instance():
+    """ETC chosen so the optimal decisions are easy to reason about."""
+    etc = np.array(
+        [
+            [1.0, 10.0],
+            [2.0, 8.0],
+            [9.0, 3.0],
+            [10.0, 4.0],
+        ]
+    )
+    return SchedulingInstance(etc=etc, name="two-machines")
+
+
+class TestMinMin:
+    def test_small_example(self, two_machine_instance):
+        schedule = build_schedule("min_min", two_machine_instance)
+        # Jobs 0/1 prefer machine 0, jobs 2/3 prefer machine 1; Min-Min keeps
+        # that split because the loads stay balanced.
+        assert schedule.assignment.tolist() == [0, 0, 1, 1]
+
+    def test_beats_random_and_olb(self, small_instance):
+        min_min = build_schedule("min_min", small_instance)
+        olb = build_schedule("olb", small_instance)
+        random_schedule = Schedule.random(small_instance, rng=0)
+        assert min_min.makespan <= olb.makespan
+        assert min_min.makespan <= random_schedule.makespan
+
+    def test_is_best_constructive_on_consistent_instance(self, consistent_instance):
+        makespans = {
+            name: build_schedule(name, consistent_instance, rng=0).makespan
+            for name in ("min_min", "max_min", "mct", "olb", "met")
+        }
+        assert makespans["min_min"] <= min(makespans["olb"], makespans["mct"]) + 1e-9
+
+
+class TestMaxMin:
+    def test_schedules_long_jobs_first(self, two_machine_instance):
+        schedule = build_schedule("max_min", two_machine_instance)
+        schedule.validate()
+        # Every job still lands on a sensible machine.
+        assert schedule.assignment.min() >= 0
+
+    def test_differs_from_min_min_in_general(self, small_instance):
+        min_min = build_schedule("min_min", small_instance)
+        max_min = build_schedule("max_min", small_instance)
+        assert not np.array_equal(min_min.assignment, max_min.assignment)
+
+
+class TestSufferage:
+    def test_prioritizes_high_sufferage_jobs(self):
+        # Job 1 suffers enormously if it misses machine 0; job 0 barely cares.
+        etc = np.array(
+            [
+                [5.0, 6.0],
+                [1.0, 100.0],
+            ]
+        )
+        instance = SchedulingInstance(etc=etc)
+        schedule = build_schedule("sufferage", instance)
+        assert schedule.assignment[1] == 0
+
+    def test_reasonable_quality(self, small_instance):
+        sufferage = build_schedule("sufferage", small_instance)
+        olb = build_schedule("olb", small_instance)
+        assert sufferage.makespan <= olb.makespan * 1.2
+
+
+class TestImmediateModeHeuristics:
+    def test_met_picks_fastest_machine_per_job(self, tiny_instance):
+        schedule = build_schedule("met", tiny_instance)
+        expected = tiny_instance.etc.argmin(axis=1)
+        assert np.array_equal(schedule.assignment, expected)
+
+    def test_met_overloads_fastest_machine_on_consistent_matrix(self, consistent_instance):
+        schedule = build_schedule("met", consistent_instance)
+        # On a consistent matrix machine 0 is fastest for every job.
+        assert set(schedule.assignment.tolist()) == {0}
+
+    def test_mct_accounts_for_load(self, consistent_instance):
+        mct = build_schedule("mct", consistent_instance)
+        met = build_schedule("met", consistent_instance)
+        assert mct.makespan < met.makespan
+
+    def test_olb_balances_job_counts(self, small_instance):
+        olb = build_schedule("olb", small_instance)
+        counts = olb.machine_job_counts()
+        assert counts.max() - counts.min() <= small_instance.nb_jobs // 2
+
+    def test_mct_processes_jobs_in_submission_order(self):
+        """The first job always goes to its own best (empty-grid) machine."""
+        etc = np.array([[5.0, 1.0], [1.0, 5.0], [1.0, 5.0]])
+        schedule = build_schedule("mct", SchedulingInstance(etc=etc))
+        assert schedule.assignment[0] == 1
+
+
+class TestRandomAssignment:
+    def test_uses_rng(self, tiny_instance):
+        a = build_schedule("random", tiny_instance, rng=1)
+        b = build_schedule("random", tiny_instance, rng=2)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_spread_over_machines(self, small_instance):
+        schedule = build_schedule("random", small_instance, rng=3)
+        assert np.unique(schedule.assignment).size > 1

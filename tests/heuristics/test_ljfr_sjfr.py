@@ -1,0 +1,72 @@
+"""Tests for the LJFR-SJFR seeding heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics import build_schedule
+from repro.heuristics.ljfr_sjfr import LJFRSJFRHeuristic, job_workloads, machine_speeds
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+
+
+class TestWorkloadAndSpeedEstimates:
+    def test_explicit_workloads_used(self):
+        instance = SchedulingInstance.from_workloads(
+            workloads=[10.0, 20.0, 30.0], mips=[1.0, 2.0]
+        )
+        assert np.allclose(job_workloads(instance), [10.0, 20.0, 30.0])
+        assert np.allclose(machine_speeds(instance), [1.0, 2.0])
+
+    def test_estimates_from_etc(self, tiny_instance):
+        workloads = job_workloads(tiny_instance)
+        speeds = machine_speeds(tiny_instance)
+        assert workloads.shape == (tiny_instance.nb_jobs,)
+        assert speeds.shape == (tiny_instance.nb_machines,)
+        assert np.all(workloads > 0)
+        assert np.all(speeds > 0)
+
+    def test_faster_machine_has_higher_speed_estimate(self):
+        # machine 1 is uniformly twice as fast as machine 0
+        etc = np.array([[4.0, 2.0], [8.0, 4.0], [2.0, 1.0]])
+        speeds = machine_speeds(SchedulingInstance(etc=etc))
+        assert speeds[1] > speeds[0]
+
+
+class TestPhaseOne:
+    def test_longest_jobs_to_fastest_machines_initially(self):
+        """With exactly nb_machines jobs, only phase 1 runs: longest -> fastest."""
+        workloads = np.array([100.0, 10.0, 50.0])
+        mips = np.array([1.0, 5.0, 2.0])  # machine 1 fastest, then 2, then 0
+        instance = SchedulingInstance.from_workloads(workloads, mips)
+        schedule = LJFRSJFRHeuristic().build(instance)
+        # longest job (0) -> fastest machine (1); middle job (2) -> machine 2;
+        # shortest job (1) -> slowest machine (0)
+        assert schedule.assignment.tolist() == [1, 0, 2]
+
+
+class TestOverallBehaviour:
+    def test_beats_random_on_average(self, small_instance):
+        ljfr = build_schedule("ljfr_sjfr", small_instance)
+        random_makespans = [
+            Schedule.random(small_instance, rng=i).makespan for i in range(10)
+        ]
+        assert ljfr.makespan < np.mean(random_makespans)
+
+    def test_all_machines_used_when_jobs_abound(self, small_instance):
+        schedule = build_schedule("ljfr_sjfr", small_instance)
+        assert np.unique(schedule.assignment).size == small_instance.nb_machines
+
+    def test_better_flowtime_than_random(self, small_instance):
+        """LJFR-SJFR explicitly targets flowtime as well as makespan."""
+        ljfr = build_schedule("ljfr_sjfr", small_instance)
+        random_flowtimes = [
+            Schedule.random(small_instance, rng=i).flowtime for i in range(10)
+        ]
+        assert ljfr.flowtime < np.mean(random_flowtimes)
+
+    def test_consistent_instance_fastest_machine_heavily_used(self, consistent_instance):
+        schedule = build_schedule("ljfr_sjfr", consistent_instance)
+        counts = schedule.machine_job_counts()
+        # On a consistent matrix machine 0 is fastest; it should receive at
+        # least as many jobs as the slowest machine.
+        assert counts[0] >= counts[-1]

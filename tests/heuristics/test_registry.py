@@ -1,0 +1,95 @@
+"""Tests for the heuristic registry and the contract every heuristic honours."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics import (
+    ConstructiveHeuristic,
+    build_schedule,
+    get_heuristic,
+    list_heuristics,
+    register_heuristic,
+)
+from repro.heuristics.base import _REGISTRY  # noqa: SLF001 - registry introspection
+from repro.model.schedule import Schedule
+
+ALL_HEURISTICS = sorted(_REGISTRY)
+
+
+class TestRegistry:
+    def test_expected_heuristics_registered(self):
+        expected = {"ljfr_sjfr", "min_min", "max_min", "sufferage", "mct", "met", "olb", "random"}
+        assert expected.issubset(set(list_heuristics()))
+
+    def test_get_returns_fresh_instances(self):
+        assert get_heuristic("min_min") is not get_heuristic("min_min")
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="min_min"):
+            get_heuristic("does_not_exist")
+
+    def test_register_requires_name(self):
+        class Nameless(ConstructiveHeuristic):
+            name = ""
+
+            def build(self, instance, rng=None):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_heuristic(Nameless)
+
+    def test_register_rejects_duplicates(self):
+        class Duplicate(ConstructiveHeuristic):
+            name = "min_min"
+
+            def build(self, instance, rng=None):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_heuristic(Duplicate)
+
+    def test_callable_protocol(self, tiny_instance):
+        heuristic = get_heuristic("mct")
+        assert isinstance(heuristic(tiny_instance), Schedule)
+
+
+@pytest.mark.parametrize("name", ALL_HEURISTICS)
+class TestEveryHeuristicContract:
+    """Properties every constructive heuristic must satisfy."""
+
+    def test_produces_valid_schedule(self, name, tiny_instance):
+        schedule = build_schedule(name, tiny_instance, rng=1)
+        assert isinstance(schedule, Schedule)
+        assert schedule.assignment.shape == (tiny_instance.nb_jobs,)
+        assert schedule.assignment.min() >= 0
+        assert schedule.assignment.max() < tiny_instance.nb_machines
+        schedule.validate()
+
+    def test_respects_bounds(self, name, small_instance):
+        schedule = build_schedule(name, small_instance, rng=1)
+        assert schedule.makespan >= small_instance.makespan_lower_bound() - 1e-9
+        assert schedule.makespan <= small_instance.makespan_upper_bound() + 1e-9
+
+    def test_deterministic_given_seed(self, name, tiny_instance):
+        a = build_schedule(name, tiny_instance, rng=7)
+        b = build_schedule(name, tiny_instance, rng=7)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_handles_single_machine(self, name):
+        from repro.model.instance import SchedulingInstance
+
+        instance = SchedulingInstance(etc=np.arange(1.0, 9.0).reshape(8, 1), name="one")
+        schedule = build_schedule(name, instance, rng=1)
+        assert set(schedule.assignment.tolist()) == {0}
+
+    def test_handles_more_machines_than_jobs(self, name):
+        from repro.model.instance import SchedulingInstance
+
+        rng = np.random.default_rng(0)
+        instance = SchedulingInstance(etc=rng.uniform(1, 10, size=(3, 6)), name="wide")
+        schedule = build_schedule(name, instance, rng=1)
+        schedule.validate()
+
+    def test_accounts_for_ready_times(self, name, ready_time_instance):
+        schedule = build_schedule(name, ready_time_instance, rng=1)
+        assert schedule.makespan >= ready_time_instance.ready_times.min()

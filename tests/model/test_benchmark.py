@@ -1,0 +1,112 @@
+"""Tests for repro.model.benchmark (the Braun-style suite)."""
+
+import numpy as np
+import pytest
+
+from repro.model.benchmark import (
+    BRAUN_INSTANCE_NAMES,
+    BRAUN_NB_JOBS,
+    BRAUN_NB_MACHINES,
+    braun_suite,
+    config_for_instance,
+    generate_braun_like_instance,
+    instance_name,
+    parse_instance_name,
+)
+
+
+class TestNameParsing:
+    def test_round_trip(self):
+        for name in BRAUN_INSTANCE_NAMES:
+            parts = parse_instance_name(name)
+            rebuilt = instance_name(
+                str(parts["consistency"]),
+                str(parts["task_heterogeneity"]),
+                str(parts["machine_heterogeneity"]),
+                int(parts["index"]),
+            )
+            assert rebuilt == name
+
+    def test_parse_fields(self):
+        parts = parse_instance_name("u_s_hilo.3")
+        assert parts == {
+            "consistency": "semi-consistent",
+            "task_heterogeneity": "hi",
+            "machine_heterogeneity": "lo",
+            "index": 3,
+        }
+
+    def test_parse_without_index(self):
+        assert parse_instance_name("u_c_lolo")["index"] == 0
+
+    @pytest.mark.parametrize("bad", ["x_c_hihi.0", "u_z_hihi.0", "u_c_mehi.0", "nonsense"])
+    def test_parse_rejects_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            parse_instance_name(bad)
+
+    def test_instance_name_accepts_letter_or_word(self):
+        assert instance_name("c", "hi", "hi") == "u_c_hihi.0"
+        assert instance_name("inconsistent", "lo", "hi", 2) == "u_i_lohi.2"
+
+    def test_instance_name_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            instance_name("x", "hi", "hi")
+        with pytest.raises(ValueError):
+            instance_name("c", "xx", "hi")
+
+
+class TestInstanceGeneration:
+    def test_twelve_names_in_paper_order(self):
+        assert len(BRAUN_INSTANCE_NAMES) == 12
+        assert BRAUN_INSTANCE_NAMES[0] == "u_c_hihi.0"
+        assert BRAUN_INSTANCE_NAMES[-1] == "u_s_lolo.0"
+
+    def test_config_for_instance(self):
+        config = config_for_instance("u_i_lohi.0", nb_jobs=64, nb_machines=8)
+        assert config.consistency == "inconsistent"
+        assert config.task_heterogeneity == "lo"
+        assert config.machine_heterogeneity == "hi"
+        assert config.nb_jobs == 64
+
+    def test_generated_instance_matches_name_class(self):
+        instance = generate_braun_like_instance("u_c_hilo.0", rng=3, nb_jobs=40, nb_machines=8)
+        assert instance.consistency == "consistent"
+        assert instance.name == "u_c_hilo.0"
+
+    def test_default_dimensions_are_benchmark_scale(self):
+        instance = generate_braun_like_instance("u_c_lolo.0", rng=1)
+        assert instance.nb_jobs == BRAUN_NB_JOBS == 512
+        assert instance.nb_machines == BRAUN_NB_MACHINES == 16
+
+    def test_deterministic_per_seed(self):
+        a = generate_braun_like_instance("u_i_hihi.0", rng=5, nb_jobs=30, nb_machines=4)
+        b = generate_braun_like_instance("u_i_hihi.0", rng=5, nb_jobs=30, nb_machines=4)
+        assert np.array_equal(a.etc, b.etc)
+
+
+class TestSuite:
+    def test_suite_contains_all_names_in_order(self):
+        suite = braun_suite(nb_jobs=24, nb_machines=4)
+        assert tuple(suite.keys()) == BRAUN_INSTANCE_NAMES
+
+    def test_suite_is_deterministic(self):
+        a = braun_suite(7, nb_jobs=24, nb_machines=4)
+        b = braun_suite(7, nb_jobs=24, nb_machines=4)
+        for name in BRAUN_INSTANCE_NAMES:
+            assert np.array_equal(a[name].etc, b[name].etc)
+
+    def test_each_instance_matches_its_consistency_class(self):
+        suite = braun_suite(nb_jobs=32, nb_machines=6)
+        expectations = {"c": "consistent", "i": "inconsistent", "s": "semi-consistent"}
+        for name, instance in suite.items():
+            letter = name.split("_")[1]
+            assert instance.consistency == expectations[letter], name
+
+    def test_hi_instances_have_larger_etc_than_lo(self):
+        suite = braun_suite(nb_jobs=64, nb_machines=8)
+        assert suite["u_c_hihi.0"].etc.mean() > suite["u_c_lolo.0"].etc.mean()
+
+    def test_subset_of_names(self):
+        names = ("u_c_hihi.0", "u_i_lolo.0")
+        suite = braun_suite(nb_jobs=16, nb_machines=4, names=names)
+        assert tuple(suite.keys()) == names

@@ -1,0 +1,107 @@
+"""Tests for repro.model.etc (consistency and heterogeneity)."""
+
+import numpy as np
+import pytest
+
+from repro.model.etc import (
+    classify_consistency,
+    consistent_column_fraction,
+    is_consistent,
+    machine_heterogeneity,
+    make_consistent,
+    make_semiconsistent,
+    properties,
+    task_heterogeneity,
+)
+
+
+@pytest.fixture
+def random_matrix(rng):
+    return rng.uniform(1.0, 100.0, size=(30, 8))
+
+
+class TestMakeConsistent:
+    def test_rows_sorted(self, random_matrix):
+        consistent = make_consistent(random_matrix)
+        assert np.all(np.diff(consistent, axis=1) >= 0)
+
+    def test_original_untouched(self, random_matrix):
+        snapshot = random_matrix.copy()
+        make_consistent(random_matrix)
+        assert np.array_equal(random_matrix, snapshot)
+
+    def test_values_preserved_per_row(self, random_matrix):
+        consistent = make_consistent(random_matrix)
+        for row in range(random_matrix.shape[0]):
+            assert np.allclose(
+                np.sort(random_matrix[row]), np.sort(consistent[row])
+            )
+
+    def test_result_is_consistent(self, random_matrix):
+        assert is_consistent(make_consistent(random_matrix))
+
+
+class TestMakeSemiconsistent:
+    def test_even_columns_sorted(self, random_matrix):
+        semi = make_semiconsistent(random_matrix)
+        even = semi[:, 0::2]
+        assert np.all(np.diff(even, axis=1) >= 0)
+
+    def test_odd_columns_untouched(self, random_matrix):
+        semi = make_semiconsistent(random_matrix)
+        assert np.array_equal(semi[:, 1::2], random_matrix[:, 1::2])
+
+    def test_classified_semi(self, random_matrix):
+        assert classify_consistency(make_semiconsistent(random_matrix)) == "semi-consistent"
+
+
+class TestIsConsistent:
+    def test_single_column_trivially_consistent(self):
+        assert is_consistent(np.array([[1.0], [2.0]]))
+
+    def test_random_large_matrix_not_consistent(self, random_matrix):
+        assert not is_consistent(random_matrix)
+
+    def test_column_subset(self, random_matrix):
+        semi = make_semiconsistent(random_matrix)
+        assert is_consistent(semi, columns=slice(0, None, 2))
+
+
+class TestClassify:
+    def test_consistent(self, random_matrix):
+        assert classify_consistency(make_consistent(random_matrix)) == "consistent"
+
+    def test_inconsistent(self, random_matrix):
+        assert classify_consistency(random_matrix) == "inconsistent"
+
+    def test_consistent_fraction_bounds(self, random_matrix):
+        fraction = consistent_column_fraction(random_matrix)
+        assert 0.0 <= fraction <= 1.0
+        assert consistent_column_fraction(make_consistent(random_matrix)) == 1.0
+
+
+class TestHeterogeneity:
+    def test_high_task_range_gives_higher_value(self, rng):
+        low = rng.uniform(1.0, 10.0, size=(100, 1)) * rng.uniform(1.0, 10.0, size=(100, 8))
+        high = rng.uniform(1.0, 3000.0, size=(100, 1)) * rng.uniform(1.0, 10.0, size=(100, 8))
+        assert task_heterogeneity(high) > task_heterogeneity(low)
+
+    def test_machine_heterogeneity_zero_for_identical_machines(self):
+        etc = np.tile(np.arange(1.0, 11.0)[:, None], (1, 5))
+        assert machine_heterogeneity(etc) == pytest.approx(0.0)
+
+    def test_machine_heterogeneity_positive_for_spread(self, random_matrix):
+        assert machine_heterogeneity(random_matrix) > 0
+
+    def test_task_heterogeneity_zero_for_identical_jobs(self):
+        etc = np.tile(np.arange(1.0, 6.0)[None, :], (10, 1))
+        assert task_heterogeneity(etc) == pytest.approx(0.0)
+
+
+class TestProperties:
+    def test_summary_fields(self, random_matrix):
+        summary = properties(random_matrix)
+        assert summary.nb_jobs == 30
+        assert summary.nb_machines == 8
+        assert summary.consistency == "inconsistent"
+        assert summary.min_etc <= summary.mean_etc <= summary.max_etc

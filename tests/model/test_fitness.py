@@ -1,0 +1,83 @@
+"""Tests for repro.model.fitness."""
+
+import pytest
+
+from repro.model.fitness import DEFAULT_LAMBDA, FitnessEvaluator, ObjectiveValues
+from repro.model.schedule import Schedule
+
+
+class TestScalarization:
+    def test_default_lambda_is_paper_value(self):
+        assert DEFAULT_LAMBDA == 0.75
+        assert FitnessEvaluator().weight == 0.75
+
+    def test_weighted_sum(self):
+        evaluator = FitnessEvaluator(0.75)
+        assert evaluator.scalarize(100.0, 40.0) == pytest.approx(0.75 * 100 + 0.25 * 40)
+
+    def test_weight_one_is_makespan_only(self, random_schedule):
+        evaluator = FitnessEvaluator(1.0)
+        assert evaluator(random_schedule) == pytest.approx(random_schedule.makespan)
+
+    def test_weight_zero_is_mean_flowtime_only(self, random_schedule):
+        evaluator = FitnessEvaluator(0.0)
+        assert evaluator(random_schedule) == pytest.approx(random_schedule.mean_flowtime)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FitnessEvaluator(1.5)
+
+    def test_call_matches_evaluate(self, random_schedule):
+        evaluator = FitnessEvaluator()
+        assert evaluator(random_schedule) == pytest.approx(
+            evaluator.evaluate(random_schedule).fitness
+        )
+
+
+class TestEvaluationCounter:
+    def test_counts_calls(self, random_schedule):
+        evaluator = FitnessEvaluator()
+        evaluator(random_schedule)
+        evaluator.evaluate(random_schedule)
+        assert evaluator.evaluations == 2
+
+    def test_scalarize_does_not_count(self):
+        evaluator = FitnessEvaluator()
+        evaluator.scalarize(1.0, 1.0)
+        assert evaluator.evaluations == 0
+
+    def test_reset(self, random_schedule):
+        evaluator = FitnessEvaluator()
+        evaluator(random_schedule)
+        evaluator.reset()
+        assert evaluator.evaluations == 0
+
+
+class TestObjectiveValues:
+    def test_evaluate_returns_consistent_values(self, random_schedule):
+        evaluator = FitnessEvaluator()
+        values = evaluator.evaluate(random_schedule)
+        assert values.makespan == pytest.approx(random_schedule.makespan)
+        assert values.flowtime == pytest.approx(random_schedule.flowtime)
+        assert values.mean_flowtime == pytest.approx(random_schedule.mean_flowtime)
+        assert values.fitness == pytest.approx(
+            evaluator.scalarize(values.makespan, values.mean_flowtime)
+        )
+
+    def test_dominance(self):
+        a = ObjectiveValues(makespan=10, flowtime=100, mean_flowtime=10, fitness=10)
+        b = ObjectiveValues(makespan=12, flowtime=120, mean_flowtime=12, fitness=12)
+        c = ObjectiveValues(makespan=9, flowtime=130, mean_flowtime=13, fitness=10)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c)  # c is better on makespan
+        assert not c.dominates(a)  # a is better on flowtime
+        assert not a.dominates(a)  # strict dominance requires strict improvement
+
+
+class TestBetterScheduleHasBetterFitness:
+    def test_moving_towards_balance_reduces_fitness(self, tiny_instance):
+        evaluator = FitnessEvaluator()
+        everything_on_one = Schedule(tiny_instance)  # all jobs on machine 0
+        balanced = Schedule.random(tiny_instance, rng=8)
+        assert evaluator(balanced) < evaluator(everything_on_one)

@@ -1,0 +1,134 @@
+"""Tests for repro.model.generator (range-based / CVB ETC generation)."""
+
+import numpy as np
+import pytest
+
+from repro.model.etc import classify_consistency, task_heterogeneity
+from repro.model.generator import (
+    ETCGeneratorConfig,
+    MACHINE_HETEROGENEITY_RANGES,
+    TASK_HETEROGENEITY_RANGES,
+    generate_etc_matrix,
+    generate_instance,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_are_braun_dimensions(self):
+        config = ETCGeneratorConfig()
+        assert config.nb_jobs == 512
+        assert config.nb_machines == 16
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("c", "consistent"),
+        ("i", "inconsistent"),
+        ("s", "semi-consistent"),
+        ("consistent", "consistent"),
+        ("SEMI", "semi-consistent"),
+    ])
+    def test_consistency_aliases(self, alias, expected):
+        assert ETCGeneratorConfig(consistency=alias).consistency == expected
+
+    def test_unknown_consistency_rejected(self):
+        with pytest.raises(ValueError):
+            ETCGeneratorConfig(consistency="weird")
+
+    def test_unknown_heterogeneity_rejected(self):
+        with pytest.raises(ValueError):
+            ETCGeneratorConfig(task_heterogeneity="medium")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            ETCGeneratorConfig(method="magic")
+
+    def test_canonical_name(self):
+        config = ETCGeneratorConfig(
+            consistency="s", task_heterogeneity="hi", machine_heterogeneity="lo"
+        )
+        assert config.canonical_name == "u_s_hilo"
+
+    def test_with_dimensions(self):
+        config = ETCGeneratorConfig().with_dimensions(10, 3)
+        assert (config.nb_jobs, config.nb_machines) == (10, 3)
+
+
+class TestRangeBasedGeneration:
+    @pytest.mark.parametrize("consistency", ["consistent", "inconsistent", "semi-consistent"])
+    def test_consistency_class_respected(self, consistency):
+        config = ETCGeneratorConfig(
+            nb_jobs=40, nb_machines=8, consistency=consistency
+        )
+        matrix = generate_etc_matrix(config, rng=5)
+        assert classify_consistency(matrix) == consistency
+
+    def test_shape_and_positivity(self):
+        config = ETCGeneratorConfig(nb_jobs=30, nb_machines=5)
+        matrix = generate_etc_matrix(config, rng=1)
+        assert matrix.shape == (30, 5)
+        assert np.all(matrix > 0)
+
+    def test_deterministic_for_seed(self):
+        config = ETCGeneratorConfig(nb_jobs=20, nb_machines=4)
+        a = generate_etc_matrix(config, rng=9)
+        b = generate_etc_matrix(config, rng=9)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        config = ETCGeneratorConfig(nb_jobs=20, nb_machines=4)
+        a = generate_etc_matrix(config, rng=9)
+        b = generate_etc_matrix(config, rng=10)
+        assert not np.array_equal(a, b)
+
+    def test_range_upper_bounds_respected(self):
+        config = ETCGeneratorConfig(
+            nb_jobs=200, nb_machines=8, task_heterogeneity="lo", machine_heterogeneity="lo"
+        )
+        matrix = generate_etc_matrix(config, rng=2)
+        upper = TASK_HETEROGENEITY_RANGES["lo"] * MACHINE_HETEROGENEITY_RANGES["lo"]
+        assert matrix.max() <= upper
+
+    def test_high_task_heterogeneity_increases_spread(self):
+        low = ETCGeneratorConfig(nb_jobs=300, nb_machines=8, task_heterogeneity="lo")
+        high = ETCGeneratorConfig(nb_jobs=300, nb_machines=8, task_heterogeneity="hi")
+        assert task_heterogeneity(generate_etc_matrix(high, 3)) > task_heterogeneity(
+            generate_etc_matrix(low, 3)
+        )
+
+
+class TestCVBGeneration:
+    def test_shape_and_positivity(self):
+        config = ETCGeneratorConfig(nb_jobs=50, nb_machines=6, method="cvb")
+        matrix = generate_etc_matrix(config, rng=4)
+        assert matrix.shape == (50, 6)
+        assert np.all(matrix > 0)
+
+    def test_consistency_applies_to_cvb_too(self):
+        config = ETCGeneratorConfig(
+            nb_jobs=40, nb_machines=6, method="cvb", consistency="consistent"
+        )
+        matrix = generate_etc_matrix(config, rng=4)
+        assert classify_consistency(matrix) == "consistent"
+
+    def test_task_mean_scales_values(self):
+        small = ETCGeneratorConfig(nb_jobs=100, nb_machines=4, method="cvb", task_mean=10.0)
+        large = ETCGeneratorConfig(nb_jobs=100, nb_machines=4, method="cvb", task_mean=1000.0)
+        assert generate_etc_matrix(large, 6).mean() > generate_etc_matrix(small, 6).mean()
+
+
+class TestGenerateInstance:
+    def test_instance_name_defaults_to_canonical(self):
+        config = ETCGeneratorConfig(nb_jobs=10, nb_machines=3, consistency="c")
+        instance = generate_instance(config, rng=0)
+        assert instance.name == "u_c_hihi"
+
+    def test_metadata_recorded(self):
+        config = ETCGeneratorConfig(nb_jobs=10, nb_machines=3, consistency="i")
+        instance = generate_instance(config, rng=0, name="custom")
+        assert instance.name == "custom"
+        assert instance.metadata["consistency"] == "inconsistent"
+        assert instance.metadata["generator"] == "range_based"
+
+    def test_ready_times_forwarded(self):
+        config = ETCGeneratorConfig(nb_jobs=10, nb_machines=3)
+        instance = generate_instance(config, rng=0, ready_times=[1.0, 2.0, 3.0])
+        assert instance.ready_times.tolist() == [1.0, 2.0, 3.0]

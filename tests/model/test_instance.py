@@ -1,0 +1,108 @@
+"""Tests for repro.model.instance."""
+
+import numpy as np
+import pytest
+
+from repro.model.instance import SchedulingInstance
+
+
+class TestConstruction:
+    def test_dimensions(self, tiny_instance):
+        assert tiny_instance.nb_jobs == 16
+        assert tiny_instance.nb_machines == 4
+        assert tiny_instance.etc.shape == (16, 4)
+
+    def test_default_ready_times_zero(self, tiny_instance):
+        assert np.array_equal(tiny_instance.ready_times, np.zeros(4))
+
+    def test_explicit_ready_times(self):
+        etc = np.ones((3, 2))
+        instance = SchedulingInstance(etc=etc, ready_times=[1.0, 2.0])
+        assert instance.ready_times.tolist() == [1.0, 2.0]
+
+    def test_ready_times_length_checked(self):
+        with pytest.raises(ValueError):
+            SchedulingInstance(etc=np.ones((3, 2)), ready_times=[1.0])
+
+    def test_nonpositive_etc_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingInstance(etc=np.zeros((2, 2)))
+
+    def test_1d_etc_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingInstance(etc=np.ones(5))
+
+    def test_workload_length_checked(self):
+        with pytest.raises(ValueError):
+            SchedulingInstance(etc=np.ones((3, 2)), workloads=[1.0, 2.0])
+
+    def test_metadata_defaults_empty(self, tiny_instance):
+        assert isinstance(tiny_instance.metadata, dict)
+
+
+class TestFromWorkloads:
+    def test_etc_is_ratio(self):
+        instance = SchedulingInstance.from_workloads(
+            workloads=[100.0, 200.0], mips=[10.0, 20.0]
+        )
+        assert instance.etc[0, 0] == pytest.approx(10.0)
+        assert instance.etc[0, 1] == pytest.approx(5.0)
+        assert instance.etc[1, 0] == pytest.approx(20.0)
+
+    def test_resulting_matrix_is_consistent(self):
+        instance = SchedulingInstance.from_workloads(
+            workloads=np.arange(1.0, 21.0), mips=np.array([3.0, 1.0, 2.0])
+        )
+        assert instance.consistency == "consistent"
+
+    def test_nonpositive_workload_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingInstance.from_workloads(workloads=[0.0], mips=[1.0])
+
+    def test_nonpositive_mips_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingInstance.from_workloads(workloads=[1.0], mips=[0.0])
+
+
+class TestBounds:
+    def test_lower_bound_below_upper_bound(self, tiny_instance):
+        assert tiny_instance.makespan_lower_bound() <= tiny_instance.makespan_upper_bound()
+
+    def test_lower_bound_positive(self, tiny_instance):
+        assert tiny_instance.makespan_lower_bound() > 0
+
+    def test_bounds_bracket_any_schedule(self, tiny_instance):
+        from repro.model.schedule import Schedule
+
+        schedule = Schedule.random(tiny_instance, rng=0)
+        assert tiny_instance.makespan_lower_bound() <= schedule.makespan
+        assert schedule.makespan <= tiny_instance.makespan_upper_bound()
+
+    def test_ready_times_reflected_in_lower_bound(self, ready_time_instance):
+        zero_ready = SchedulingInstance(etc=ready_time_instance.etc)
+        assert (
+            ready_time_instance.makespan_lower_bound()
+            >= zero_ready.makespan_lower_bound()
+        )
+
+
+class TestEquality:
+    def test_equality_and_hash(self, tiny_instance):
+        clone = SchedulingInstance(
+            etc=tiny_instance.etc.copy(),
+            ready_times=tiny_instance.ready_times.copy(),
+            name=tiny_instance.name,
+        )
+        assert clone == tiny_instance
+        assert hash(clone) == hash(tiny_instance)
+
+    def test_different_name_not_equal(self, tiny_instance):
+        other = SchedulingInstance(etc=tiny_instance.etc, name="other")
+        assert other != tiny_instance
+
+    def test_comparison_with_non_instance(self, tiny_instance):
+        assert tiny_instance != "not an instance"
+
+    def test_consistency_property(self, consistent_instance, tiny_instance):
+        assert consistent_instance.consistency == "consistent"
+        assert tiny_instance.consistency == "inconsistent"

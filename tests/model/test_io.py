@@ -1,0 +1,70 @@
+"""Tests for repro.model.io (Braun-format and JSON instance persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.model.generator import ETCGeneratorConfig, generate_instance
+from repro.model.instance import SchedulingInstance
+from repro.model.io import load_etc_file, load_instance, save_etc_file, save_instance
+
+
+@pytest.fixture
+def sample_instance():
+    config = ETCGeneratorConfig(nb_jobs=12, nb_machines=3, consistency="inconsistent")
+    return generate_instance(config, rng=11, name="sample")
+
+
+class TestBraunFormat:
+    def test_round_trip(self, tmp_path, sample_instance):
+        path = save_etc_file(sample_instance, tmp_path / "u_test.0")
+        loaded = load_etc_file(path, nb_jobs=12, nb_machines=3)
+        assert np.allclose(loaded.etc, sample_instance.etc, rtol=1e-5)
+
+    def test_name_defaults_to_stem(self, tmp_path, sample_instance):
+        path = save_etc_file(sample_instance, tmp_path / "u_c_hihi.0")
+        loaded = load_etc_file(path, nb_jobs=12, nb_machines=3)
+        assert loaded.name == "u_c_hihi.0"
+
+    def test_explicit_name(self, tmp_path, sample_instance):
+        path = save_etc_file(sample_instance, tmp_path / "file.txt")
+        loaded = load_etc_file(path, nb_jobs=12, nb_machines=3, name="renamed")
+        assert loaded.name == "renamed"
+
+    def test_wrong_dimensions_rejected(self, tmp_path, sample_instance):
+        path = save_etc_file(sample_instance, tmp_path / "file.txt")
+        with pytest.raises(ValueError):
+            load_etc_file(path, nb_jobs=10, nb_machines=3)
+
+    def test_one_value_per_line(self, tmp_path, sample_instance):
+        path = save_etc_file(sample_instance, tmp_path / "file.txt")
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        assert len(lines) == 12 * 3
+
+    def test_creates_parent_directories(self, tmp_path, sample_instance):
+        path = save_etc_file(sample_instance, tmp_path / "nested" / "dir" / "file.txt")
+        assert path.exists()
+
+
+class TestJsonFormat:
+    def test_round_trip_preserves_everything(self, tmp_path, sample_instance):
+        path = save_instance(sample_instance, tmp_path / "instance.json")
+        loaded = load_instance(path)
+        assert loaded.name == sample_instance.name
+        assert np.allclose(loaded.etc, sample_instance.etc)
+        assert np.allclose(loaded.ready_times, sample_instance.ready_times)
+        assert loaded.metadata == sample_instance.metadata
+
+    def test_round_trip_with_workloads(self, tmp_path):
+        instance = SchedulingInstance.from_workloads(
+            workloads=[10.0, 20.0, 30.0], mips=[1.0, 2.0], name="wl"
+        )
+        loaded = load_instance(save_instance(instance, tmp_path / "wl.json"))
+        assert np.allclose(loaded.workloads, [10.0, 20.0, 30.0])
+        assert np.allclose(loaded.mips, [1.0, 2.0])
+
+    def test_shape_mismatch_detected(self, tmp_path, sample_instance):
+        path = save_instance(sample_instance, tmp_path / "broken.json")
+        payload = path.read_text().replace('"nb_jobs": 12', '"nb_jobs": 11')
+        path.write_text(payload)
+        with pytest.raises(ValueError):
+            load_instance(path)

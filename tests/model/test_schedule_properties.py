@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the schedule evaluation invariants.
+
+These are the invariants the whole library leans on:
+
+* cached completion times / flowtime always agree with a from-scratch
+  recomputation, no matter what sequence of moves and swaps was applied;
+* makespan equals the maximum completion time;
+* flowtime is order-invariant re-derivable from the assignment alone;
+* the what-if helpers predict exactly what the mutating operations produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.fitness import FitnessEvaluator
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule
+
+
+@st.composite
+def instances(draw, max_jobs: int = 24, max_machines: int = 6):
+    """Random small instances with positive ETC values and ready times."""
+    nb_jobs = draw(st.integers(min_value=1, max_value=max_jobs))
+    nb_machines = draw(st.integers(min_value=1, max_value=max_machines))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    etc = rng.uniform(0.5, 100.0, size=(nb_jobs, nb_machines))
+    ready = rng.uniform(0.0, 20.0, size=nb_machines)
+    return SchedulingInstance(etc=etc, ready_times=ready, name=f"prop-{seed}")
+
+
+@st.composite
+def instance_with_assignment(draw):
+    instance = draw(instances())
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, instance.nb_machines, size=instance.nb_jobs)
+    return instance, assignment
+
+
+@st.composite
+def instance_with_operations(draw):
+    """An instance plus a random sequence of move/swap operations."""
+    instance, assignment = draw(instance_with_assignment())
+    nb_ops = draw(st.integers(min_value=0, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    operations = []
+    for _ in range(nb_ops):
+        if rng.random() < 0.5:
+            operations.append(
+                ("move", int(rng.integers(instance.nb_jobs)), int(rng.integers(instance.nb_machines)))
+            )
+        else:
+            operations.append(
+                ("swap", int(rng.integers(instance.nb_jobs)), int(rng.integers(instance.nb_jobs)))
+            )
+    return instance, assignment, operations
+
+
+@given(instance_with_assignment())
+@settings(max_examples=60, deadline=None)
+def test_makespan_is_max_completion(data):
+    instance, assignment = data
+    schedule = Schedule(instance, assignment)
+    assert schedule.makespan == schedule.completion_times.max()
+
+
+@given(instance_with_assignment())
+@settings(max_examples=60, deadline=None)
+def test_completion_matches_manual_sum(data):
+    instance, assignment = data
+    schedule = Schedule(instance, assignment)
+    for machine in range(instance.nb_machines):
+        jobs = np.nonzero(assignment == machine)[0]
+        expected = instance.ready_times[machine] + instance.etc[jobs, machine].sum()
+        assert np.isclose(schedule.completion_times[machine], expected)
+
+
+@given(instance_with_assignment())
+@settings(max_examples=60, deadline=None)
+def test_flowtime_at_least_sum_of_chosen_etc(data):
+    """Every job finishes no earlier than its own execution time."""
+    instance, assignment = data
+    schedule = Schedule(instance, assignment)
+    chosen = instance.etc[np.arange(instance.nb_jobs), assignment]
+    assert schedule.flowtime >= chosen.sum() - 1e-9
+
+
+@given(instance_with_operations())
+@settings(max_examples=60, deadline=None)
+def test_incremental_updates_match_recompute(data):
+    instance, assignment, operations = data
+    schedule = Schedule(instance, assignment)
+    for op, a, b in operations:
+        if op == "move":
+            schedule.move_job(a, b)
+        else:
+            schedule.swap_jobs(a, b)
+    reference = Schedule(instance, schedule.assignment)
+    assert np.allclose(schedule.completion_times, reference.completion_times)
+    assert np.isclose(schedule.flowtime, reference.flowtime)
+    assert np.isclose(schedule.makespan, reference.makespan)
+
+
+@given(instance_with_operations())
+@settings(max_examples=40, deadline=None)
+def test_fitness_is_between_objectives(data):
+    """The weighted sum lies between its two components for any 0<=λ<=1."""
+    instance, assignment, _ = data
+    schedule = Schedule(instance, assignment)
+    evaluator = FitnessEvaluator(0.75)
+    fitness = evaluator(schedule)
+    low = min(schedule.makespan, schedule.mean_flowtime)
+    high = max(schedule.makespan, schedule.mean_flowtime)
+    assert low - 1e-9 <= fitness <= high + 1e-9
+
+
+@given(instance_with_assignment(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_what_if_move_prediction(data, seed):
+    instance, assignment = data
+    schedule = Schedule(instance, assignment)
+    rng = np.random.default_rng(seed)
+    job = int(rng.integers(instance.nb_jobs))
+    machine = int(rng.integers(instance.nb_machines))
+    predicted = schedule.makespan_if_moved(job, machine)
+    schedule.move_job(job, machine)
+    assert np.isclose(predicted, schedule.makespan)
+
+
+@given(instance_with_assignment(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_what_if_swap_prediction(data, seed):
+    instance, assignment = data
+    schedule = Schedule(instance, assignment)
+    rng = np.random.default_rng(seed)
+    job_a = int(rng.integers(instance.nb_jobs))
+    job_b = int(rng.integers(instance.nb_jobs))
+    predicted = schedule.makespan_if_swapped(job_a, job_b)
+    schedule.swap_jobs(job_a, job_b)
+    assert np.isclose(predicted, schedule.makespan)
+
+
+@given(instance_with_assignment())
+@settings(max_examples=40, deadline=None)
+def test_distance_is_a_metric_on_assignments(data):
+    instance, assignment = data
+    a = Schedule(instance, assignment)
+    b = Schedule.random(instance, rng=0)
+    c = Schedule.random(instance, rng=1)
+    assert a.distance(a) == 0
+    assert a.distance(b) == b.distance(a)
+    assert a.distance(c) <= a.distance(b) + b.distance(c)
+    assert 0 <= a.distance(b) <= instance.nb_jobs

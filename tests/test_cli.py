@@ -1,0 +1,192 @@
+"""Tests for the repro-scheduler command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+from repro.model.generator import ETCGeneratorConfig, generate_instance
+from repro.model.io import save_etc_file
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.command == "solve"
+        assert args.algorithm == "cma"
+        assert args.instance == "u_c_hihi.0"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--algorithm", "magic"])
+
+    def test_table_choices(self):
+        args = build_parser().parse_args(["table", "--table", "table4"])
+        assert args.table == "table4"
+
+
+SMALL = ["--jobs", "24", "--machines", "4", "--seed", "3"]
+
+
+class TestSolveCommand:
+    def test_cma_solve(self, capsys):
+        code = main(["solve", *SMALL, "--seconds", "10", "--iterations", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "makespan" in out
+        assert "cma" in out
+
+    @pytest.mark.parametrize("algorithm", [a for a in ALGORITHMS if a != "cma"])
+    def test_every_algorithm_runs(self, algorithm, capsys):
+        code = main(
+            [
+                "solve",
+                *SMALL,
+                "--algorithm",
+                algorithm,
+                "--seconds",
+                "10",
+                "--iterations",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert algorithm in capsys.readouterr().out
+
+    def test_etc_file_input(self, tmp_path, capsys):
+        instance = generate_instance(
+            ETCGeneratorConfig(nb_jobs=24, nb_machines=4), rng=1, name="file"
+        )
+        path = save_etc_file(instance, tmp_path / "u_file.0")
+        code = main(
+            [
+                "solve",
+                "--etc-file",
+                str(path),
+                *SMALL,
+                "--seconds",
+                "10",
+                "--iterations",
+                "3",
+            ]
+        )
+        assert code == 0
+
+    def test_missing_etc_file_is_reported(self, capsys):
+        code = main(["solve", "--etc-file", "/does/not/exist.0", *SMALL])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_bad_instance_name_is_reported(self, capsys):
+        code = main(["solve", "--instance", "not_a_name", *SMALL, "--seconds", "1"])
+        assert code == 2
+
+
+class TestHeuristicsCommand:
+    def test_lists_all_heuristics(self, capsys):
+        code = main(["heuristics", *SMALL])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("min_min", "ljfr_sjfr", "olb"):
+            assert name in out
+
+
+class TestTuneCommand:
+    def test_figure2_runs(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--figure",
+                "figure2",
+                "--jobs",
+                "24",
+                "--machines",
+                "4",
+                "--runs",
+                "1",
+                "--seconds",
+                "0.1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LMCTS" in out
+        assert "best variant" in out
+
+
+class TestTableCommand:
+    def test_table1(self, capsys):
+        code = main(["table", "--table", "table1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "population height" in out
+
+    def test_table2_subset(self, capsys):
+        code = main(
+            [
+                "table",
+                "--table",
+                "table2",
+                "--jobs",
+                "20",
+                "--machines",
+                "4",
+                "--runs",
+                "1",
+                "--seconds",
+                "0.1",
+                "--instances",
+                "u_c_hihi.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "u_c_hihi.0" in out
+        assert "cMA (measured)" in out
+
+
+class TestSimulateCommand:
+    def test_heuristic_policy(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "min_min",
+                "--rate",
+                "0.5",
+                "--duration",
+                "20",
+                "--machines",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "min_min" in out
+        assert "makespan" in out
+
+    def test_cma_policy(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "cma",
+                "--rate",
+                "0.5",
+                "--duration",
+                "15",
+                "--machines",
+                "3",
+                "--budget",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        assert "cma" in capsys.readouterr().out
+
+    def test_unknown_policy_reported(self, capsys):
+        code = main(["simulate", "--policy", "nonsense", "--duration", "5"])
+        assert code == 2

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.history."""
+
+import numpy as np
+import pytest
+
+from repro.utils.history import ConvergenceHistory
+
+
+def make_history(points):
+    """Build a history from (time, makespan) pairs."""
+    history = ConvergenceHistory()
+    for i, (t, makespan) in enumerate(points):
+        history.record(
+            elapsed_seconds=t,
+            evaluations=i * 10,
+            iterations=i,
+            best_fitness=makespan * 0.8,
+            best_makespan=makespan,
+            best_flowtime=makespan * 5,
+        )
+    return history
+
+
+class TestRecording:
+    def test_length_and_final(self):
+        history = make_history([(0.0, 100.0), (1.0, 90.0)])
+        assert len(history) == 2
+        assert history.final.best_makespan == 90.0
+
+    def test_final_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            ConvergenceHistory().final
+
+    def test_column_arrays(self):
+        history = make_history([(0.0, 100.0), (1.0, 90.0), (2.0, 80.0)])
+        assert np.array_equal(history.times(), [0.0, 1.0, 2.0])
+        assert np.array_equal(history.makespans(), [100.0, 90.0, 80.0])
+        assert history.fitnesses()[0] == pytest.approx(80.0)
+        assert history.flowtimes()[-1] == pytest.approx(400.0)
+
+    def test_bool_is_true_even_when_empty(self):
+        assert bool(ConvergenceHistory())
+
+
+class TestResample:
+    def test_step_function_semantics(self):
+        history = make_history([(0.0, 100.0), (1.0, 90.0), (3.0, 70.0)])
+        values = history.resample([0.0, 0.5, 1.0, 2.0, 3.0, 10.0])
+        assert values.tolist() == [100.0, 100.0, 90.0, 90.0, 70.0, 70.0]
+
+    def test_grid_before_first_record(self):
+        history = make_history([(1.0, 50.0)])
+        values = history.resample([0.0, 0.5])
+        assert values.tolist() == [50.0, 50.0]
+
+    def test_other_columns(self):
+        history = make_history([(0.0, 100.0), (1.0, 90.0)])
+        fitness = history.resample([1.0], column="best_fitness")
+        assert fitness[0] == pytest.approx(72.0)
+
+    def test_unknown_column_rejected(self):
+        history = make_history([(0.0, 100.0)])
+        with pytest.raises(ValueError):
+            history.resample([0.0], column="nope")
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceHistory().resample([0.0])
+
+
+class TestImprovementRatio:
+    def test_improvement(self):
+        history = make_history([(0.0, 100.0), (1.0, 75.0)])
+        assert history.improvement_ratio() == pytest.approx(0.25)
+
+    def test_no_improvement(self):
+        history = make_history([(0.0, 100.0), (1.0, 100.0)])
+        assert history.improvement_ratio() == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceHistory().improvement_ratio()

@@ -1,0 +1,119 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils import rng as rng_module
+from repro.utils.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(123).integers(0, 1_000_000, size=10)
+        b = as_generator(123).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=20)
+        b = as_generator(2).integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(9)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_generator(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+    def test_numpy_integer_seed_accepted(self):
+        gen = as_generator(np.int64(77))
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        children = spawn_generators(0, 5)
+        assert len(children) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_generators(11, 2)
+        a = children[0].integers(0, 1_000_000, size=50)
+        b = children[1].integers(0, 1_000_000, size=50)
+        assert not np.array_equal(a, b)
+
+    def test_children_reproducible_from_seed(self):
+        first = [g.integers(0, 1000, size=5) for g in spawn_generators(99, 3)]
+        second = [g.integers(0, 1000, size=5) for g in spawn_generators(99, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+
+class TestDeriveSeed:
+    def test_in_range(self):
+        seed = derive_seed(4, low=10, high=20)
+        assert 10 <= seed < 20
+
+    def test_deterministic(self):
+        assert derive_seed(123) == derive_seed(123)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            derive_seed(1, low=5, high=5)
+
+
+class TestHelpers:
+    def test_random_permutation_is_permutation(self):
+        perm = rng_module.random_permutation(3, 10)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_random_permutation_negative(self):
+        with pytest.raises(ValueError):
+            rng_module.random_permutation(3, -1)
+
+    def test_weighted_choice_respects_zero_weight(self):
+        # Only index 1 has weight, so it must always be chosen.
+        for _ in range(10):
+            assert rng_module.weighted_choice(0, [0.0, 1.0, 0.0]) == 1
+
+    def test_weighted_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rng_module.weighted_choice(0, [])
+
+    def test_weighted_choice_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rng_module.weighted_choice(0, [0.5, -0.1])
+
+    def test_weighted_choice_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            rng_module.weighted_choice(0, [0.0, 0.0])
+
+    def test_sample_without_replacement_distinct(self):
+        sample = rng_module.sample_without_replacement(1, 20, 10)
+        assert len(set(sample.tolist())) == 10
+
+    def test_sample_without_replacement_from_iterable(self):
+        sample = rng_module.sample_without_replacement(1, [5, 6, 7], 2)
+        assert set(sample.tolist()).issubset({5, 6, 7})
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            rng_module.sample_without_replacement(1, 3, 4)

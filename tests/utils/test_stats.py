@@ -1,0 +1,88 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    coefficient_of_variation,
+    confidence_interval,
+    relative_difference_percent,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        stats = summarize([3.0, 1.0, 2.0])
+        assert stats.count == 3
+        assert stats.best == 1.0
+        assert stats.worst == 3.0
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.median == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_value_has_zero_std(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert stats.best == stats.worst == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, float("nan")])
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"count", "best", "worst", "mean", "median", "std", "cv"}
+
+    def test_accepts_numpy_array(self):
+        stats = summarize(np.array([4.0, 6.0]))
+        assert stats.mean == pytest.approx(5.0)
+
+
+class TestCoefficientOfVariation:
+    def test_zero_for_constant(self):
+        assert coefficient_of_variation([2.0, 2.0, 2.0]) == 0.0
+
+    def test_zero_mean_guard(self):
+        assert summarize([0.0]).coefficient_of_variation == 0.0
+
+    def test_positive_for_spread(self):
+        assert coefficient_of_variation([1.0, 3.0]) > 0
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        values = [10.0, 12.0, 11.0, 9.0, 13.0]
+        low, high = confidence_interval(values)
+        mean = np.mean(values)
+        assert low <= mean <= high
+
+    def test_single_value_degenerate(self):
+        assert confidence_interval([4.0]) == (4.0, 4.0)
+
+    def test_wider_for_higher_confidence(self):
+        values = [10.0, 12.0, 11.0, 9.0, 13.0]
+        low95, high95 = confidence_interval(values, 0.95)
+        low50, high50 = confidence_interval(values, 0.50)
+        assert (high95 - low95) > (high50 - low50)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestRelativeDifference:
+    def test_improvement_is_positive(self):
+        # value smaller than reference -> positive percentage (paper convention)
+        assert relative_difference_percent(100.0, 90.0) == pytest.approx(10.0)
+
+    def test_degradation_is_negative(self):
+        assert relative_difference_percent(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_difference_percent(0.0, 1.0)

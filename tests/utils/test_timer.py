@@ -1,0 +1,60 @@
+"""Tests for repro.utils.timer."""
+
+import math
+import time
+
+import pytest
+
+from repro.utils.timer import Deadline, Stopwatch
+
+
+class TestStopwatch:
+    def test_elapsed_is_non_negative_and_grows(self):
+        watch = Stopwatch()
+        first = watch.elapsed
+        time.sleep(0.01)
+        second = watch.elapsed
+        assert first >= 0
+        assert second > first
+
+    def test_restart_resets(self):
+        watch = Stopwatch()
+        time.sleep(0.01)
+        watch.restart()
+        assert watch.elapsed < 0.01
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.expired()
+        assert deadline.remaining == math.inf
+
+    def test_zero_budget_expires_immediately(self):
+        assert Deadline(0.0).expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_expires_after_budget(self):
+        deadline = Deadline(0.02)
+        assert not deadline.expired()
+        time.sleep(0.03)
+        assert deadline.expired()
+
+    def test_remaining_decreases(self):
+        deadline = Deadline(1.0)
+        first = deadline.remaining
+        time.sleep(0.01)
+        assert deadline.remaining < first
+
+    def test_restart(self):
+        deadline = Deadline(0.02)
+        time.sleep(0.03)
+        assert deadline.expired()
+        deadline.restart()
+        assert not deadline.expired()
+
+    def test_elapsed_non_negative(self):
+        assert Deadline(5.0).elapsed >= 0.0

@@ -1,0 +1,125 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer("x", 5) == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_integer("x", np.int32(7)) == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer("x", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer("x", 5.0)
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_integer("x", 0, minimum=1)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_bad_values(self, value):
+        with pytest.raises(ValueError):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_outside_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 3.0, 0.0, 2.0)
+
+
+class TestCheckMatrix:
+    def test_accepts_positive_matrix(self):
+        arr = check_matrix("m", [[1.0, 2.0], [3.0, 4.0]])
+        assert arr.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_matrix("m", [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_matrix("m", np.empty((0, 3)))
+
+    def test_rejects_nonpositive_when_positive_required(self):
+        with pytest.raises(ValueError):
+            check_matrix("m", [[1.0, 0.0]])
+
+    def test_allows_zero_when_not_positive(self):
+        arr = check_matrix("m", [[1.0, 0.0]], positive=False)
+        assert arr[0, 1] == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_matrix("m", [[1.0, float("nan")]])
+
+
+class TestCheckVector:
+    def test_accepts_vector(self):
+        arr = check_vector("v", [0.0, 1.0, 2.0])
+        assert arr.shape == (3,)
+
+    def test_length_enforced(self):
+        with pytest.raises(ValueError):
+            check_vector("v", [1.0, 2.0], length=3)
+
+    def test_rejects_negative_by_default(self):
+        with pytest.raises(ValueError):
+            check_vector("v", [-1.0])
+
+    def test_allows_negative_when_requested(self):
+        arr = check_vector("v", [-1.0], non_negative=False)
+        assert arr[0] == -1.0
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_vector("v", [[1.0, 2.0]])
