@@ -1,0 +1,6 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+This package marker makes ``benchmarks/`` importable so that pytest can
+resolve the ``from .conftest import run_once`` imports used by every
+benchmark module (run them with ``python -m pytest benchmarks``).
+"""

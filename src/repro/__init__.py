@@ -7,6 +7,9 @@ using Cellular Memetic Algorithms"* (Xhafa, Alba & Dorronsoro, IPPS/IPDPS
 * :mod:`repro.model` — the ETC scheduling model (instances, schedules,
   makespan / flowtime, the Braun-style benchmark generator);
 * :mod:`repro.heuristics` — constructive heuristics (LJFR-SJFR, Min-Min, ...);
+* :mod:`repro.engine` — the vectorized batch-evaluation engine (SoA
+  populations, batched objectives, vectorized neighborhood scans, shared
+  per-run evaluation services);
 * :mod:`repro.core` — the cellular memetic algorithm and all of its operators;
 * :mod:`repro.baselines` — the GAs the paper compares against plus ablations;
 * :mod:`repro.grid` — a discrete-event simulator for the dynamic batch-mode
@@ -30,6 +33,7 @@ from repro.core import (
     SchedulingResult,
     TerminationCriteria,
 )
+from repro.engine import BatchEvaluator, EvaluationEngine
 from repro.model import (
     FitnessEvaluator,
     Schedule,
@@ -41,12 +45,14 @@ from repro.model import (
 )
 from repro.heuristics import build_schedule, get_heuristic, list_heuristics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "BatchEvaluator",
     "CellularMemeticAlgorithm",
     "CMAConfig",
+    "EvaluationEngine",
     "SchedulingResult",
     "TerminationCriteria",
     "FitnessEvaluator",

@@ -19,14 +19,12 @@ import numpy as np
 
 from repro.core.cma import SchedulingResult
 from repro.core.individual import Individual
+from repro.core.population import individuals_from_batch
 from repro.core.termination import SearchState, TerminationCriteria
-from repro.heuristics.base import build_schedule
-from repro.model.fitness import FitnessEvaluator
+from repro.engine.service import EvaluationEngine
 from repro.model.instance import SchedulingInstance
 from repro.model.schedule import Schedule
-from repro.utils.history import ConvergenceHistory
 from repro.utils.rng import RNGLike, as_generator
-from repro.utils.timer import Stopwatch
 
 __all__ = ["PopulationBasedScheduler"]
 
@@ -53,6 +51,7 @@ class PopulationBasedScheduler(abc.ABC):
         fitness_weight: float = 0.75,
         seeding_heuristic: str | None = "ljfr_sjfr",
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         if population_size < 2:
             raise ValueError(f"population_size must be >= 2, got {population_size}")
@@ -61,8 +60,12 @@ class PopulationBasedScheduler(abc.ABC):
         self.termination = termination
         self.seeding_heuristic = seeding_heuristic
         self.rng = as_generator(rng)
-        self.evaluator = FitnessEvaluator(fitness_weight)
-        self.history = ConvergenceHistory()
+        self.engine = (
+            engine if engine is not None else EvaluationEngine(instance, fitness_weight)
+        )
+        self.engine.set_weight(fitness_weight)
+        self.evaluator = self.engine.evaluator
+        self.history = self.engine.history
         self.population: list[Individual] = []
         self.best: Individual | None = None
 
@@ -70,17 +73,15 @@ class PopulationBasedScheduler(abc.ABC):
     # Hooks
     # ------------------------------------------------------------------ #
     def _initialize_population(self) -> list[Individual]:
-        """Default seeding: one heuristic individual plus random schedules."""
-        individuals: list[Individual] = []
-        if self.seeding_heuristic is not None:
-            seed = Individual(build_schedule(self.seeding_heuristic, self.instance, self.rng))
-            seed.evaluate(self.evaluator)
-            individuals.append(seed)
-        while len(individuals) < self.population_size:
-            individual = Individual(Schedule.random(self.instance, self.rng))
-            individual.evaluate(self.evaluator)
-            individuals.append(individual)
-        return individuals
+        """Default seeding: one heuristic individual plus random schedules.
+
+        The whole population is drawn and evaluated through the batch
+        engine — one vectorized random draw, one batched evaluation.
+        """
+        batch = self.engine.seeded_batch(
+            self.population_size, self.seeding_heuristic, rng=self.rng
+        )
+        return individuals_from_batch(batch, self.evaluator)
 
     @abc.abstractmethod
     def _iteration(self, state: SearchState) -> bool:
@@ -91,7 +92,7 @@ class PopulationBasedScheduler(abc.ABC):
     # ------------------------------------------------------------------ #
     def run(self) -> SchedulingResult:
         """Execute the search until the termination criterion fires."""
-        stopwatch = Stopwatch()
+        self.engine.begin_run()
         deadline = self.termination.make_deadline()
         state = SearchState()
 
@@ -99,7 +100,7 @@ class PopulationBasedScheduler(abc.ABC):
         self.best = min(self.population, key=lambda ind: ind.fitness).copy()
         state.evaluations = self.evaluator.evaluations
         state.best_fitness = self.best.fitness
-        self._record(stopwatch, state)
+        self._record(state)
 
         while not self.termination.should_stop(state, deadline):
             improved = self._iteration(state)
@@ -110,34 +111,25 @@ class PopulationBasedScheduler(abc.ABC):
             state.evaluations = self.evaluator.evaluations
             state.best_fitness = self.best.fitness
             state.register_iteration(improved)
-            self._record(stopwatch, state)
+            self._record(state)
 
-        return SchedulingResult(
+        return self.engine.build_result(
             algorithm=self.algorithm_name,
-            instance_name=self.instance.name,
             best_schedule=self.best.schedule.copy(),
             best_fitness=self.best.fitness,
-            makespan=self.best.makespan,
-            flowtime=self.best.flowtime,
-            mean_flowtime=self.best.flowtime / self.instance.nb_machines,
-            evaluations=self.evaluator.evaluations,
-            iterations=state.iterations,
-            elapsed_seconds=stopwatch.elapsed,
-            history=self.history,
+            state=state,
             metadata={"population_size": self.population_size},
         )
 
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
-    def _record(self, stopwatch: Stopwatch, state: SearchState) -> None:
-        self.history.record(
-            elapsed_seconds=stopwatch.elapsed,
-            evaluations=state.evaluations,
-            iterations=state.iterations,
-            best_fitness=self.best.fitness,
-            best_makespan=self.best.makespan,
-            best_flowtime=self.best.flowtime,
+    def _record(self, state: SearchState) -> None:
+        self.engine.record(
+            state,
+            fitness=self.best.fitness,
+            makespan=self.best.makespan,
+            flowtime=self.best.flowtime,
         )
 
     def _tournament(self, candidates: Sequence[Individual], size: int) -> Individual:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.core.cma import CellularMemeticAlgorithm, SchedulingResult
 from repro.core.config import CMAConfig
 from repro.core.termination import TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.model.instance import SchedulingInstance
 from repro.utils.rng import RNGLike
 from repro.utils.validation import check_integer
@@ -59,6 +60,7 @@ class CellularGA:
         *,
         termination: TerminationCriteria,
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.config = config if config is not None else CellularGAConfig()
         cfg = self.config
@@ -77,7 +79,7 @@ class CellularGA:
             fitness_weight=cfg.fitness_weight,
             termination=termination,
         )
-        self._inner = CellularMemeticAlgorithm(instance, cma_config, rng=rng)
+        self._inner = CellularMemeticAlgorithm(instance, cma_config, rng=rng, engine=engine)
 
     def run(self) -> SchedulingResult:
         """Run the cellular GA and relabel the result with this baseline's name."""

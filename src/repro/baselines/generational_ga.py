@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.baselines.base import PopulationBasedScheduler
 from repro.core.individual import Individual
 from repro.core.termination import SearchState, TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.model.instance import SchedulingInstance
 from repro.model.schedule import Schedule
 from repro.utils.rng import RNGLike
@@ -72,6 +73,7 @@ class GenerationalGA(PopulationBasedScheduler):
         *,
         termination: TerminationCriteria,
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.config = config if config is not None else GAConfig.braun_defaults()
         super().__init__(
@@ -81,6 +83,7 @@ class GenerationalGA(PopulationBasedScheduler):
             fitness_weight=self.config.fitness_weight,
             seeding_heuristic=self.config.seeding_heuristic,
             rng=rng,
+            engine=engine,
         )
 
     def _iteration(self, state: SearchState) -> bool:

@@ -16,6 +16,7 @@ from repro.core.individual import Individual
 from repro.core.local_search import get_local_search
 from repro.core.mutation import get_mutation
 from repro.core.termination import SearchState, TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.model.instance import SchedulingInstance
 from repro.model.schedule import Schedule
 from repro.utils.rng import RNGLike
@@ -64,6 +65,7 @@ class PanmicticMA(PopulationBasedScheduler):
         *,
         termination: TerminationCriteria,
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.config = config if config is not None else PanmicticMAConfig()
         super().__init__(
@@ -73,6 +75,7 @@ class PanmicticMA(PopulationBasedScheduler):
             fitness_weight=self.config.fitness_weight,
             seeding_heuristic=self.config.seeding_heuristic,
             rng=rng,
+            engine=engine,
         )
         self._local_search = get_local_search(
             self.config.local_search, iterations=self.config.local_search_iterations

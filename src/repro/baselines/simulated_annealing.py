@@ -16,12 +16,10 @@ import numpy as np
 
 from repro.core.cma import SchedulingResult
 from repro.core.termination import SearchState, TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.heuristics.base import build_schedule
-from repro.model.fitness import FitnessEvaluator
 from repro.model.instance import SchedulingInstance
-from repro.utils.history import ConvergenceHistory
 from repro.utils.rng import RNGLike, as_generator
-from repro.utils.timer import Stopwatch
 from repro.utils.validation import check_in_range, check_integer, check_positive, check_probability
 
 __all__ = ["SimulatedAnnealingConfig", "SimulatedAnnealingScheduler"]
@@ -58,13 +56,20 @@ class SimulatedAnnealingScheduler:
         *,
         termination: TerminationCriteria,
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.instance = instance
         self.config = config if config is not None else SimulatedAnnealingConfig()
         self.termination = termination
         self.rng = as_generator(rng)
-        self.evaluator = FitnessEvaluator(self.config.fitness_weight)
-        self.history = ConvergenceHistory()
+        self.engine = (
+            engine
+            if engine is not None
+            else EvaluationEngine(instance, self.config.fitness_weight)
+        )
+        self.engine.set_weight(self.config.fitness_weight)
+        self.evaluator = self.engine.evaluator
+        self.history = self.engine.history
 
     def _initial_temperature(self, fitness: float) -> float:
         """Temperature at which a `initial_acceptance` relative worsening is accepted."""
@@ -94,7 +99,7 @@ class SimulatedAnnealingScheduler:
             schedule.move_job(a, b)
 
     def run(self) -> SchedulingResult:
-        stopwatch = Stopwatch()
+        self.engine.begin_run()
         deadline = self.termination.make_deadline()
         state = SearchState()
         cfg = self.config
@@ -111,7 +116,7 @@ class SimulatedAnnealingScheduler:
         temperature = self._initial_temperature(current_fitness)
         state.evaluations = self.evaluator.evaluations
         state.best_fitness = best_fitness
-        self._record(stopwatch, state, best, best_fitness)
+        self._record(state, best, best_fitness)
 
         while not self.termination.should_stop(state, deadline):
             improved = False
@@ -136,29 +141,17 @@ class SimulatedAnnealingScheduler:
             state.evaluations = self.evaluator.evaluations
             state.best_fitness = best_fitness
             state.register_iteration(improved)
-            self._record(stopwatch, state, best, best_fitness)
+            self._record(state, best, best_fitness)
 
-        return SchedulingResult(
+        return self.engine.build_result(
             algorithm=self.algorithm_name,
-            instance_name=self.instance.name,
             best_schedule=best.copy(),
             best_fitness=best_fitness,
-            makespan=best.makespan,
-            flowtime=best.flowtime,
-            mean_flowtime=best.mean_flowtime,
-            evaluations=self.evaluator.evaluations,
-            iterations=state.iterations,
-            elapsed_seconds=stopwatch.elapsed,
-            history=self.history,
+            state=state,
             metadata={"cooling_rate": cfg.cooling_rate},
         )
 
-    def _record(self, stopwatch, state, best, best_fitness) -> None:
-        self.history.record(
-            elapsed_seconds=stopwatch.elapsed,
-            evaluations=state.evaluations,
-            iterations=state.iterations,
-            best_fitness=best_fitness,
-            best_makespan=best.makespan,
-            best_flowtime=best.flowtime,
+    def _record(self, state, best, best_fitness) -> None:
+        self.engine.record(
+            state, fitness=best_fitness, makespan=best.makespan, flowtime=best.flowtime
         )

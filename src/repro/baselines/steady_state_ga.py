@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.baselines.base import PopulationBasedScheduler
 from repro.core.individual import Individual
 from repro.core.termination import SearchState, TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.model.instance import SchedulingInstance
 from repro.model.schedule import Schedule
 from repro.utils.rng import RNGLike
@@ -59,6 +60,7 @@ class SteadyStateGA(PopulationBasedScheduler):
         *,
         termination: TerminationCriteria,
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.config = config if config is not None else SteadyStateGAConfig()
         super().__init__(
@@ -68,6 +70,7 @@ class SteadyStateGA(PopulationBasedScheduler):
             fitness_weight=self.config.fitness_weight,
             seeding_heuristic=self.config.seeding_heuristic,
             rng=rng,
+            engine=engine,
         )
 
     def _iteration(self, state: SearchState) -> bool:

@@ -19,6 +19,7 @@ import numpy as np
 from repro.baselines.base import PopulationBasedScheduler
 from repro.core.individual import Individual
 from repro.core.termination import SearchState, TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.model.instance import SchedulingInstance
 from repro.model.schedule import Schedule
 from repro.utils.rng import RNGLike
@@ -63,6 +64,7 @@ class StruggleGA(PopulationBasedScheduler):
         *,
         termination: TerminationCriteria,
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.config = config if config is not None else StruggleGAConfig()
         super().__init__(
@@ -72,6 +74,7 @@ class StruggleGA(PopulationBasedScheduler):
             fitness_weight=self.config.fitness_weight,
             seeding_heuristic=self.config.seeding_heuristic,
             rng=rng,
+            engine=engine,
         )
 
     def _most_similar_index(self, child: Individual) -> int:

@@ -15,12 +15,10 @@ from dataclasses import dataclass
 
 from repro.core.cma import SchedulingResult
 from repro.core.termination import SearchState, TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.heuristics.base import build_schedule
-from repro.model.fitness import FitnessEvaluator
 from repro.model.instance import SchedulingInstance
-from repro.utils.history import ConvergenceHistory
 from repro.utils.rng import RNGLike, as_generator
-from repro.utils.timer import Stopwatch
 from repro.utils.validation import check_integer, check_probability
 
 __all__ = ["TabuSearchConfig", "TabuSearchScheduler"]
@@ -53,16 +51,23 @@ class TabuSearchScheduler:
         *,
         termination: TerminationCriteria,
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.instance = instance
         self.config = config if config is not None else TabuSearchConfig()
         self.termination = termination
         self.rng = as_generator(rng)
-        self.evaluator = FitnessEvaluator(self.config.fitness_weight)
-        self.history = ConvergenceHistory()
+        self.engine = (
+            engine
+            if engine is not None
+            else EvaluationEngine(instance, self.config.fitness_weight)
+        )
+        self.engine.set_weight(self.config.fitness_weight)
+        self.evaluator = self.engine.evaluator
+        self.history = self.engine.history
 
     def run(self) -> SchedulingResult:
-        stopwatch = Stopwatch()
+        self.engine.begin_run()
         deadline = self.termination.make_deadline()
         state = SearchState()
         cfg = self.config
@@ -78,7 +83,7 @@ class TabuSearchScheduler:
         tabu: deque[tuple[int, int]] = deque(maxlen=cfg.tabu_tenure)
         state.evaluations = self.evaluator.evaluations
         state.best_fitness = best_fitness
-        self._record(stopwatch, state, best, best_fitness)
+        self._record(state, best, best_fitness)
 
         nb_jobs = self.instance.nb_jobs
         nb_machines = self.instance.nb_machines
@@ -122,29 +127,17 @@ class TabuSearchScheduler:
             state.evaluations = self.evaluator.evaluations
             state.best_fitness = best_fitness
             state.register_iteration(improved)
-            self._record(stopwatch, state, best, best_fitness)
+            self._record(state, best, best_fitness)
 
-        return SchedulingResult(
+        return self.engine.build_result(
             algorithm=self.algorithm_name,
-            instance_name=self.instance.name,
             best_schedule=best.copy(),
             best_fitness=best_fitness,
-            makespan=best.makespan,
-            flowtime=best.flowtime,
-            mean_flowtime=best.mean_flowtime,
-            evaluations=self.evaluator.evaluations,
-            iterations=state.iterations,
-            elapsed_seconds=stopwatch.elapsed,
-            history=self.history,
+            state=state,
             metadata={"tabu_tenure": cfg.tabu_tenure},
         )
 
-    def _record(self, stopwatch, state, best, best_fitness) -> None:
-        self.history.record(
-            elapsed_seconds=stopwatch.elapsed,
-            evaluations=state.evaluations,
-            iterations=state.iterations,
-            best_fitness=best_fitness,
-            best_makespan=best.makespan,
-            best_flowtime=best.flowtime,
+    def _record(self, state, best, best_fitness) -> None:
+        self.engine.record(
+            state, fitness=best_fitness, makespan=best.makespan, flowtime=best.flowtime
         )

@@ -36,6 +36,7 @@ from repro.baselines import (
     TabuSearchScheduler,
 )
 from repro.core import CellularMemeticAlgorithm, CMAConfig, TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.experiments.reporting import format_mapping, format_table
 from repro.experiments.runner import ExperimentSettings
 from repro.experiments.tables import (
@@ -157,24 +158,34 @@ def _load_instance(args: argparse.Namespace):
 
 
 def _build_algorithm(name: str, instance, termination, seed: int):
+    # Every CLI run is constructed through one shared evaluation engine, so
+    # the printed evaluation counts, timings and history all come from the
+    # same per-run service regardless of the algorithm chosen.
+    engine = EvaluationEngine(instance)
     if name == "cma":
         return CellularMemeticAlgorithm(
-            instance, CMAConfig.paper_defaults(termination), rng=seed
+            instance, CMAConfig.paper_defaults(termination), rng=seed, engine=engine
         )
     if name == "braun_ga":
         return GenerationalGA(
-            instance, GAConfig.fast_defaults(), termination=termination, rng=seed
+            instance,
+            GAConfig.fast_defaults(),
+            termination=termination,
+            rng=seed,
+            engine=engine,
         )
     if name == "carretero_xhafa_ga":
-        return SteadyStateGA(instance, termination=termination, rng=seed)
+        return SteadyStateGA(instance, termination=termination, rng=seed, engine=engine)
     if name == "struggle_ga":
-        return StruggleGA(instance, termination=termination, rng=seed)
+        return StruggleGA(instance, termination=termination, rng=seed, engine=engine)
     if name == "panmictic_ma":
-        return PanmicticMA(instance, termination=termination, rng=seed)
+        return PanmicticMA(instance, termination=termination, rng=seed, engine=engine)
     if name == "simulated_annealing":
-        return SimulatedAnnealingScheduler(instance, termination=termination, rng=seed)
+        return SimulatedAnnealingScheduler(
+            instance, termination=termination, rng=seed, engine=engine
+        )
     if name == "tabu_search":
-        return TabuSearchScheduler(instance, termination=termination, rng=seed)
+        return TabuSearchScheduler(instance, termination=termination, rng=seed, engine=engine)
     raise ValueError(f"unknown algorithm {name!r}")
 
 

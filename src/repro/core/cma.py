@@ -28,11 +28,7 @@ immediately visible to the later updates of the same iteration.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
 from typing import Callable
-
-import numpy as np
 
 from repro.core.config import CMAConfig
 from repro.core.crossover import get_crossover
@@ -45,54 +41,16 @@ from repro.core.replacement import get_replacement
 from repro.core.selection import NTournamentSelection, get_selection
 from repro.core.sweep import get_sweep
 from repro.core.termination import SearchState
-from repro.model.fitness import FitnessEvaluator
+from repro.engine.results import SchedulingResult
+from repro.engine.service import EvaluationEngine
 from repro.model.instance import SchedulingInstance
 from repro.model.schedule import Schedule
-from repro.utils.history import ConvergenceHistory
 from repro.utils.rng import RNGLike, as_generator
-from repro.utils.timer import Stopwatch
 
 __all__ = ["SchedulingResult", "CellularMemeticAlgorithm"]
 
 #: Signature of the optional per-iteration observer callback.
 IterationObserver = Callable[["CellularMemeticAlgorithm", SearchState], None]
-
-
-@dataclass
-class SchedulingResult:
-    """Outcome of one scheduler run.
-
-    The same result type is returned by the cMA and by every baseline
-    algorithm in :mod:`repro.baselines`, which keeps the experiment harness
-    algorithm-agnostic.
-    """
-
-    algorithm: str
-    instance_name: str
-    best_schedule: Schedule
-    best_fitness: float
-    makespan: float
-    flowtime: float
-    mean_flowtime: float
-    evaluations: int
-    iterations: int
-    elapsed_seconds: float
-    history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
-    metadata: dict = field(default_factory=dict)
-
-    def summary(self) -> dict[str, float | str]:
-        """Flat summary used by the reporting helpers."""
-        return {
-            "algorithm": self.algorithm,
-            "instance": self.instance_name,
-            "fitness": self.best_fitness,
-            "makespan": self.makespan,
-            "flowtime": self.flowtime,
-            "mean_flowtime": self.mean_flowtime,
-            "evaluations": float(self.evaluations),
-            "iterations": float(self.iterations),
-            "elapsed_seconds": self.elapsed_seconds,
-        }
 
 
 class CellularMemeticAlgorithm:
@@ -111,6 +69,11 @@ class CellularMemeticAlgorithm:
         Optional callable invoked after every iteration with the algorithm
         and its :class:`~repro.core.termination.SearchState`; used by the
         tuning experiments to collect extra statistics (e.g. diversity).
+    engine:
+        Optional shared :class:`~repro.engine.service.EvaluationEngine`.
+        The experiment harness and the CLI pass one in so that evaluation
+        counting, timing and convergence history flow through a single
+        per-run service; when omitted the algorithm creates its own.
 
     Examples
     --------
@@ -129,6 +92,7 @@ class CellularMemeticAlgorithm:
         config: CMAConfig | None = None,
         rng: RNGLike = None,
         observer: IterationObserver | None = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.instance = instance
         self.config = config if config is not None else CMAConfig()
@@ -136,7 +100,11 @@ class CellularMemeticAlgorithm:
         self.observer = observer
 
         cfg = self.config
-        self.evaluator = FitnessEvaluator(cfg.fitness_weight)
+        self.engine = (
+            engine if engine is not None else EvaluationEngine(instance, cfg.fitness_weight)
+        )
+        self.engine.set_weight(cfg.fitness_weight)
+        self.evaluator = self.engine.evaluator
         self.neighborhood = get_neighborhood(cfg.neighborhood)
         if cfg.selection == "n_tournament":
             self.selection = NTournamentSelection(cfg.tournament_size)
@@ -156,7 +124,7 @@ class CellularMemeticAlgorithm:
         # Run state (populated by run()).
         self.grid: CellularGrid | None = None
         self.best: Individual | None = None
-        self.history = ConvergenceHistory()
+        self.history = self.engine.history
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -164,7 +132,7 @@ class CellularMemeticAlgorithm:
     def run(self) -> SchedulingResult:
         """Execute the search and return the best schedule found."""
         cfg = self.config
-        stopwatch = Stopwatch()
+        self.engine.begin_run()
         deadline = cfg.termination.make_deadline()
         state = SearchState()
 
@@ -172,7 +140,7 @@ class CellularMemeticAlgorithm:
         self.best = self.grid.best().copy()
         state.evaluations = self.evaluator.evaluations
         state.best_fitness = self.best.fitness
-        self._record(stopwatch, state)
+        self._record(state)
 
         rec_order = get_sweep(cfg.recombination_order, self.grid.size, self.rng)
         mut_order = get_sweep(cfg.mutation_order, self.grid.size, self.rng)
@@ -191,22 +159,15 @@ class CellularMemeticAlgorithm:
                 state.best_fitness = self.best.fitness
                 improved = True
             state.register_iteration(improved)
-            self._record(stopwatch, state)
+            self._record(state)
             if self.observer is not None:
                 self.observer(self, state)
 
-        return SchedulingResult(
+        return self.engine.build_result(
             algorithm="cma",
-            instance_name=self.instance.name,
             best_schedule=self.best.schedule.copy(),
             best_fitness=self.best.fitness,
-            makespan=self.best.makespan,
-            flowtime=self.best.flowtime,
-            mean_flowtime=self.best.flowtime / self.instance.nb_machines,
-            evaluations=self.evaluator.evaluations,
-            iterations=state.iterations,
-            elapsed_seconds=stopwatch.elapsed,
-            history=self.history,
+            state=state,
             metadata={"config": cfg.describe()},
         )
 
@@ -224,7 +185,7 @@ class CellularMemeticAlgorithm:
             self.rng,
         )
         for individual in grid:
-            if self.local_search.improve(individual.schedule, self.evaluator, self.rng):
+            if self.engine.improve(individual.schedule, self.local_search, self.rng):
                 individual.evaluate(self.evaluator)
         return grid
 
@@ -258,7 +219,7 @@ class CellularMemeticAlgorithm:
 
     def _finalize_offspring(self, position: int, offspring: Individual) -> bool:
         """Local search, evaluation and conditional replacement of one offspring."""
-        self.local_search.improve(offspring.schedule, self.evaluator, self.rng)
+        self.engine.improve(offspring.schedule, self.local_search, self.rng)
         offspring.evaluate(self.evaluator)
         if self.replacement.should_replace(self.grid[position], offspring):
             self.grid[position] = offspring
@@ -267,14 +228,12 @@ class CellularMemeticAlgorithm:
                 return True
         return False
 
-    def _record(self, stopwatch: Stopwatch, state: SearchState) -> None:
-        self.history.record(
-            elapsed_seconds=stopwatch.elapsed,
-            evaluations=state.evaluations,
-            iterations=state.iterations,
-            best_fitness=self.best.fitness,
-            best_makespan=self.best.makespan,
-            best_flowtime=self.best.flowtime,
+    def _record(self, state: SearchState) -> None:
+        self.engine.record(
+            state,
+            fitness=self.best.fitness,
+            makespan=self.best.makespan,
+            flowtime=self.best.flowtime,
         )
 
     # ------------------------------------------------------------------ #

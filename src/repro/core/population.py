@@ -22,14 +22,38 @@ import numpy as np
 
 from repro.core.individual import Individual
 from repro.core.neighborhood import NeighborhoodPattern
-from repro.heuristics.base import build_schedule
+from repro.engine.batch import BatchEvaluator, perturbed_copies
 from repro.model.fitness import FitnessEvaluator
 from repro.model.instance import SchedulingInstance
 from repro.model.schedule import Schedule
 from repro.utils.rng import RNGLike, as_generator
 from repro.utils.validation import check_integer, check_probability
 
-__all__ = ["CellularGrid", "PopulationInitializer"]
+__all__ = ["CellularGrid", "PopulationInitializer", "individuals_from_batch"]
+
+
+def individuals_from_batch(
+    batch: BatchEvaluator, evaluator: FitnessEvaluator
+) -> list[Individual]:
+    """Materialize evaluated :class:`Individual` rows from a batch.
+
+    Objectives and fitness come from the batch's cached matrices in three
+    vectorized reductions; the evaluator's counter is charged one evaluation
+    per row, exactly as if each schedule had been evaluated individually.
+    """
+    makespans = batch.makespans()
+    flowtimes = batch.flowtimes()
+    fitnesses = evaluator.scalarize_batch(makespans, flowtimes / batch.nb_machines)
+    evaluator.add_evaluations(batch.population_size)
+    return [
+        Individual(
+            schedule=batch.schedule(row),
+            fitness=float(fitnesses[row]),
+            makespan=float(makespans[row]),
+            flowtime=float(flowtimes[row]),
+        )
+        for row in range(batch.population_size)
+    ]
 
 
 class CellularGrid:
@@ -125,13 +149,14 @@ class CellularGrid:
         cells, nb_jobs = genomes.shape
         if cells < 2:
             return 0.0
-        total = 0.0
-        pairs = 0
-        for i in range(cells - 1):
-            differing = genomes[i + 1 :] != genomes[i]
-            total += float(differing.mean(axis=1).sum())
-            pairs += cells - 1 - i
-        return total / pairs
+        # Count, per gene, how many cell pairs agree: sum over machines of
+        # C(count, 2).  Everything else is a differing pair — no pair loop.
+        nb_machines = int(genomes.max()) + 1
+        counts = np.zeros((nb_jobs, nb_machines), dtype=np.int64)
+        np.add.at(counts, (np.arange(nb_jobs)[None, :], genomes), 1)
+        agreeing = float((counts * (counts - 1) // 2).sum())
+        pairs = cells * (cells - 1) / 2
+        return (pairs * nb_jobs - agreeing) / (pairs * nb_jobs)
 
     def entropy(self) -> float:
         """Mean per-gene Shannon entropy of the machine assignment (in nats)."""
@@ -178,33 +203,40 @@ class PopulationInitializer:
         evaluator: FitnessEvaluator,
         rng: RNGLike = None,
     ) -> CellularGrid:
-        """Create and evaluate a fully initialized :class:`CellularGrid`."""
-        gen = as_generator(rng)
-        size = int(height) * int(width)
-        individuals: list[Individual] = []
+        """Create and evaluate a fully initialized :class:`CellularGrid`.
 
-        seed_schedule = build_schedule(self.seeding_heuristic, instance, gen)
-        seed = Individual(seed_schedule)
-        seed.evaluate(evaluator)
-        individuals.append(seed)
+        The whole mesh is seeded and evaluated through the batch engine: one
+        heuristic schedule, one vectorized perturbation draw for the other
+        cells, one batched evaluation.
+        """
+        batch = self.build_batch(instance, int(height) * int(width), evaluator.weight, rng)
+        return CellularGrid(height, width, individuals_from_batch(batch, evaluator))
 
-        for _ in range(size - 1):
-            clone = seed_schedule.copy()
-            self.perturb(clone, gen)
-            individual = Individual(clone)
-            individual.evaluate(evaluator)
-            individuals.append(individual)
-
-        return CellularGrid(height, width, individuals)
+    def build_batch(
+        self,
+        instance: SchedulingInstance,
+        size: int,
+        weight: float,
+        rng: RNGLike = None,
+    ) -> BatchEvaluator:
+        """The initial population as a :class:`BatchEvaluator` (SoA state)."""
+        return BatchEvaluator.seeded(
+            instance,
+            size,
+            self.seeding_heuristic,
+            rng=rng,
+            perturbation_rate=self.perturbation_rate,
+            weight=weight,
+        )
 
     def perturb(self, schedule: Schedule, rng: RNGLike = None) -> None:
         """Reassign a random ``perturbation_rate`` fraction of jobs (in place)."""
         gen = as_generator(rng)
-        nb_jobs = schedule.instance.nb_jobs
-        nb_machines = schedule.instance.nb_machines
-        count = max(1, int(round(self.perturbation_rate * nb_jobs)))
-        jobs = gen.choice(nb_jobs, size=min(count, nb_jobs), replace=False)
-        machines = gen.integers(0, nb_machines, size=jobs.size)
-        new_assignment = np.array(schedule.assignment, dtype=np.int64)
-        new_assignment[jobs] = machines
+        new_assignment = perturbed_copies(
+            np.asarray(schedule.assignment),
+            1,
+            schedule.instance.nb_machines,
+            self.perturbation_rate,
+            gen,
+        )[0]
         schedule.set_assignment(new_assignment)

@@ -1,0 +1,38 @@
+"""repro.engine — the vectorized batch-evaluation subsystem.
+
+The engine layer sits between the scheduling model and the algorithms:
+
+* :mod:`repro.engine.scan` — vectorized neighborhood scans (score every
+  single-job move of a schedule in one numpy expression);
+* :mod:`repro.engine.batch` — :class:`BatchEvaluator`, a structure-of-arrays
+  population with batched completion-time / flowtime / fitness evaluation;
+* :mod:`repro.engine.service` — :class:`EvaluationEngine`, the shared
+  per-run services (evaluation counter, timing, convergence history,
+  population factories, result assembly) used by the cMA and every
+  baseline;
+* :mod:`repro.engine.results` — :class:`SchedulingResult`, the uniform
+  record every scheduler returns.
+"""
+
+from repro.engine.batch import BatchEvaluator, perturbed_copies
+from repro.engine.results import SchedulingResult
+from repro.engine.scan import (
+    score_all_moves,
+    score_critical_moves,
+    score_critical_swaps,
+    score_moves_for_job,
+    top_completions,
+)
+from repro.engine.service import EvaluationEngine
+
+__all__ = [
+    "BatchEvaluator",
+    "EvaluationEngine",
+    "SchedulingResult",
+    "perturbed_copies",
+    "score_all_moves",
+    "score_critical_moves",
+    "score_critical_swaps",
+    "score_moves_for_job",
+    "top_completions",
+]

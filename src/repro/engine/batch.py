@@ -1,0 +1,381 @@
+"""Structure-of-arrays population state with vectorized batch evaluation.
+
+The scalar :class:`~repro.model.schedule.Schedule` evaluates one solution at
+a time.  :class:`BatchEvaluator` holds a whole population as a
+``(pop, jobs)`` integer assignment matrix plus cached ``(pop, machines)``
+completion-time and flowtime matrices, and recomputes *all* of them with a
+handful of numpy operations:
+
+* completion times are one flat ``np.bincount`` scatter-add over
+  ``pop × jobs`` (ETC, machine) pairs;
+* SPT flowtimes use the instance's precomputed per-machine ETC ranks to
+  order every row's jobs by ``(machine, rank)`` with a single key sort, then
+  a segment-reset cumulative sum yields every job's finishing time at once;
+* makespan / flowtime / scalarized fitness are plain axis reductions.
+
+Rows can also be updated incrementally (single-job move, two-job swap) with
+the same cache discipline as the scalar schedule, and any row can be exposed
+through the full ``Schedule`` API as a zero-copy view — which is how the
+rest of the library (local searches, operators, tests) interoperates with
+engine state without a second code path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine import scan
+from repro.model.fitness import DEFAULT_LAMBDA
+from repro.model.instance import SchedulingInstance
+from repro.model.schedule import Schedule, spt_flowtime
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = ["BatchEvaluator", "perturbed_copies"]
+
+
+class BatchEvaluator:
+    """A population of schedules stored as structure-of-arrays matrices.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance every row refers to.
+    assignments:
+        ``(pop, jobs)`` matrix (or a single ``(jobs,)`` vector, promoted to
+        one row) of machine indices.  The data is copied.
+    weight:
+        The λ of the scalarized fitness (eq. 3 of the paper).
+    """
+
+    __slots__ = ("instance", "weight", "_assignments", "_completion", "_machine_flowtime")
+
+    def __init__(
+        self,
+        instance: SchedulingInstance,
+        assignments: np.ndarray | Iterable[Iterable[int]],
+        weight: float = DEFAULT_LAMBDA,
+    ) -> None:
+        matrix = np.array(assignments, dtype=np.int64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2 or matrix.shape[1] != instance.nb_jobs:
+            raise ValueError(
+                f"assignments must have shape (pop, {instance.nb_jobs}), got {matrix.shape}"
+            )
+        if matrix.size and (matrix.min() < 0 or matrix.max() >= instance.nb_machines):
+            raise ValueError(
+                f"assignment values must be machine indices in [0, {instance.nb_machines})"
+            )
+        self.instance = instance
+        self.weight = float(weight)
+        self._assignments = matrix
+        self._completion = np.empty((matrix.shape[0], instance.nb_machines), dtype=float)
+        self._machine_flowtime = np.empty_like(self._completion)
+        self.recompute()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls,
+        instance: SchedulingInstance,
+        population_size: int,
+        rng: RNGLike = None,
+        weight: float = DEFAULT_LAMBDA,
+    ) -> "BatchEvaluator":
+        """A uniformly random population, drawn in one vectorized call."""
+        gen = as_generator(rng)
+        assignments = gen.integers(
+            0, instance.nb_machines, size=(int(population_size), instance.nb_jobs)
+        )
+        return cls(instance, assignments, weight=weight)
+
+    @classmethod
+    def seeded(
+        cls,
+        instance: SchedulingInstance,
+        population_size: int,
+        seeding_heuristic: str | None = None,
+        rng: RNGLike = None,
+        perturbation_rate: float | None = None,
+        weight: float = DEFAULT_LAMBDA,
+    ) -> "BatchEvaluator":
+        """A population seeded from a constructive heuristic.
+
+        Row 0 holds the heuristic schedule (or a random one when
+        ``seeding_heuristic`` is ``None``).  The remaining rows are uniform
+        random schedules, or — when ``perturbation_rate`` is given — copies
+        of the seed with that fraction of jobs reassigned to random machines
+        (the paper's "large perturbations"), produced by one vectorized draw
+        for the whole population.
+        """
+        from repro.heuristics.base import build_schedule  # heuristics sit above model
+
+        gen = as_generator(rng)
+        population_size = int(population_size)
+        nb_jobs, nb_machines = instance.nb_jobs, instance.nb_machines
+        if seeding_heuristic is not None:
+            seed = np.asarray(build_schedule(seeding_heuristic, instance, gen).assignment)
+        else:
+            seed = gen.integers(0, nb_machines, size=nb_jobs)
+
+        if perturbation_rate is None:
+            assignments = gen.integers(0, nb_machines, size=(population_size, nb_jobs))
+            assignments[0] = seed
+        else:
+            assignments = np.tile(seed, (population_size, 1))
+            if population_size > 1:
+                assignments[1:] = perturbed_copies(
+                    seed, population_size - 1, nb_machines, perturbation_rate, gen
+                )
+        return cls(instance, assignments, weight=weight)
+
+    @classmethod
+    def from_schedules(
+        cls, schedules: Sequence[Schedule], weight: float = DEFAULT_LAMBDA
+    ) -> "BatchEvaluator":
+        """Pack existing scalar schedules into one batch (data is copied)."""
+        if not schedules:
+            raise ValueError("at least one schedule is required")
+        instance = schedules[0].instance
+        assignments = np.stack([np.asarray(s.assignment) for s in schedules])
+        return cls(instance, assignments, weight=weight)
+
+    # ------------------------------------------------------------------ #
+    # Dimensions and read access
+    # ------------------------------------------------------------------ #
+    @property
+    def population_size(self) -> int:
+        return int(self._assignments.shape[0])
+
+    @property
+    def nb_jobs(self) -> int:
+        return self.instance.nb_jobs
+
+    @property
+    def nb_machines(self) -> int:
+        return self.instance.nb_machines
+
+    def __len__(self) -> int:
+        return self.population_size
+
+    @property
+    def assignments(self) -> np.ndarray:
+        """Read-only ``(pop, jobs)`` view of the assignment matrix."""
+        view = self._assignments.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def completion_times(self) -> np.ndarray:
+        """Read-only ``(pop, machines)`` view of the completion-time cache."""
+        view = self._completion.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def machine_flowtimes(self) -> np.ndarray:
+        """Read-only ``(pop, machines)`` view of the flowtime cache."""
+        view = self._machine_flowtime.view()
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Vectorized batch evaluation
+    # ------------------------------------------------------------------ #
+    def recompute(self, rows: np.ndarray | Sequence[int] | None = None) -> None:
+        """Recompute the cached matrices from scratch (vectorized).
+
+        With ``rows`` given, only that subset of the population is
+        recomputed; otherwise the whole batch is.
+        """
+        instance = self.instance
+        nb_jobs, nb_machines = instance.nb_jobs, instance.nb_machines
+        if rows is None:
+            assign = self._assignments
+            completion = self._completion
+            flowtime = self._machine_flowtime
+        else:
+            rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+            assign = self._assignments[rows]
+            completion = np.empty((rows.shape[0], nb_machines), dtype=float)
+            flowtime = np.empty_like(completion)
+        pop = assign.shape[0]
+        etc = instance.etc
+        jobs = np.arange(nb_jobs)
+
+        # Completion: scatter-add each row's chosen ETC onto its machine.
+        chosen = etc[jobs[None, :], assign]  # (P, J)
+        flat = (np.arange(pop)[:, None] * nb_machines + assign).ravel()
+        totals = np.bincount(flat, weights=chosen.ravel(), minlength=pop * nb_machines)
+        completion[:] = instance.ready_times[None, :] + totals.reshape(pop, nb_machines)
+
+        # Flowtime: order every row's jobs by (machine, SPT rank) with one
+        # key sort, then cumulative-sum within machine segments.
+        ranks = instance.etc_ranks[jobs[None, :], assign]  # (P, J)
+        order = np.argsort(assign * nb_jobs + ranks, axis=1, kind="stable")
+        machines_sorted = np.take_along_axis(assign, order, axis=1)
+        times_sorted = np.take_along_axis(chosen, order, axis=1)
+        running = np.cumsum(times_sorted, axis=1)
+        before = running - times_sorted  # cumulative sum *before* each position
+        new_segment = np.empty_like(machines_sorted, dtype=bool)
+        new_segment[:, 0] = True
+        new_segment[:, 1:] = machines_sorted[:, 1:] != machines_sorted[:, :-1]
+        # Index of each position's segment start, then the running sum there.
+        start_index = np.maximum.accumulate(
+            np.where(new_segment, jobs[None, :], 0), axis=1
+        )
+        segment_base = np.take_along_axis(before, start_index, axis=1)
+        finish = instance.ready_times[machines_sorted] + (running - segment_base)
+        flat_sorted = (np.arange(pop)[:, None] * nb_machines + machines_sorted).ravel()
+        flowtime[:] = np.bincount(
+            flat_sorted, weights=finish.ravel(), minlength=pop * nb_machines
+        ).reshape(pop, nb_machines)
+
+        if rows is not None:
+            self._completion[rows] = completion
+            self._machine_flowtime[rows] = flowtime
+
+    def makespans(self) -> np.ndarray:
+        """``(pop,)`` makespan of every row."""
+        return self._completion.max(axis=1)
+
+    def flowtimes(self) -> np.ndarray:
+        """``(pop,)`` flowtime of every row."""
+        return self._machine_flowtime.sum(axis=1)
+
+    def mean_flowtimes(self) -> np.ndarray:
+        """``(pop,)`` flowtime divided by the number of machines."""
+        return self.flowtimes() / self.nb_machines
+
+    def fitnesses(self) -> np.ndarray:
+        """``(pop,)`` scalarized fitness ``λ·makespan + (1−λ)·mean_flowtime``."""
+        return self.weight * self.makespans() + (1.0 - self.weight) * self.mean_flowtimes()
+
+    def best_row(self) -> int:
+        """Index of the row with the lowest scalarized fitness."""
+        return int(self.fitnesses().argmin())
+
+    # ------------------------------------------------------------------ #
+    # Incremental row updates
+    # ------------------------------------------------------------------ #
+    def _flowtime_of(self, row: int, machine: int) -> float:
+        """Flowtime contribution of one machine of one row (SPT order)."""
+        return spt_flowtime(self.instance, self._assignments[row], machine)
+
+    def set_row(self, row: int, assignment: np.ndarray | Iterable[int]) -> None:
+        """Replace one row's assignment (copies data in, recomputes its caches)."""
+        self._assignments[row] = Schedule._validate_assignment(self.instance, assignment)
+        self.recompute(rows=[row])
+
+    def move_job(self, row: int, job: int, machine: int) -> None:
+        """Reassign *job* of *row* to *machine*, updating caches incrementally."""
+        old = int(self._assignments[row, job])
+        if old == machine:
+            return
+        etc = self.instance.etc
+        self._completion[row, old] -= etc[job, old]
+        self._completion[row, machine] += etc[job, machine]
+        self._assignments[row, job] = machine
+        self._machine_flowtime[row, old] = self._flowtime_of(row, old)
+        self._machine_flowtime[row, machine] = self._flowtime_of(row, machine)
+
+    def swap_jobs(self, row: int, job_a: int, job_b: int) -> None:
+        """Exchange the machines of two jobs of *row*, updating caches."""
+        machine_a = int(self._assignments[row, job_a])
+        machine_b = int(self._assignments[row, job_b])
+        if machine_a == machine_b:
+            return
+        etc = self.instance.etc
+        self._completion[row, machine_a] += etc[job_b, machine_a] - etc[job_a, machine_a]
+        self._completion[row, machine_b] += etc[job_a, machine_b] - etc[job_b, machine_b]
+        self._assignments[row, job_a] = machine_b
+        self._assignments[row, job_b] = machine_a
+        self._machine_flowtime[row, machine_a] = self._flowtime_of(row, machine_a)
+        self._machine_flowtime[row, machine_b] = self._flowtime_of(row, machine_b)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized neighborhood scan
+    # ------------------------------------------------------------------ #
+    def score_moves(self, row: int) -> np.ndarray:
+        """Makespan of every single-job move of one row, ``(jobs, machines)``.
+
+        One numpy expression over the row's cached completion times (see
+        :func:`repro.engine.scan.score_all_moves`); entries for "moves" that
+        keep the job on its current machine hold ``+inf``.
+        """
+        return scan.score_all_moves(
+            self.instance.etc, self._assignments[row], self._completion[row]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interop with the scalar Schedule API
+    # ------------------------------------------------------------------ #
+    def view(self, row: int) -> Schedule:
+        """Zero-copy :class:`Schedule` over one row of the batch state.
+
+        Mutations made through the view update the batch matrices in place
+        (and vice versa).  Create views on demand: a view taken *before* a
+        direct batch mutation of the same row must be discarded.
+        """
+        return Schedule.view_over(
+            self.instance,
+            self._assignments[row],
+            self._completion[row],
+            self._machine_flowtime[row],
+        )
+
+    def schedule(self, row: int) -> Schedule:
+        """Detached (owning) :class:`Schedule` copy of one row."""
+        return self.view(row).copy()
+
+    def validate(self) -> None:
+        """Check every row's caches against a from-scratch scalar schedule."""
+        for row in range(self.population_size):
+            reference = Schedule(self.instance, self._assignments[row])
+            if not np.allclose(reference.completion_times, self._completion[row]):
+                raise AssertionError(f"row {row}: cached completion times are stale")
+            if not np.allclose(
+                np.asarray([reference.flowtime]), self._machine_flowtime[row].sum()
+            ):
+                raise AssertionError(f"row {row}: cached flowtimes are stale")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchEvaluator(instance={self.instance.name!r}, "
+            f"pop={self.population_size}, jobs={self.nb_jobs}, "
+            f"machines={self.nb_machines})"
+        )
+
+
+def perturbed_copies(
+    assignment: np.ndarray,
+    count: int,
+    nb_machines: int,
+    perturbation_rate: float,
+    rng: RNGLike = None,
+) -> np.ndarray:
+    """``(count, jobs)`` perturbed copies of one assignment, fully vectorized.
+
+    Each row reassigns the same number of distinct, independently chosen
+    jobs (``max(1, round(rate · jobs))``) to uniform random machines — the
+    batch equivalent of the paper's "large perturbation" seeding.
+    """
+    gen = as_generator(rng)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    nb_jobs = assignment.shape[0]
+    changed = min(max(1, int(round(perturbation_rate * nb_jobs))), nb_jobs)
+    rows = np.tile(assignment, (count, 1))
+    # Distinct jobs per row: the `changed` smallest entries of a random key.
+    keys = gen.random((count, nb_jobs))
+    jobs = (
+        np.argpartition(keys, changed - 1, axis=1)[:, :changed]
+        if changed < nb_jobs
+        else np.tile(np.arange(nb_jobs), (count, 1))
+    )
+    machines = gen.integers(0, nb_machines, size=(count, changed))
+    np.put_along_axis(rows, jobs, machines, axis=1)
+    return rows

@@ -1,0 +1,53 @@
+"""The uniform result record returned by every scheduler in the library.
+
+Historically this lived in :mod:`repro.core.cma` (which still re-exports it
+for backward compatibility); it moved into the engine layer so that
+:class:`~repro.engine.service.EvaluationEngine` — which sits below the
+algorithms — can assemble results without a circular dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.schedule import Schedule
+from repro.utils.history import ConvergenceHistory
+
+__all__ = ["SchedulingResult"]
+
+
+@dataclass
+class SchedulingResult:
+    """Outcome of one scheduler run.
+
+    The same result type is returned by the cMA and by every baseline
+    algorithm in :mod:`repro.baselines`, which keeps the experiment harness
+    algorithm-agnostic.
+    """
+
+    algorithm: str
+    instance_name: str
+    best_schedule: Schedule
+    best_fitness: float
+    makespan: float
+    flowtime: float
+    mean_flowtime: float
+    evaluations: int
+    iterations: int
+    elapsed_seconds: float
+    history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
+    metadata: dict = field(default_factory=dict)
+
+    def summary(self) -> dict[str, float | str]:
+        """Flat summary used by the reporting helpers."""
+        return {
+            "algorithm": self.algorithm,
+            "instance": self.instance_name,
+            "fitness": self.best_fitness,
+            "makespan": self.makespan,
+            "flowtime": self.flowtime,
+            "mean_flowtime": self.mean_flowtime,
+            "evaluations": float(self.evaluations),
+            "iterations": float(self.iterations),
+            "elapsed_seconds": self.elapsed_seconds,
+        }

@@ -1,0 +1,128 @@
+"""Vectorized neighborhood scans over completion-time state.
+
+Every local-search method of the paper ranks candidate moves by the machine
+completion times they would produce.  The functions in this module compute
+those scores as single numpy expressions over the *current* assignment and
+completion arrays — no per-candidate ``np.delete``, no schedule copies — so
+the same code serves both the scalar :class:`~repro.model.schedule.Schedule`
+path (one solution at a time, used by the local searches) and the
+structure-of-arrays rows of :class:`~repro.engine.batch.BatchEvaluator`.
+
+The central trick: moving one job touches at most two machine completion
+times, so the makespan after the move is the maximum of the two updated
+entries and the largest *unchanged* entry.  The latter is always among the
+top three completion times of the current state (top two when only one
+machine changes), which :func:`top_completions` extracts once per state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.arrays import top_completions
+
+__all__ = [
+    "top_completions",
+    "score_all_moves",
+    "score_moves_for_job",
+    "score_critical_moves",
+    "score_critical_swaps",
+]
+
+
+def score_all_moves(
+    etc: np.ndarray, assignment: np.ndarray, completion: np.ndarray
+) -> np.ndarray:
+    """Makespan of every single-job move, as a ``(jobs, machines)`` matrix.
+
+    ``scores[j, m]`` is the makespan that would result from reassigning job
+    *j* to machine *m*; entries with ``m == assignment[j]`` (staying put is
+    not a move) hold ``+inf``.  The whole scan is one vectorized expression:
+    the unchanged-machines maximum is resolved from the top three completion
+    times, since at most two machines (source and destination) are excluded
+    per candidate.
+    """
+    nb_jobs, nb_machines = etc.shape
+    jobs = np.arange(nb_jobs)
+    removed = completion[assignment] - etc[jobs, assignment]  # (J,) source after removal
+    added = completion[None, :] + etc  # (J, M) destination after insertion
+    (i1, i2, _), (v1, v2, v3) = top_completions(completion, 3)
+    source = assignment[:, None]
+    destination = np.arange(nb_machines)[None, :]
+    unchanged = np.where(
+        (i1 != source) & (i1 != destination),
+        v1,
+        np.where((i2 != source) & (i2 != destination), v2, v3),
+    )
+    scores = np.maximum(np.maximum(unchanged, removed[:, None]), added)
+    scores[jobs, assignment] = np.inf
+    return scores
+
+
+def score_moves_for_job(
+    etc: np.ndarray, assignment: np.ndarray, completion: np.ndarray, job: int
+) -> np.ndarray:
+    """Makespan of moving *job* to each machine, as a ``(machines,)`` vector.
+
+    This is the SLM scan: the completion vector with the job removed from
+    its source machine is formed once, its top two entries give the
+    excluded-destination maximum in O(1), and the entry for the current
+    machine holds ``+inf``.
+    """
+    source = int(assignment[job])
+    reduced = completion.astype(float, copy=True)
+    reduced[source] -= etc[job, source]
+    (i1, _), (v1, v2) = top_completions(reduced, 2)
+    new_destination = reduced + etc[job]  # equals completion + etc off the source machine
+    unchanged = np.where(np.arange(completion.shape[0]) == i1, v2, v1)
+    scores = np.maximum(unchanged, new_destination)
+    scores[source] = np.inf
+    return scores
+
+
+def score_critical_moves(
+    etc: np.ndarray,
+    completion: np.ndarray,
+    source_jobs: np.ndarray,
+    source: int,
+) -> np.ndarray:
+    """LMCTM metric for moving each makespan-machine job anywhere.
+
+    ``metric[a, m] = max(new_source, new_destination)`` for moving
+    ``source_jobs[a]`` from the makespan-defining machine *source* to
+    machine *m* — the completion-time reduction criterion of the paper.
+    Column *source* holds ``+inf``.
+    """
+    new_source = completion[source] - etc[source_jobs, source]  # (A,)
+    new_destination = completion[None, :] + etc[source_jobs, :]  # (A, M)
+    metric = np.maximum(new_source[:, None], new_destination)
+    metric[:, source] = np.inf
+    return metric
+
+
+def score_critical_swaps(
+    etc: np.ndarray,
+    assignment: np.ndarray,
+    completion: np.ndarray,
+    source_jobs: np.ndarray,
+    other_jobs: np.ndarray,
+    source: int,
+) -> np.ndarray:
+    """LMCTS metric for swapping makespan-machine jobs with the rest.
+
+    ``metric[a, b] = max(new_source, new_target)`` after exchanging the
+    machines of ``source_jobs[a]`` (on the makespan-defining machine
+    *source*) and ``other_jobs[b]``, ranking pairs by the larger of the two
+    affected completion times.
+    """
+    other_machines = assignment[other_jobs]
+    new_source = (
+        completion[source]
+        - etc[source_jobs, source][:, None]
+        + etc[other_jobs, source][None, :]
+    )  # (A, B)
+    new_target = (
+        (completion[other_machines] - etc[other_jobs, other_machines])[None, :]
+        + etc[source_jobs[:, None], other_machines[None, :]]
+    )  # (A, B)
+    return np.maximum(new_source, new_target)

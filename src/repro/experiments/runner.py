@@ -12,7 +12,7 @@ tables and sweeps can iterate over algorithms as data.
 
 from __future__ import annotations
 
-import math
+import inspect
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Protocol, Sequence
 
@@ -34,11 +34,10 @@ from repro.baselines import (
 )
 from repro.core.cma import CellularMemeticAlgorithm, SchedulingResult
 from repro.core.config import CMAConfig
-from repro.core.termination import TerminationCriteria
+from repro.core.termination import SearchState, TerminationCriteria
+from repro.engine.service import EvaluationEngine
 from repro.heuristics import build_schedule
-from repro.model.fitness import FitnessEvaluator
 from repro.model.instance import SchedulingInstance
-from repro.utils.history import ConvergenceHistory
 from repro.utils.rng import RNGLike, as_generator, spawn_generators
 from repro.utils.stats import RunStatistics, summarize
 from repro.utils.validation import check_integer
@@ -129,13 +128,29 @@ class _Scheduler(Protocol):
     def run(self) -> SchedulingResult: ...
 
 
-#: Factory signature: (instance, termination, rng) -> scheduler object.
-SchedulerFactory = Callable[[SchedulingInstance, TerminationCriteria, RNGLike], _Scheduler]
+#: Factory signature: (instance, termination, rng[, engine]) -> scheduler object.
+SchedulerFactory = Callable[..., _Scheduler]
+
+
+def _accepts_engine(factory: SchedulerFactory) -> bool:
+    """Whether *factory* can receive the ``engine`` keyword argument."""
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / odd callables: assume legacy
+        return False
+    if any(p.kind == p.VAR_KEYWORD for p in parameters.values()):
+        return True
+    return "engine" in parameters
 
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """A named scheduler factory usable by every experiment."""
+    """A named scheduler factory usable by every experiment.
+
+    Factories receive ``(instance, termination, rng, engine)``; legacy
+    three-argument factories (user-supplied specs predating the engine) are
+    still accepted and simply run without a shared engine.
+    """
 
     name: str
     factory: SchedulerFactory
@@ -146,8 +161,17 @@ class AlgorithmSpec:
         instance: SchedulingInstance,
         termination: TerminationCriteria,
         rng: RNGLike = None,
+        engine: EvaluationEngine | None = None,
     ) -> _Scheduler:
-        """Instantiate the scheduler for one run."""
+        """Instantiate the scheduler for one run.
+
+        Every run gets one :class:`EvaluationEngine` so evaluation counting,
+        timing and convergence history flow through a single shared service.
+        """
+        if _accepts_engine(self.factory):
+            if engine is None:
+                engine = EvaluationEngine(instance)
+            return self.factory(instance, termination, rng, engine=engine)
         return self.factory(instance, termination, rng)
 
 
@@ -158,8 +182,10 @@ def cma_spec(config: CMAConfig | None = None, name: str = "cma") -> AlgorithmSpe
     """The paper's cellular memetic algorithm (Table 1 configuration by default)."""
     base = config if config is not None else CMAConfig.paper_defaults()
 
-    def factory(instance, termination, rng):
-        return CellularMemeticAlgorithm(instance, base.evolve(termination=termination), rng=rng)
+    def factory(instance, termination, rng, engine=None):
+        return CellularMemeticAlgorithm(
+            instance, base.evolve(termination=termination), rng=rng, engine=engine
+        )
 
     return AlgorithmSpec(name=name, factory=factory, description="Cellular memetic algorithm")
 
@@ -168,8 +194,8 @@ def braun_ga_spec(config: GAConfig | None = None, name: str = "braun_ga") -> Alg
     """The Braun et al.-style generational GA baseline."""
     base = config if config is not None else GAConfig.fast_defaults()
 
-    def factory(instance, termination, rng):
-        return GenerationalGA(instance, base, termination=termination, rng=rng)
+    def factory(instance, termination, rng, engine=None):
+        return GenerationalGA(instance, base, termination=termination, rng=rng, engine=engine)
 
     return AlgorithmSpec(name=name, factory=factory, description="Generational GA (Braun et al.)")
 
@@ -180,8 +206,8 @@ def steady_state_ga_spec(
     """The Carretero & Xhafa-style steady-state GA baseline."""
     base = config if config is not None else SteadyStateGAConfig.fast_defaults()
 
-    def factory(instance, termination, rng):
-        return SteadyStateGA(instance, base, termination=termination, rng=rng)
+    def factory(instance, termination, rng, engine=None):
+        return SteadyStateGA(instance, base, termination=termination, rng=rng, engine=engine)
 
     return AlgorithmSpec(
         name=name, factory=factory, description="Steady-state GA (Carretero & Xhafa)"
@@ -194,8 +220,8 @@ def struggle_ga_spec(
     """Xhafa's Struggle GA baseline."""
     base = config if config is not None else StruggleGAConfig.fast_defaults()
 
-    def factory(instance, termination, rng):
-        return StruggleGA(instance, base, termination=termination, rng=rng)
+    def factory(instance, termination, rng, engine=None):
+        return StruggleGA(instance, base, termination=termination, rng=rng, engine=engine)
 
     return AlgorithmSpec(name=name, factory=factory, description="Struggle GA (Xhafa)")
 
@@ -206,8 +232,8 @@ def cellular_ga_spec(
     """Cellular GA ablation (cMA without local search)."""
     base = config if config is not None else CellularGAConfig()
 
-    def factory(instance, termination, rng):
-        return CellularGA(instance, base, termination=termination, rng=rng)
+    def factory(instance, termination, rng, engine=None):
+        return CellularGA(instance, base, termination=termination, rng=rng, engine=engine)
 
     return AlgorithmSpec(name=name, factory=factory, description="Cellular GA (no local search)")
 
@@ -218,8 +244,8 @@ def panmictic_ma_spec(
     """Panmictic MA ablation (local search without cellular structure)."""
     base = config if config is not None else PanmicticMAConfig.fast_defaults()
 
-    def factory(instance, termination, rng):
-        return PanmicticMA(instance, base, termination=termination, rng=rng)
+    def factory(instance, termination, rng, engine=None):
+        return PanmicticMA(instance, base, termination=termination, rng=rng, engine=engine)
 
     return AlgorithmSpec(
         name=name, factory=factory, description="Unstructured memetic algorithm"
@@ -232,8 +258,10 @@ def simulated_annealing_spec(
     """Simulated-annealing extension baseline."""
     base = config if config is not None else SimulatedAnnealingConfig()
 
-    def factory(instance, termination, rng):
-        return SimulatedAnnealingScheduler(instance, base, termination=termination, rng=rng)
+    def factory(instance, termination, rng, engine=None):
+        return SimulatedAnnealingScheduler(
+            instance, base, termination=termination, rng=rng, engine=engine
+        )
 
     return AlgorithmSpec(name=name, factory=factory, description="Simulated annealing")
 
@@ -244,8 +272,10 @@ def tabu_search_spec(
     """Tabu-search extension baseline."""
     base = config if config is not None else TabuSearchConfig()
 
-    def factory(instance, termination, rng):
-        return TabuSearchScheduler(instance, base, termination=termination, rng=rng)
+    def factory(instance, termination, rng, engine=None):
+        return TabuSearchScheduler(
+            instance, base, termination=termination, rng=rng, engine=engine
+        )
 
     return AlgorithmSpec(name=name, factory=factory, description="Tabu search")
 
@@ -253,44 +283,44 @@ def tabu_search_spec(
 class _HeuristicRunner:
     """Adapts a constructive heuristic to the scheduler ``run()`` protocol."""
 
-    def __init__(self, heuristic: str, instance: SchedulingInstance, rng: RNGLike) -> None:
+    def __init__(
+        self,
+        heuristic: str,
+        instance: SchedulingInstance,
+        rng: RNGLike,
+        engine: EvaluationEngine | None = None,
+    ) -> None:
         self.heuristic = heuristic
         self.instance = instance
         self.rng = rng
+        self.engine = engine if engine is not None else EvaluationEngine(instance)
 
     def run(self) -> SchedulingResult:
-        evaluator = FitnessEvaluator()
+        self.engine.begin_run()
+        state = SearchState()
         schedule = build_schedule(self.heuristic, self.instance, self.rng)
-        values = evaluator.evaluate(schedule)
-        history = ConvergenceHistory()
-        history.record(
-            elapsed_seconds=0.0,
-            evaluations=1,
-            iterations=0,
-            best_fitness=values.fitness,
-            best_makespan=values.makespan,
-            best_flowtime=values.flowtime,
-        )
-        return SchedulingResult(
-            algorithm=self.heuristic,
-            instance_name=self.instance.name,
-            best_schedule=schedule,
-            best_fitness=values.fitness,
+        values = self.engine.evaluate(schedule)
+        state.evaluations = self.engine.evaluations
+        state.best_fitness = values.fitness
+        self.engine.record(
+            state,
+            fitness=values.fitness,
             makespan=values.makespan,
             flowtime=values.flowtime,
-            mean_flowtime=values.mean_flowtime,
-            evaluations=1,
-            iterations=0,
-            elapsed_seconds=0.0,
-            history=history,
+        )
+        return self.engine.build_result(
+            algorithm=self.heuristic,
+            best_schedule=schedule,
+            best_fitness=values.fitness,
+            state=state,
         )
 
 
 def heuristic_spec(heuristic: str) -> AlgorithmSpec:
     """A constructive heuristic (LJFR-SJFR, Min-Min, ...) as an algorithm spec."""
 
-    def factory(instance, termination, rng):
-        return _HeuristicRunner(heuristic, instance, rng)
+    def factory(instance, termination, rng, engine=None):
+        return _HeuristicRunner(heuristic, instance, rng, engine=engine)
 
     return AlgorithmSpec(
         name=heuristic, factory=factory, description=f"Constructive heuristic {heuristic}"
@@ -326,7 +356,10 @@ def repeat_run(
     termination = settings.termination()
     results = []
     for child in children:
-        scheduler = spec.build(instance, termination, child)
+        # One engine per run: a single evaluation counter, clock and
+        # convergence history shared by whatever algorithm the spec builds.
+        engine = EvaluationEngine(instance)
+        scheduler = spec.build(instance, termination, child, engine=engine)
         results.append(scheduler.run())
     return results
 

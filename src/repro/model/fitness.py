@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.model.schedule import Schedule
 from repro.utils.validation import check_probability
 
@@ -90,6 +92,27 @@ class FitnessEvaluator:
     def scalarize(self, makespan: float, mean_flowtime: float) -> float:
         """Combine pre-computed objective values without touching the counter."""
         return self.weight * makespan + (1.0 - self.weight) * mean_flowtime
+
+    def scalarize_batch(self, makespans, mean_flowtimes) -> "np.ndarray":
+        """Vectorized :meth:`scalarize` over whole populations (counter untouched).
+
+        Accepts any array-likes of equal shape and returns a float array; the
+        batch engine feeds it ``(pop,)`` objective vectors.
+        """
+        makespans = np.asarray(makespans, dtype=float)
+        mean_flowtimes = np.asarray(mean_flowtimes, dtype=float)
+        return self.weight * makespans + (1.0 - self.weight) * mean_flowtimes
+
+    def add_evaluations(self, count: int) -> None:
+        """Charge *count* schedule evaluations to the counter (batch paths).
+
+        One batch evaluation of a ``pop``-row population costs ``pop``
+        evaluations, keeping budgets comparable between scalar and batch
+        code paths.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._evaluations += int(count)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FitnessEvaluator(weight={self.weight}, evaluations={self._evaluations})"

@@ -135,6 +135,45 @@ class SchedulingInstance:
         return etc_module.properties(self.etc)
 
     # ------------------------------------------------------------------ #
+    # Cached per-machine SPT structure (shared by schedules and the engine)
+    # ------------------------------------------------------------------ #
+    @property
+    def spt_order(self) -> np.ndarray:
+        """``(nb_jobs, nb_machines)`` job indices sorted by ascending ETC.
+
+        Column *m* lists every job in the shortest-processing-time order of
+        machine *m*.  The sort is computed once per instance and cached, so
+        flowtime evaluations (which need the assigned jobs of a machine in
+        SPT order) reduce to a boolean mask over a pre-sorted column instead
+        of a fresh ``np.sort`` per move.
+        """
+        cached = self.__dict__.get("_spt_order")
+        if cached is None:
+            cached = np.argsort(self.etc, axis=0, kind="stable")
+            cached.setflags(write=False)
+            object.__setattr__(self, "_spt_order", cached)
+        return cached
+
+    @property
+    def etc_ranks(self) -> np.ndarray:
+        """``(nb_jobs, nb_machines)`` SPT rank of each job on each machine.
+
+        ``etc_ranks[j, m]`` is the position of job *j* in ``spt_order[:, m]``.
+        The batch engine uses these ranks to group-and-order whole populations
+        with a single key sort.
+        """
+        cached = self.__dict__.get("_etc_ranks")
+        if cached is None:
+            order = self.spt_order
+            cached = np.empty_like(order)
+            np.put_along_axis(
+                cached, order, np.arange(self.nb_jobs, dtype=order.dtype)[:, None], axis=0
+            )
+            cached.setflags(write=False)
+            object.__setattr__(self, "_etc_ranks", cached)
+        return cached
+
+    # ------------------------------------------------------------------ #
     # Bounds (used for sanity checks in tests and reports)
     # ------------------------------------------------------------------ #
     def makespan_lower_bound(self) -> float:

@@ -23,14 +23,35 @@ evaluation cost.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 import numpy as np
 
 from repro.model.instance import SchedulingInstance
+from repro.utils.arrays import top_completions
 from repro.utils.rng import RNGLike, as_generator
 
-__all__ = ["Schedule"]
+__all__ = ["Schedule", "spt_flowtime"]
+
+
+def spt_flowtime(
+    instance: SchedulingInstance, assignment: np.ndarray, machine: int
+) -> float:
+    """Flowtime contribution of one machine under SPT ordering.
+
+    The shared kernel behind both the scalar :class:`Schedule` cache and the
+    batch engine's per-row updates: the machine's jobs are selected by
+    masking the instance's precomputed SPT column — no re-sorting — and
+    their finishing times come from one cumulative sum.
+    """
+    order = instance.spt_order[:, machine]
+    jobs = order[assignment[order] == machine]
+    if jobs.size == 0:
+        return 0.0
+    times = instance.etc[jobs, machine]
+    finish = instance.ready_times[machine] + np.cumsum(times)
+    return float(finish.sum())
 
 
 class Schedule:
@@ -46,7 +67,7 @@ class Schedule:
         machine ``0`` (a valid, if terrible, schedule).
     """
 
-    __slots__ = ("instance", "_assignment", "_completion", "_machine_flowtime")
+    __slots__ = ("instance", "_assignment", "_completion", "_machine_flowtime", "_top3")
 
     def __init__(
         self,
@@ -60,6 +81,7 @@ class Schedule:
             self._assignment = self._validate_assignment(instance, assignment)
         self._completion = np.empty(instance.nb_machines, dtype=float)
         self._machine_flowtime = np.empty(instance.nb_machines, dtype=float)
+        self._top3 = None
         self.recompute()
 
     # ------------------------------------------------------------------ #
@@ -95,6 +117,32 @@ class Schedule:
         assignment = gen.integers(0, instance.nb_machines, size=instance.nb_jobs)
         return cls(instance, assignment)
 
+    @classmethod
+    def view_over(
+        cls,
+        instance: SchedulingInstance,
+        assignment: np.ndarray,
+        completion: np.ndarray,
+        machine_flowtime: np.ndarray,
+    ) -> "Schedule":
+        """Zero-copy schedule over externally owned buffers.
+
+        Used by :class:`repro.engine.BatchEvaluator` to expose one population
+        row through the full ``Schedule`` API without materializing copies:
+        the caller passes row views of its structure-of-arrays state, which
+        must already be mutually consistent.  Mutating the schedule mutates
+        the engine row and vice versa; a view created *before* a direct batch
+        mutation of the same row must be discarded (its what-if cache may be
+        stale), so create views on demand.
+        """
+        schedule = object.__new__(cls)
+        schedule.instance = instance
+        schedule._assignment = assignment
+        schedule._completion = completion
+        schedule._machine_flowtime = machine_flowtime
+        schedule._top3 = None
+        return schedule
+
     def copy(self) -> "Schedule":
         """Deep copy (caches included, no re-evaluation needed)."""
         clone = object.__new__(Schedule)
@@ -102,6 +150,7 @@ class Schedule:
         clone._assignment = self._assignment.copy()
         clone._completion = self._completion.copy()
         clone._machine_flowtime = self._machine_flowtime.copy()
+        clone._top3 = self._top3
         return clone
 
     # ------------------------------------------------------------------ #
@@ -114,17 +163,13 @@ class Schedule:
         chosen = etc[np.arange(self.instance.nb_jobs), self._assignment]
         totals = np.bincount(self._assignment, weights=chosen, minlength=nb_machines)
         self._completion[:] = self.instance.ready_times + totals
+        self._top3 = None
         for machine in range(nb_machines):
             self._machine_flowtime[machine] = self._flowtime_of(machine)
 
     def _flowtime_of(self, machine: int) -> float:
-        """Flowtime contribution of one machine under SPT ordering."""
-        jobs = np.nonzero(self._assignment == machine)[0]
-        if jobs.size == 0:
-            return 0.0
-        times = np.sort(self.instance.etc[jobs, machine])
-        finish = self.instance.ready_times[machine] + np.cumsum(times)
-        return float(finish.sum())
+        """Flowtime contribution of one machine (see :func:`spt_flowtime`)."""
+        return spt_flowtime(self.instance, self._assignment, machine)
 
     # ------------------------------------------------------------------ #
     # Read access
@@ -196,6 +241,7 @@ class Schedule:
         etc = self.instance.etc
         self._completion[old] -= etc[job, old]
         self._completion[machine] += etc[job, machine]
+        self._top3 = None
         self._assignment[job] = machine
         self._machine_flowtime[old] = self._flowtime_of(old)
         self._machine_flowtime[machine] = self._flowtime_of(machine)
@@ -211,19 +257,53 @@ class Schedule:
         etc = self.instance.etc
         self._completion[machine_a] += etc[job_b, machine_a] - etc[job_a, machine_a]
         self._completion[machine_b] += etc[job_a, machine_b] - etc[job_b, machine_b]
+        self._top3 = None
         self._assignment[job_a] = machine_b
         self._assignment[job_b] = machine_a
         self._machine_flowtime[machine_a] = self._flowtime_of(machine_a)
         self._machine_flowtime[machine_b] = self._flowtime_of(machine_b)
 
     def set_assignment(self, assignment: np.ndarray | Iterable[int]) -> None:
-        """Replace the whole assignment (full cache recomputation)."""
-        self._assignment = self._validate_assignment(self.instance, assignment)
+        """Replace the whole assignment (full cache recomputation).
+
+        The write happens in place so that engine-row views stay coherent:
+        replacing the assignment of a :meth:`view_over` schedule updates the
+        batch row it wraps, exactly like :meth:`move_job` does.
+        """
+        self._assignment[:] = self._validate_assignment(self.instance, assignment)
         self.recompute()
 
     # ------------------------------------------------------------------ #
     # What-if helpers (no mutation)
     # ------------------------------------------------------------------ #
+    def _completion_top3(self) -> tuple[tuple[int, ...], tuple[float, ...]]:
+        """Indices and values of the three largest completion times.
+
+        Computed lazily after each mutation and then reused, so a scan of
+        many what-if queries against the same state pays the partial sort
+        once instead of allocating a reduced copy per candidate.  Padded
+        with ``(-1, -inf)`` when there are fewer than three machines.
+        """
+        if self._top3 is None:
+            indices, values = top_completions(self._completion, 3)
+            self._top3 = (
+                tuple(int(i) for i in indices),
+                tuple(float(v) for v in values),
+            )
+        return self._top3
+
+    def _max_completion_excluding(self, first: int, second: int) -> float:
+        """Largest completion time over all machines except *first*/*second*.
+
+        At most two machines are excluded, so the answer is always among the
+        cached top three completion times — an O(1) lookup.
+        """
+        indices, values = self._completion_top3()
+        for index, value in zip(indices, values):
+            if index != first and index != second:
+                return value
+        return -math.inf
+
     def makespan_if_moved(self, job: int, machine: int) -> float:
         """Makespan that would result from moving *job* to *machine*."""
         self._check_job(job)
@@ -234,10 +314,8 @@ class Schedule:
         etc = self.instance.etc
         new_old = self._completion[old] - etc[job, old]
         new_dst = self._completion[machine] + etc[job, machine]
-        # Maximum over all machines with the two affected entries replaced.
-        others = np.delete(self._completion, [old, machine])
-        candidates = (new_old, new_dst, others.max() if others.size else -np.inf)
-        return float(max(candidates))
+        others = self._max_completion_excluding(old, machine)
+        return float(max(new_old, new_dst, others))
 
     def makespan_if_swapped(self, job_a: int, job_b: int) -> float:
         """Makespan that would result from swapping the machines of two jobs."""
@@ -250,9 +328,8 @@ class Schedule:
         etc = self.instance.etc
         new_a = self._completion[machine_a] + etc[job_b, machine_a] - etc[job_a, machine_a]
         new_b = self._completion[machine_b] + etc[job_a, machine_b] - etc[job_b, machine_b]
-        others = np.delete(self._completion, [machine_a, machine_b])
-        candidates = (new_a, new_b, others.max() if others.size else -np.inf)
-        return float(max(candidates))
+        others = self._max_completion_excluding(machine_a, machine_b)
+        return float(max(new_a, new_b, others))
 
     # ------------------------------------------------------------------ #
     # Validation / debugging

@@ -1,0 +1,31 @@
+"""Small shared numpy kernels with no model or engine dependencies.
+
+Lives in the utils layer so that both :mod:`repro.model` (schedule what-if
+caches) and :mod:`repro.engine` (vectorized scans) can use the same code
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_completions"]
+
+
+def top_completions(completion: np.ndarray, k: int = 3) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the *k* largest completion times, descending.
+
+    When there are fewer than *k* machines the result is padded with index
+    ``-1`` and value ``-inf`` so that exclusion logic ("largest entry whose
+    index is not one of these") works unchanged.
+    """
+    completion = np.asarray(completion, dtype=float)
+    nb_machines = completion.shape[0]
+    keep = min(k, nb_machines)
+    top = np.argpartition(completion, nb_machines - keep)[nb_machines - keep :]
+    top = top[np.argsort(completion[top])][::-1]
+    indices = np.full(k, -1, dtype=np.int64)
+    values = np.full(k, -np.inf)
+    indices[:keep] = top
+    values[:keep] = completion[top]
+    return indices, values

@@ -68,6 +68,10 @@ class ConvergenceHistory:
     def __bool__(self) -> bool:  # even an empty history is a valid object
         return True
 
+    def copy(self) -> "ConvergenceHistory":
+        """Snapshot of the current trajectory (records are immutable)."""
+        return ConvergenceHistory(records=list(self.records))
+
     @property
     def final(self) -> HistoryRecord:
         """The last recorded snapshot.

@@ -17,12 +17,20 @@ from repro.model.fitness import FitnessEvaluator
 from repro.model.instance import SchedulingInstance
 from repro.model.schedule import Schedule
 
-ALL_METHODS = ["lm", "slm", "lmcts", "lmctm", "vns"]
+ALL_METHODS = ["lm", "slm", "lmcts", "lmctm", "gsm", "vns"]
 
 
 class TestRegistry:
     def test_names(self):
-        assert set(list_local_searches()) == {"none", "lm", "slm", "lmcts", "lmctm", "vns"}
+        assert set(list_local_searches()) == {
+            "none",
+            "lm",
+            "slm",
+            "lmcts",
+            "lmctm",
+            "gsm",
+            "vns",
+        }
 
     def test_iterations_forwarded(self):
         assert get_local_search("lmcts", iterations=9).iterations == 9

@@ -66,10 +66,15 @@ def test_heuristics_within_instance_bounds(instance, name):
     assert schedule.makespan <= instance.makespan_upper_bound() + 1e-6
 
 
-@given(instances(), st.sampled_from(["min_min", "max_min", "sufferage", "mct", "olb"]))
+@given(instances(), st.sampled_from(["min_min", "max_min", "sufferage", "mct"]))
 @settings(max_examples=60, deadline=None)
-def test_load_aware_heuristics_beat_single_machine(instance, name):
-    """Any load-aware list scheduler is at least as good as stacking machine 0."""
+def test_completion_aware_heuristics_beat_single_machine(instance, name):
+    """Any completion-time-aware list scheduler beats stacking machine 0.
+
+    OLB is deliberately excluded: it balances *ready times* while ignoring
+    the ETC matrix, so on instances where machine 0 is fast it can lose to
+    the single-machine stack (e.g. one job whose fastest machine is busy).
+    """
     schedule = build_schedule(name, instance, rng=1)
     everything_on_zero = Schedule(instance)
     assert schedule.makespan <= everything_on_zero.makespan + 1e-6
