@@ -1,27 +1,55 @@
 """Micro-benchmark: evaluations/sec for the scalar vs. batch paths.
 
-Records the throughput of (a) full-schedule evaluation and (b) the
-single-job-move neighborhood scan on the paper's 512 × 16 instance shape, in
-both the scalar ``Schedule`` path and the vectorized engine path, so future
-PRs have a perf trajectory to compare against (see
-``benchmarks/output/engine_throughput.txt`` after a run).
+Records the throughput trajectory of the engine on the paper's 512 × 16
+instance shape, one section per engine generation, so future perf PRs extend
+this table instead of adding ad-hoc timers (see
+``benchmarks/output/engine_throughput.txt`` after a run):
 
-The qualitative assertion — the vectorized scan beats the scalar scan —
-backs the engine's reason to exist and guards against a regression that
-silently falls back to per-candidate evaluation.
+* **full evaluation** (PR 1) — evaluating a whole population from scratch:
+  scalar ``Schedule`` construction vs. one vectorized ``recompute``;
+* **neighborhood scan** (PR 1) — scoring all ``jobs × machines`` single-job
+  moves of one schedule: per-candidate what-ifs vs. one vectorized scan
+  (PR-1 baseline: ~150x);
+* **grid iteration** (PR 2) — the cMA offspring pipeline: the PR-1
+  scalar-grid path (one detached ``Schedule``/``Individual`` per offspring,
+  scalar local search, per-offspring evaluation) vs. the resident-grid path
+  (offspring staged into the population's scratch rows, whole-batch local
+  search via ``score_moves_batch``-style kernels, one batched evaluation).
+
+The grid-iteration section runs at the paper's 5×5 mesh and at a larger 8×8
+mesh: batched kernels amortize with the offspring count, so the resident
+grid pulls further ahead exactly where the scalar path hurts most.  The
+quantitative assertion — at least one recorded grid configuration reaches a
+5x speedup — pins the PR-2 acceptance criterion; the qualitative assertions
+guard against regressions that silently fall back to scalar paths.
 """
 
 from __future__ import annotations
 
 import time
 
+import numpy as np
+
+from repro.core.individual import Individual
+from repro.core.local_search import get_local_search
 from repro.engine import BatchEvaluator
 from repro.model.benchmark import generate_braun_like_instance
+from repro.model.fitness import FitnessEvaluator
 from repro.model.schedule import Schedule
 
 NB_JOBS = 512
 NB_MACHINES = 16
 POP = 64
+
+#: Grid-iteration configurations: (mesh label, cells, local search).
+GRID_CASES = [
+    ("5x5", 25, "slm"),
+    ("5x5", 25, "gsm"),
+    ("5x5", 25, "lmcts"),
+    ("8x8", 64, "slm"),
+    ("8x8", 64, "lm"),
+    ("8x8", 64, "gsm"),
+]
 
 
 def _timed(function, *args, repeats: int = 3) -> float:
@@ -32,6 +60,41 @@ def _timed(function, *args, repeats: int = 3) -> float:
         function(*args)
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _time_grid_iteration(instance, cells: int, local_search: str) -> tuple[float, float]:
+    """Seconds for one grid iteration's offspring pipeline, scalar vs. resident.
+
+    Both paths push ``cells`` offspring (the same crossover children) through
+    ``local_search`` and evaluation.  The scalar path is the PR-1 cMA
+    pipeline: one detached ``Schedule`` + ``Individual`` per offspring,
+    scalar local-search steps, one counted evaluation each.  The resident
+    path stages the whole offspring batch into the grid's scratch rows and
+    improves/evaluates it with vectorized whole-batch passes.
+    """
+    evaluator = FitnessEvaluator(0.75)
+    search = get_local_search(local_search, iterations=5)
+    population = BatchEvaluator.random(instance, cells, rng=1)
+    children = BatchEvaluator.random(instance, cells, rng=2).assignments.copy()
+
+    def scalar_grid_iteration():
+        rng = np.random.default_rng(5)
+        for row in range(cells):
+            offspring = Individual(Schedule(instance, children[row]))
+            search.improve(offspring.schedule, evaluator, rng)
+            offspring.evaluate(evaluator)
+
+    resident = population.expanded(cells)
+    rows = cells + np.arange(cells)
+
+    def resident_grid_iteration():
+        rng = np.random.default_rng(5)
+        resident.set_rows(rows, children)
+        search.improve_batch(resident, rows, evaluator, rng)
+        evaluator.scalarize_batch(resident.makespans(rows), resident.mean_flowtimes(rows))
+        evaluator.add_evaluations(cells)
+
+    return _timed(scalar_grid_iteration), _timed(resident_grid_iteration)
 
 
 def test_engine_throughput(record_output):
@@ -66,6 +129,12 @@ def test_engine_throughput(record_output):
     scalar_scan_s = _timed(scalar_scan)
     vector_scan_s = _timed(vectorized_scan)
 
+    # --- grid iteration: offspring batch through local search ------------ #
+    grid_rows = []
+    for mesh, cells, local_search in GRID_CASES:
+        scalar_s, resident_s = _time_grid_iteration(instance, cells, local_search)
+        grid_rows.append((mesh, cells, local_search, scalar_s, resident_s))
+
     moves = NB_JOBS * NB_MACHINES
     lines = [
         f"instance: {NB_JOBS} jobs x {NB_MACHINES} machines, population {POP}",
@@ -77,7 +146,15 @@ def test_engine_throughput(record_output):
         "neighborhood scan (move evaluations/sec):",
         f"  scalar what-ifs   : {moves / scalar_scan_s:12.0f}",
         f"  vectorized scan   : {moves / vector_scan_s:12.0f}  ({scalar_scan_s / vector_scan_s:.1f}x)",
+        "",
+        "grid iteration (offspring evaluations/sec, 5 local-search steps each):",
     ]
+    for mesh, cells, local_search, scalar_s, resident_s in grid_rows:
+        lines.append(
+            f"  {mesh} {local_search:6s}: scalar-grid {cells / scalar_s:9.0f}"
+            f"  resident-grid {cells / resident_s:9.0f}"
+            f"  ({scalar_s / resident_s:.1f}x)"
+        )
     text = "\n".join(lines)
     record_output("engine_throughput", text)
     print()
@@ -86,3 +163,14 @@ def test_engine_throughput(record_output):
     # The engine must beat the scalar paths on the paper-scale shape.
     assert vector_scan_s < scalar_scan_s
     assert batch_eval_s < scalar_eval_s
+    # The resident grid must beat the PR-1 scalar-grid offspring pipeline on
+    # the move-based searches (the lmcts rows are recorded but not asserted:
+    # the pair neighborhood's resident advantage is a thin margin that CI
+    # load could invert)...
+    speedups = {
+        (mesh, ls): scalar_s / resident_s
+        for mesh, _, ls, scalar_s, resident_s in grid_rows
+    }
+    assert all(s > 1.0 for (_, ls), s in speedups.items() if ls != "lmcts")
+    # ...and by >= 5x where batching amortizes best (PR-2 acceptance bar).
+    assert max(speedups.values()) >= 5.0

@@ -72,6 +72,16 @@ class PopulationBasedScheduler(abc.ABC):
     # ------------------------------------------------------------------ #
     # Hooks
     # ------------------------------------------------------------------ #
+    def _setup_population(self) -> None:
+        """Create the initial population state (default: a list of individuals).
+
+        Baselines that keep their population resident in a
+        :class:`~repro.engine.batch.BatchEvaluator` (e.g. the panmictic MA)
+        override this together with :meth:`_population_best` and leave
+        :attr:`population` empty.
+        """
+        self.population = self._initialize_population()
+
     def _initialize_population(self) -> list[Individual]:
         """Default seeding: one heuristic individual plus random schedules.
 
@@ -82,6 +92,10 @@ class PopulationBasedScheduler(abc.ABC):
             self.population_size, self.seeding_heuristic, rng=self.rng
         )
         return individuals_from_batch(batch, self.evaluator)
+
+    def _population_best(self) -> Individual:
+        """The current population best (callers copy before holding on to it)."""
+        return min(self.population, key=lambda ind: ind.fitness)
 
     @abc.abstractmethod
     def _iteration(self, state: SearchState) -> bool:
@@ -96,15 +110,15 @@ class PopulationBasedScheduler(abc.ABC):
         deadline = self.termination.make_deadline()
         state = SearchState()
 
-        self.population = self._initialize_population()
-        self.best = min(self.population, key=lambda ind: ind.fitness).copy()
+        self._setup_population()
+        self.best = self._population_best().copy()
         state.evaluations = self.evaluator.evaluations
         state.best_fitness = self.best.fitness
         self._record(state)
 
         while not self.termination.should_stop(state, deadline):
             improved = self._iteration(state)
-            current_best = min(self.population, key=lambda ind: ind.fitness)
+            current_best = self._population_best()
             if current_best.fitness < self.best.fitness:
                 self.best = current_best.copy()
                 improved = True

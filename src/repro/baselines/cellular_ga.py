@@ -42,6 +42,9 @@ class CellularGAConfig:
     nb_mutations: int = 12
     fitness_weight: float = 0.75
     seeding_heuristic: str = "ljfr_sjfr"
+    #: Resident-grid update discipline, threaded through to the cMA core
+    #: ("batch" = whole-grid staged offspring, "sequential" = asynchronous).
+    cell_updates: str = "batch"
 
     def __post_init__(self) -> None:
         check_integer("population_height", self.population_height, minimum=1)
@@ -76,6 +79,7 @@ class CellularGA:
             seeding_heuristic=cfg.seeding_heuristic,
             local_search="none",
             local_search_iterations=0,
+            cell_updates=cfg.cell_updates,
             fitness_weight=cfg.fitness_weight,
             termination=termination,
         )

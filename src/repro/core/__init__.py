@@ -53,7 +53,7 @@ from repro.core.neighborhood import (
     get_neighborhood,
     list_neighborhoods,
 )
-from repro.core.population import CellularGrid, PopulationInitializer
+from repro.core.population import CellularGrid, PopulationInitializer, ResidentGrid
 from repro.core.replacement import (
     AlwaysReplace,
     ReplaceIfBetter,
@@ -94,6 +94,7 @@ __all__ = [
     "hypervolume_2d",
     "Individual",
     "CellularGrid",
+    "ResidentGrid",
     "PopulationInitializer",
     "SearchState",
     "TerminationCriteria",

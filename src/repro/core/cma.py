@@ -7,12 +7,12 @@ template of the paper:
    copies), apply local search to every cell and evaluate the population.
 2. Until the termination criterion fires, perform per iteration:
    ``nb_recombinations`` recombination updates followed by ``nb_mutations``
-   mutation updates.  Each update (a) walks its own asynchronous sweep
-   order, (b) builds an offspring from the neighborhood of the current cell
-   (selection + one-point recombination, or rebalance mutation of the cell's
-   occupant), (c) improves the offspring with the configured local search,
-   (d) evaluates it and (e) replaces the cell occupant only if the offspring
-   is better.
+   mutation updates.  Each update (a) walks its own sweep order, (b) builds
+   an offspring from the neighborhood of the current cell (selection +
+   one-point recombination, or rebalance mutation of the cell's occupant),
+   (c) improves the offspring with the configured local search, (d)
+   evaluates it and (e) replaces the cell occupant only if the offspring is
+   better.
 3. At the end of every iteration the sweep orders are updated (a fresh
    permutation for NRS) and the convergence history is sampled.
 
@@ -22,13 +22,31 @@ an evident typo (the mutation stream has its own ``mut_order``); we replace
 the cell the mutated individual came from, which is the standard
 asynchronous cellular model and matches the textual description.
 
-The updates are *asynchronous*: an offspring installed in its cell is
-immediately visible to the later updates of the same iteration.
+The population is **resident**: the whole mesh (plus an offspring scratch
+block) lives in one :class:`~repro.engine.batch.BatchEvaluator`, cells are
+row indices, and replacement is a row copy (see
+:class:`~repro.core.population.ResidentGrid`).  Two update disciplines are
+offered through :attr:`CMAConfig.cell_updates`:
+
+* ``"batch"`` (default) — each stream stages its whole offspring batch in
+  the scratch rows, applies the local search to **all** of them with one
+  vectorized scan per step (:meth:`LocalSearch.improve_batch`), evaluates
+  them in one batched reduction and then applies the replacements in update
+  order.  Offspring of one stream are bred from the grid state at the start
+  of that stream; the mutation stream still sees the recombination stream's
+  replacements.
+* ``"sequential"`` — the paper's fully asynchronous discipline: an
+  offspring installed in its cell is immediately visible to the later
+  updates of the same iteration.  This path reproduces the pre-resident
+  implementation's best-fitness trajectories bit for bit and serves as the
+  semantic reference for the batch path.
 """
 
 from __future__ import annotations
 
 from typing import Callable
+
+import numpy as np
 
 from repro.core.config import CMAConfig
 from repro.core.crossover import get_crossover
@@ -36,7 +54,7 @@ from repro.core.individual import Individual
 from repro.core.local_search import get_local_search
 from repro.core.mutation import get_mutation
 from repro.core.neighborhood import get_neighborhood
-from repro.core.population import CellularGrid, PopulationInitializer
+from repro.core.population import PopulationInitializer, ResidentGrid
 from repro.core.replacement import get_replacement
 from repro.core.selection import NTournamentSelection, get_selection
 from repro.core.sweep import get_sweep
@@ -122,7 +140,7 @@ class CellularMemeticAlgorithm:
         )
 
         # Run state (populated by run()).
-        self.grid: CellularGrid | None = None
+        self.grid: ResidentGrid | None = None
         self.best: Individual | None = None
         self.history = self.engine.history
 
@@ -145,10 +163,15 @@ class CellularMemeticAlgorithm:
         rec_order = get_sweep(cfg.recombination_order, self.grid.size, self.rng)
         mut_order = get_sweep(cfg.mutation_order, self.grid.size, self.rng)
 
+        batch_updates = cfg.cell_updates == "batch"
         while not cfg.termination.should_stop(state, deadline):
             improved = False
-            improved |= self._recombination_stream(rec_order)
-            improved |= self._mutation_stream(mut_order)
+            if batch_updates:
+                improved |= self._recombination_phase(rec_order)
+                improved |= self._mutation_phase(mut_order)
+            else:
+                improved |= self._recombination_stream(rec_order)
+                improved |= self._mutation_stream(mut_order)
             rec_order.update()
             mut_order.update()
 
@@ -174,21 +197,79 @@ class CellularMemeticAlgorithm:
     # ------------------------------------------------------------------ #
     # Stages
     # ------------------------------------------------------------------ #
-    def _initialize_population(self) -> CellularGrid:
-        """Seed the mesh and apply the initial local-search pass of Algorithm 1."""
+    def _initialize_population(self) -> ResidentGrid:
+        """Seed the resident mesh and apply the initial local-search pass.
+
+        The whole population is seeded through one vectorized draw and stays
+        resident in a single :class:`~repro.engine.batch.BatchEvaluator`;
+        the initial local-search pass of Algorithm 1 then runs either as one
+        whole-grid batch improvement or cell by cell (``cell_updates``).
+        """
         cfg = self.config
-        grid = self.initializer.build(
+        grid = self.initializer.build_resident(
             self.instance,
             cfg.population_height,
             cfg.population_width,
             self.evaluator,
-            self.rng,
+            scratch_rows=max(cfg.nb_recombinations, cfg.nb_mutations),
+            rng=self.rng,
         )
-        for individual in grid:
-            if self.engine.improve(individual.schedule, self.local_search, self.rng):
-                individual.evaluate(self.evaluator)
+        if cfg.cell_updates == "batch":
+            improved = self.engine.improve_batch(
+                grid.batch, grid.population_rows, self.local_search, self.rng
+            )
+            if improved.any():
+                grid.evaluate_rows(grid.population_rows[improved])
+        else:
+            for row in range(grid.size):
+                if self.engine.improve(grid.batch.view(row), self.local_search, self.rng):
+                    grid.evaluate_rows([row])
         return grid
 
+    # -------------------------- batch cell updates --------------------- #
+    def _recombination_phase(self, order) -> bool:
+        """Breed, batch-improve, batch-evaluate and place one stream's offspring."""
+        cfg = self.config
+        if cfg.nb_recombinations == 0:
+            return False
+        positions = [order.advance() for _ in range(cfg.nb_recombinations)]
+        children = np.empty((len(positions), self.instance.nb_jobs), dtype=np.int64)
+        for i, position in enumerate(positions):
+            neighbors = self.grid.neighborhood(position, self.neighborhood)
+            parents = self.selection.select(
+                neighbors, cfg.nb_solutions_to_recombine, self.rng
+            )
+            children[i] = self.crossover.recombine(
+                [parent.schedule.assignment for parent in parents], self.rng
+            )
+        return self._finalize_phase(positions, self.grid.stage(children))
+
+    def _mutation_phase(self, order) -> bool:
+        """Mutate copies of the visited cells, then batch-improve and place them."""
+        cfg = self.config
+        if cfg.nb_mutations == 0:
+            return False
+        positions = [order.advance() for _ in range(cfg.nb_mutations)]
+        rows = self.grid.stage_cells(positions)
+        for row in rows:
+            self.mutation.mutate(self.grid.batch.view(int(row)), self.rng)
+        return self._finalize_phase(positions, rows)
+
+    def _finalize_phase(self, positions: list[int], rows: np.ndarray) -> bool:
+        """Whole-batch local search + evaluation, then in-order replacement."""
+        self.engine.improve_batch(self.grid.batch, rows, self.local_search, self.rng)
+        fitnesses = self.grid.evaluate_rows(rows)
+        improved_best = False
+        for position, row, fitness in zip(positions, rows, fitnesses):
+            fitness = float(fitness)
+            if self.replacement.accepts(self.grid.fitness_at(position), fitness):
+                self.grid.adopt(position, int(row))
+                if fitness < self.best.fitness:
+                    self.best = self.grid[position].copy()
+                    improved_best = True
+        return improved_best
+
+    # ------------------------ sequential cell updates ------------------ #
     def _recombination_stream(self, order) -> bool:
         """Run the ``nb_recombinations`` recombination updates of one iteration."""
         cfg = self.config
@@ -222,7 +303,7 @@ class CellularMemeticAlgorithm:
         self.engine.improve(offspring.schedule, self.local_search, self.rng)
         offspring.evaluate(self.evaluator)
         if self.replacement.should_replace(self.grid[position], offspring):
-            self.grid[position] = offspring
+            self.grid.install(position, offspring)
             if offspring.fitness < self.best.fitness:
                 self.best = offspring.copy()
                 return True

@@ -74,6 +74,13 @@ class CMAConfig:
     replacement:
         Replacement policy name (``"if_better"`` is the paper's
         *add only if better*).
+    cell_updates:
+        How a stream's cell updates are executed. ``"batch"`` (default)
+        stages the whole stream's offspring in the resident grid's scratch
+        rows and improves/evaluates them with one vectorized pass per
+        local-search step; ``"sequential"`` reproduces the paper's fully
+        asynchronous one-cell-at-a-time updates (and the pre-resident-grid
+        best-fitness trajectories) exactly.
     fitness_weight:
         The λ of the weighted-sum fitness.
     termination:
@@ -97,6 +104,7 @@ class CMAConfig:
     local_search: str = "lmcts"
     local_search_iterations: int = 5
     replacement: str = "if_better"
+    cell_updates: str = "batch"
     fitness_weight: float = DEFAULT_LAMBDA
     termination: TerminationCriteria = field(
         default_factory=lambda: TerminationCriteria.by_iterations(100)
@@ -160,6 +168,11 @@ class CMAConfig:
             self,
             "replacement",
             _check_choice("replacement", self.replacement, list_replacements()),
+        )
+        object.__setattr__(
+            self,
+            "cell_updates",
+            _check_choice("cell_updates", self.cell_updates, ("batch", "sequential")),
         )
         if not isinstance(self.termination, TerminationCriteria):
             raise TypeError("termination must be a TerminationCriteria instance")
@@ -257,5 +270,6 @@ class CMAConfig:
             "local search choice": self.local_search,
             "nb local search iterations": self.local_search_iterations,
             "add only if better": self.replacement == "if_better",
+            "cell updates": self.cell_updates,
             "lambda": self.fitness_weight,
         }

@@ -27,16 +27,27 @@ then the selected move is applied and *accepted only if the scalarized
 fitness improves*, so a local-search step never degrades the offspring.  The
 number of steps per offspring is the ``nb local search iterations``
 parameter of Table 1 (5 in the tuned configuration).
+
+Every method exists at two granularities.  :meth:`LocalSearch.step` /
+:meth:`LocalSearch.improve` operate on one schedule (the scalar path).
+:meth:`LocalSearch.step_batch` / :meth:`LocalSearch.improve_batch` improve a
+whole row subset of a resident :class:`~repro.engine.batch.BatchEvaluator`
+population at once: one vectorized scan chooses a candidate per row, the
+moves are applied with incremental two-machine cache updates, and rows that
+did not strictly improve are reverted from the undo record.  Registered
+custom searches only need ``step`` — the default ``step_batch`` walks rows
+through zero-copy engine views.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
 from repro.engine import scan
+from repro.engine.batch import BatchEvaluator
 from repro.model.fitness import FitnessEvaluator
 from repro.model.schedule import Schedule
 from repro.utils.rng import RNGLike, as_generator
@@ -59,6 +70,52 @@ __all__ = [
 def _fitness_of(schedule: Schedule, evaluator: FitnessEvaluator) -> float:
     """Scalarized fitness of *schedule* without touching the evaluation counter."""
     return evaluator.scalarize(schedule.makespan, schedule.mean_flowtime)
+
+
+def _batch_fitness(
+    batch: BatchEvaluator, rows: np.ndarray, evaluator: FitnessEvaluator
+) -> np.ndarray:
+    """Scalarized fitness of a row subset (counter untouched, like `_fitness_of`)."""
+    return evaluator.scalarize_batch(batch.makespans(rows), batch.mean_flowtimes(rows))
+
+
+def _accept_moves(
+    batch: BatchEvaluator,
+    rows: np.ndarray,
+    jobs: np.ndarray,
+    machines: np.ndarray,
+    evaluator: FitnessEvaluator,
+) -> np.ndarray:
+    """Apply one candidate move per row, keep improvements, revert the rest.
+
+    The shared accept/revert cycle of the batched move-based steps: the
+    moves are applied with incremental two-machine cache updates, fitness is
+    read back from the caches, and rows whose scalarized fitness did not
+    strictly improve are restored bit-exactly from the ``O(rows)`` undo
+    record.  Returns the per-row improvement mask.
+    """
+    before = _batch_fitness(batch, rows, evaluator)
+    undo = batch.apply_moves(rows, jobs, machines)
+    improved = _batch_fitness(batch, rows, evaluator) < before
+    if not improved.all():
+        batch.undo_moves(rows, jobs, undo, ~improved)
+    return improved
+
+
+def _accept_swaps(
+    batch: BatchEvaluator,
+    rows: np.ndarray,
+    jobs_a: np.ndarray,
+    jobs_b: np.ndarray,
+    evaluator: FitnessEvaluator,
+) -> np.ndarray:
+    """Swap-based twin of :func:`_accept_moves`."""
+    before = _batch_fitness(batch, rows, evaluator)
+    undo = batch.apply_swaps(rows, jobs_a, jobs_b)
+    improved = _batch_fitness(batch, rows, evaluator) < before
+    if not improved.all():
+        batch.undo_swaps(rows, jobs_a, jobs_b, undo, ~improved)
+    return improved
 
 
 class LocalSearch(abc.ABC):
@@ -96,6 +153,46 @@ class LocalSearch(abc.ABC):
                 improved = True
         return improved
 
+    def step_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray,
+        evaluator: FitnessEvaluator,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One improvement attempt for every row; returns the improved mask.
+
+        The default walks the rows with :meth:`step` through zero-copy
+        engine views, so any registered local search works on resident
+        populations out of the box; the built-in methods override this with
+        fully vectorized whole-batch scans.
+        """
+        improved = np.zeros(rows.shape[0], dtype=bool)
+        for i, row in enumerate(rows):
+            improved[i] = self.step(batch.view(int(row)), evaluator, rng)
+        return improved
+
+    def improve_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray | Iterable[int],
+        evaluator: FitnessEvaluator,
+        rng: RNGLike = None,
+    ) -> np.ndarray:
+        """Run :attr:`iterations` batched steps over a row subset.
+
+        The whole-population counterpart of :meth:`improve`: every step
+        scores and applies candidate moves for **all** rows in a handful of
+        vectorized expressions.  Rows must be distinct.  Returns a boolean
+        array marking the rows that improved at least once.
+        """
+        gen = as_generator(rng)
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        improved = np.zeros(rows.shape[0], dtype=bool)
+        for _ in range(self.iterations):
+            improved |= self.step_batch(batch, rows, evaluator, gen)
+        return improved
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(iterations={self.iterations})"
 
@@ -114,6 +211,16 @@ class NullLocalSearch(LocalSearch):
         self, schedule: Schedule, evaluator: FitnessEvaluator, rng: RNGLike = None
     ) -> bool:
         return False
+
+    def improve_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray | Iterable[int],
+        evaluator: FitnessEvaluator,
+        rng: RNGLike = None,
+    ) -> np.ndarray:
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        return np.zeros(rows.shape[0], dtype=bool)
 
 
 class LocalMoveSearch(LocalSearch):
@@ -140,6 +247,28 @@ class LocalMoveSearch(LocalSearch):
             return True
         schedule.move_job(job, old_machine)
         return False
+
+    def step_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray,
+        evaluator: FitnessEvaluator,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        nb_jobs, nb_machines = batch.nb_jobs, batch.nb_machines
+        count = rows.shape[0]
+        improved = np.zeros(count, dtype=bool)
+        if nb_machines < 2:
+            return improved
+        jobs = rng.integers(0, nb_jobs, size=count)
+        machines = rng.integers(0, nb_machines, size=count)
+        active = machines != batch.assignments[rows, jobs]
+        if not active.any():
+            return improved
+        improved[active] = _accept_moves(
+            batch, rows[active], jobs[active], machines[active], evaluator
+        )
+        return improved
 
 
 class SteepestLocalMoveSearch(LocalSearch):
@@ -168,6 +297,25 @@ class SteepestLocalMoveSearch(LocalSearch):
             return True
         schedule.move_job(job, source)
         return False
+
+    def step_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray,
+        evaluator: FitnessEvaluator,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if batch.nb_machines < 2:
+            return np.zeros(rows.shape[0], dtype=bool)
+        jobs = rng.integers(0, batch.nb_jobs, size=rows.shape[0])
+        scores = scan.score_moves_for_jobs_batch(
+            batch.instance.etc,
+            batch.assignments[rows],
+            batch.completion_times[rows],
+            jobs,
+        )
+        targets = scores.argmin(axis=1)
+        return _accept_moves(batch, rows, jobs, targets, evaluator)
 
 
 class LocalMCTSwapSearch(LocalSearch):
@@ -213,6 +361,71 @@ class LocalMCTSwapSearch(LocalSearch):
         schedule.swap_jobs(job_a, job_b)  # revert
         return False
 
+    @staticmethod
+    def _source_jobs_padded(
+        assignments: np.ndarray, sources: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-row makespan-machine jobs as a padded matrix plus validity mask.
+
+        Rows hold different numbers of jobs on their makespan machine, so the
+        job sets are packed into one ``(rows, A)`` matrix (ascending job
+        order, like the scalar scan) with ``valid`` marking real entries.
+        """
+        on_source = assignments == sources[:, None]
+        counts = on_source.sum(axis=1)
+        width = max(int(counts.max()), 1)
+        order = np.argsort(~on_source, axis=1, kind="stable")
+        source_jobs = order[:, :width]
+        valid = np.arange(width)[None, :] < counts[:, None]
+        return source_jobs, valid, counts
+
+    def step_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray,
+        evaluator: FitnessEvaluator,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Hybrid batched LMCTS step: per-row pair scans, batched acceptance.
+
+        The swap neighborhood is a ragged ``source-jobs × other-jobs`` pair
+        set per row; packing it into one rectangular tensor
+        (:func:`repro.engine.scan.score_critical_swaps_batch`) multiplies
+        the scored candidates several-fold, which loses to the compact
+        per-row kernel unless matmuls are effectively free.  So the scans
+        stay per row (each one already a single vectorized expression) while
+        the expensive part — applying every row's chosen swap, evaluating
+        the whole batch and reverting non-improvements — runs vectorized.
+        """
+        improved = np.zeros(rows.shape[0], dtype=bool)
+        etc = batch.instance.etc
+        assignments = batch.assignments
+        completions = batch.completion_times
+        jobs_a = np.zeros(rows.shape[0], dtype=np.int64)
+        jobs_b = np.zeros(rows.shape[0], dtype=np.int64)
+        active = np.zeros(rows.shape[0], dtype=bool)
+        for i, row in enumerate(rows):
+            assignment = assignments[int(row)]
+            completion = completions[int(row)]
+            source = int(completion.argmax())
+            source_jobs = np.nonzero(assignment == source)[0]
+            other_jobs = np.nonzero(assignment != source)[0]
+            if source_jobs.size == 0 or other_jobs.size == 0:
+                continue
+            metric = scan.score_critical_swaps(
+                etc, assignment, completion, source_jobs, other_jobs, source
+            )
+            a_index, b_index = np.unravel_index(int(metric.argmin()), metric.shape)
+            jobs_a[i] = source_jobs[a_index]
+            jobs_b[i] = other_jobs[b_index]
+            active[i] = True
+        if not active.any():
+            return improved
+        improved[active] = _accept_swaps(
+            batch, rows[active], jobs_a[active], jobs_b[active], evaluator
+        )
+        return improved
+
 
 class LocalMCTMoveSearch(LocalSearch):
     """LMCTM (extension): best single-job move off the makespan machine."""
@@ -245,6 +458,39 @@ class LocalMCTMoveSearch(LocalSearch):
             return True
         schedule.move_job(job, source)
         return False
+
+    def step_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray,
+        evaluator: FitnessEvaluator,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        improved = np.zeros(rows.shape[0], dtype=bool)
+        if batch.nb_machines < 2:
+            return improved
+        assignments = batch.assignments[rows]
+        completions = batch.completion_times[rows]
+        sources = completions.argmax(axis=1)
+        source_jobs, valid, counts = LocalMCTSwapSearch._source_jobs_padded(
+            assignments, sources
+        )
+        active = counts > 0
+        if not active.any():
+            return improved
+        sub = np.nonzero(active)[0]
+        metric = scan.score_critical_moves_batch(
+            batch.instance.etc,
+            completions[sub],
+            source_jobs[sub],
+            valid[sub],
+            sources[sub],
+        )
+        flat = metric.reshape(sub.shape[0], -1).argmin(axis=1)
+        a_index, targets = np.unravel_index(flat, metric.shape[1:])
+        jobs = source_jobs[sub, a_index]
+        improved[sub] = _accept_moves(batch, rows[sub], jobs, targets, evaluator)
+        return improved
 
 
 class GlobalSteepestMoveSearch(LocalSearch):
@@ -279,6 +525,20 @@ class GlobalSteepestMoveSearch(LocalSearch):
         schedule.move_job(job, source)
         return False
 
+    def step_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray,
+        evaluator: FitnessEvaluator,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if batch.nb_machines < 2:
+            return np.zeros(rows.shape[0], dtype=bool)
+        scores = batch.score_moves_batch(rows)  # (R, J, M)
+        flat = scores.reshape(rows.shape[0], -1).argmin(axis=1)
+        jobs, targets = np.unravel_index(flat, scores.shape[1:])
+        return _accept_moves(batch, rows, jobs, targets, evaluator)
+
 
 class VariableNeighborhoodSearch(LocalSearch):
     """VNS (extension): cycle LM → SLM → LMCTS, restarting on improvement."""
@@ -300,6 +560,23 @@ class VariableNeighborhoodSearch(LocalSearch):
             if stage.step(schedule, evaluator, rng):
                 return True
         return False
+
+    def step_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray,
+        evaluator: FitnessEvaluator,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        improved = np.zeros(rows.shape[0], dtype=bool)
+        for stage in self._stages:
+            remaining = ~improved
+            if not remaining.any():
+                break
+            improved[remaining] = stage.step_batch(
+                batch, rows[remaining], evaluator, rng
+            )
+        return improved
 
 
 _REGISTRY: dict[str, Callable[..., LocalSearch]] = {

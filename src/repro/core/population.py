@@ -2,9 +2,17 @@
 
 The population of the cMA is a two-dimensional toroidal mesh of
 ``pop_height × pop_width`` cells (5 × 5 = 25 in the tuned configuration).
-:class:`CellularGrid` stores the individuals, resolves neighborhoods and
-exposes the population-level statistics used by the experiments (best
-individual, mean fitness, genotypic diversity).
+Two grid representations are provided:
+
+* :class:`ResidentGrid` — the cells **are** rows of one
+  :class:`~repro.engine.batch.BatchEvaluator`: the whole mesh (plus a block
+  of offspring scratch rows) lives in one structure-of-arrays state, cell
+  replacement is a row copy, and neighborhoods / statistics are resolved
+  against the shared matrices.  This is what the cMA and the resident
+  baselines run on.
+* :class:`CellularGrid` — the original object grid of detached
+  :class:`~repro.core.individual.Individual` cells, kept for code that wants
+  to own its individuals (tests, notebooks, custom algorithms).
 
 :class:`PopulationInitializer` implements the paper's seeding strategy: one
 individual is built with the LJFR-SJFR heuristic and the remaining cells are
@@ -29,7 +37,48 @@ from repro.model.schedule import Schedule
 from repro.utils.rng import RNGLike, as_generator
 from repro.utils.validation import check_integer, check_probability
 
-__all__ = ["CellularGrid", "PopulationInitializer", "individuals_from_batch"]
+__all__ = [
+    "CellularGrid",
+    "ResidentGrid",
+    "PopulationInitializer",
+    "individuals_from_batch",
+    "genome_diversity",
+    "genome_entropy",
+]
+
+
+def genome_diversity(genomes: np.ndarray) -> float:
+    """Average normalized Hamming distance between all pairs of genome rows.
+
+    0 means every row holds the same assignment, values near
+    ``1 − 1/nb_machines`` are typical of a random population.  Per gene the
+    number of agreeing row pairs is ``Σ_machines C(count, 2)``; everything
+    else is a differing pair — no pair loop.
+    """
+    genomes = np.asarray(genomes)
+    cells, nb_jobs = genomes.shape
+    if cells < 2:
+        return 0.0
+    nb_machines = int(genomes.max()) + 1
+    counts = np.zeros((nb_jobs, nb_machines), dtype=np.int64)
+    np.add.at(counts, (np.arange(nb_jobs)[None, :], genomes), 1)
+    agreeing = float((counts * (counts - 1) // 2).sum())
+    pairs = cells * (cells - 1) / 2
+    return (pairs * nb_jobs - agreeing) / (pairs * nb_jobs)
+
+
+def genome_entropy(genomes: np.ndarray) -> float:
+    """Mean per-gene Shannon entropy of the machine assignment (in nats)."""
+    genomes = np.asarray(genomes)
+    cells, nb_jobs = genomes.shape
+    nb_machines = int(genomes.max()) + 1 if genomes.size else 1
+    entropy_sum = 0.0
+    for machine in range(nb_machines):
+        frequency = (genomes == machine).mean(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            contribution = np.where(frequency > 0, -frequency * np.log(frequency), 0.0)
+        entropy_sum += float(contribution.sum())
+    return entropy_sum / nb_jobs
 
 
 def individuals_from_batch(
@@ -138,38 +187,255 @@ class CellularGrid:
     def genotypic_diversity(self) -> float:
         """Average normalized Hamming distance between all pairs of schedules.
 
-        0 means every cell holds the same assignment, values near
-        ``1 − 1/nb_machines`` are typical of a random population.  The
-        computation is vectorized over a ``(cells, jobs)`` matrix; with the
-        paper's 25-cell population this is negligible work, and it is the
-        diversity indicator the cellular-EA literature tracks to argue that
-        structured populations delay takeover.
+        The diversity indicator the cellular-EA literature tracks to argue
+        that structured populations delay takeover; see
+        :func:`genome_diversity` for the vectorized computation.
         """
-        genomes = np.stack([ind.schedule.assignment for ind in self._cells])
-        cells, nb_jobs = genomes.shape
-        if cells < 2:
-            return 0.0
-        # Count, per gene, how many cell pairs agree: sum over machines of
-        # C(count, 2).  Everything else is a differing pair — no pair loop.
-        nb_machines = int(genomes.max()) + 1
-        counts = np.zeros((nb_jobs, nb_machines), dtype=np.int64)
-        np.add.at(counts, (np.arange(nb_jobs)[None, :], genomes), 1)
-        agreeing = float((counts * (counts - 1) // 2).sum())
-        pairs = cells * (cells - 1) / 2
-        return (pairs * nb_jobs - agreeing) / (pairs * nb_jobs)
+        return genome_diversity(np.stack([ind.schedule.assignment for ind in self._cells]))
 
     def entropy(self) -> float:
         """Mean per-gene Shannon entropy of the machine assignment (in nats)."""
-        genomes = np.stack([ind.schedule.assignment for ind in self._cells])
-        cells, nb_jobs = genomes.shape
-        nb_machines = int(genomes.max()) + 1 if genomes.size else 1
-        entropy_sum = 0.0
-        for machine in range(nb_machines):
-            frequency = (genomes == machine).mean(axis=0)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                contribution = np.where(frequency > 0, -frequency * np.log(frequency), 0.0)
-            entropy_sum += float(contribution.sum())
-        return entropy_sum / nb_jobs
+        return genome_entropy(np.stack([ind.schedule.assignment for ind in self._cells]))
+
+
+class ResidentGrid:
+    """A toroidal mesh whose cells are rows of one :class:`BatchEvaluator`.
+
+    The first ``height × width`` rows of *batch* are the grid cells in
+    row-major order (a linear cell position **is** its row index); the
+    remaining ``scratch_rows`` rows are the staging area where a whole
+    phase's offspring live while they are batch-improved and evaluated.
+    Replacement is a row copy (:meth:`adopt`), never an object allocation,
+    and all population statistics are vectorized reductions over the shared
+    matrices.
+
+    Cells are exposed to operator code (selection, observers, the
+    multi-objective archive) as :class:`Individual` handles whose schedules
+    are zero-copy engine views.  Handles are created on demand and become
+    stale once their cell is written — hold on to row indices, not handles.
+
+    Parameters
+    ----------
+    height, width:
+        Mesh dimensions.
+    batch:
+        The structure-of-arrays state; must hold exactly
+        ``height·width + scratch_rows`` rows.
+    evaluator:
+        The run's :class:`~repro.model.fitness.FitnessEvaluator`; used to
+        scalarize cached objectives and charge batched evaluations.
+    scratch_rows:
+        Number of offspring staging rows appended after the cells.
+    """
+
+    def __init__(
+        self,
+        height: int,
+        width: int,
+        batch: BatchEvaluator,
+        evaluator: FitnessEvaluator,
+        scratch_rows: int = 0,
+    ) -> None:
+        check_integer("height", height, minimum=1)
+        check_integer("width", width, minimum=1)
+        check_integer("scratch_rows", scratch_rows, minimum=0)
+        expected = int(height) * int(width) + int(scratch_rows)
+        if batch.population_size != expected:
+            raise ValueError(
+                f"batch must hold {expected} rows "
+                f"({height}x{width} cells + {scratch_rows} scratch), "
+                f"got {batch.population_size}"
+            )
+        self.height = int(height)
+        self.width = int(width)
+        self.batch = batch
+        self.evaluator = evaluator
+        self.scratch_rows = int(scratch_rows)
+        rows = batch.population_size
+        self._fitness = np.full(rows, np.inf)
+        self._makespan = np.full(rows, np.inf)
+        self._flowtime = np.full(rows, np.inf)
+        self.refresh(self.population_rows)
+
+    # ------------------------------------------------------------------ #
+    # Geometry and cell access
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of cells in the grid (scratch rows excluded)."""
+        return self.height * self.width
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def population_rows(self) -> np.ndarray:
+        """Row indices of the grid cells (``0 .. size-1``)."""
+        return np.arange(self.size)
+
+    def _check_position(self, position: int) -> int:
+        if not 0 <= position < self.size:
+            raise IndexError(f"position {position} outside grid of size {self.size}")
+        return int(position)
+
+    def position_of(self, row: int, col: int) -> int:
+        """Linear index of the cell at (row, col), with toroidal wrap-around."""
+        return (row % self.height) * self.width + (col % self.width)
+
+    def coordinates_of(self, position: int) -> tuple[int, int]:
+        """(row, col) coordinates of a linear cell index."""
+        self._check_position(position)
+        return divmod(position, self.width)
+
+    def _individual(self, row: int) -> Individual:
+        """An :class:`Individual` handle over one row (zero-copy schedule view)."""
+        return Individual(
+            schedule=self.batch.view(row),
+            fitness=float(self._fitness[row]),
+            makespan=float(self._makespan[row]),
+            flowtime=float(self._flowtime[row]),
+        )
+
+    def __getitem__(self, position: int) -> Individual:
+        return self._individual(self._check_position(position))
+
+    def __iter__(self) -> Iterator[Individual]:
+        return (self._individual(row) for row in range(self.size))
+
+    def neighborhood(
+        self, position: int, pattern: NeighborhoodPattern
+    ) -> list[Individual]:
+        """Individuals in the neighborhood of *position* (centre included)."""
+        indices = pattern.neighbors(position, self.height, self.width)
+        return [self._individual(int(i)) for i in indices]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation bookkeeping
+    # ------------------------------------------------------------------ #
+    def refresh(self, rows: np.ndarray | Sequence[int]) -> None:
+        """Re-derive the cached fitness/objective vectors from the batch state.
+
+        The batch caches are exact at all times, so this is three vectorized
+        reductions; the evaluation counter is *not* charged (use
+        :meth:`evaluate_rows` for counted evaluation).
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        self._makespan[rows] = self.batch.makespans(rows)
+        self._flowtime[rows] = self.batch.flowtimes(rows)
+        self._fitness[rows] = self.evaluator.scalarize_batch(
+            self._makespan[rows], self._flowtime[rows] / self.batch.nb_machines
+        )
+
+    def evaluate_rows(self, rows: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Counted batch evaluation: refresh *rows* and charge one eval each."""
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        self.refresh(rows)
+        self.evaluator.add_evaluations(rows.shape[0])
+        return self._fitness[rows]
+
+    def fitness_at(self, position: int) -> float:
+        """Cached scalarized fitness of one cell (or scratch row)."""
+        return float(self._fitness[position])
+
+    # ------------------------------------------------------------------ #
+    # Offspring staging and replacement
+    # ------------------------------------------------------------------ #
+    def stage(self, assignments: np.ndarray) -> np.ndarray:
+        """Write offspring assignments into scratch rows; returns their indices.
+
+        One vectorized write plus one subset recompute covers the whole
+        offspring batch; the rows are then ready for
+        :meth:`~repro.core.local_search.LocalSearch.improve_batch`.
+        """
+        matrix = np.asarray(assignments, dtype=np.int64)
+        if matrix.shape[0] > self.scratch_rows:
+            raise ValueError(
+                f"cannot stage {matrix.shape[0]} offspring with only "
+                f"{self.scratch_rows} scratch rows"
+            )
+        rows = self.size + np.arange(matrix.shape[0])
+        self.batch.set_rows(rows, matrix)
+        return rows
+
+    def stage_cells(self, positions: Sequence[int]) -> np.ndarray:
+        """Copy cell occupants into scratch rows (offspring for mutation).
+
+        Caches are copied, not recomputed, so mutating the staged copies
+        through engine views stays incremental.
+        """
+        positions = np.atleast_1d(np.asarray(positions, dtype=np.int64))
+        if positions.shape[0] > self.scratch_rows:
+            raise ValueError(
+                f"cannot stage {positions.shape[0]} offspring with only "
+                f"{self.scratch_rows} scratch rows"
+            )
+        rows = self.size + np.arange(positions.shape[0])
+        self.batch.copy_rows(positions, rows)
+        return rows
+
+    def adopt(self, position: int, row: int) -> None:
+        """Install the offspring in scratch *row* into cell *position* (row copy)."""
+        self._check_position(position)
+        self.batch.copy_rows([row], [position])
+        self._fitness[position] = self._fitness[row]
+        self._makespan[position] = self._makespan[row]
+        self._flowtime[position] = self._flowtime[row]
+
+    def install(self, position: int, individual: Individual) -> None:
+        """Install a detached, evaluated individual into cell *position*.
+
+        The sequential cell-update path: the individual's schedule caches
+        and cached objective values are adopted verbatim (no recompute, no
+        re-evaluation), which makes replacement bit-for-bit equivalent to
+        storing the individual object itself.
+        """
+        self._check_position(position)
+        self.batch.install_row(position, individual.schedule)
+        self._fitness[position] = individual.fitness
+        self._makespan[position] = individual.makespan
+        self._flowtime[position] = individual.flowtime
+
+    # ------------------------------------------------------------------ #
+    # Population statistics
+    # ------------------------------------------------------------------ #
+    def best_position(self) -> int:
+        """Linear index of the cell holding the best (lowest) fitness."""
+        return int(np.argmin(self._fitness[: self.size]))
+
+    def best(self) -> Individual:
+        """Handle over the best cell (copy it before mutating the grid)."""
+        return self._individual(self.best_position())
+
+    def worst_position(self) -> int:
+        """Linear index of the cell holding the worst (highest) fitness."""
+        return int(np.argmax(self._fitness[: self.size]))
+
+    def worst(self) -> Individual:
+        """Handle over the cell with the highest fitness."""
+        return self._individual(self.worst_position())
+
+    def fitness_values(self) -> np.ndarray:
+        """Fitness of every cell as an array (row-major order, copied)."""
+        return self._fitness[: self.size].copy()
+
+    def mean_fitness(self) -> float:
+        """Average fitness over the grid."""
+        return float(self._fitness[: self.size].mean())
+
+    def genotypic_diversity(self) -> float:
+        """Average normalized Hamming distance between all cell pairs."""
+        return genome_diversity(self.batch.assignments[: self.size])
+
+    def entropy(self) -> float:
+        """Mean per-gene Shannon entropy of the machine assignment (in nats)."""
+        return genome_entropy(self.batch.assignments[: self.size])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResidentGrid({self.height}x{self.width}, "
+            f"scratch_rows={self.scratch_rows}, "
+            f"instance={self.batch.instance.name!r})"
+        )
 
 
 @dataclass
@@ -211,6 +477,30 @@ class PopulationInitializer:
         """
         batch = self.build_batch(instance, int(height) * int(width), evaluator.weight, rng)
         return CellularGrid(height, width, individuals_from_batch(batch, evaluator))
+
+    def build_resident(
+        self,
+        instance: SchedulingInstance,
+        height: int,
+        width: int,
+        evaluator: FitnessEvaluator,
+        scratch_rows: int,
+        rng: RNGLike = None,
+    ) -> ResidentGrid:
+        """Seed a :class:`ResidentGrid` (cells + offspring scratch rows).
+
+        The population is drawn exactly like :meth:`build` — same heuristic
+        seed, same vectorized perturbation draw — then kept resident: the
+        seeded batch is expanded with *scratch_rows* staging rows and the
+        evaluator is charged one evaluation per cell.
+        """
+        size = int(height) * int(width)
+        batch = self.build_batch(instance, size, evaluator.weight, rng)
+        grid = ResidentGrid(
+            height, width, batch.expanded(scratch_rows), evaluator, scratch_rows
+        )
+        evaluator.add_evaluations(size)
+        return grid
 
     def build_batch(
         self,

@@ -4,12 +4,21 @@ After an offspring has been produced, locally improved and evaluated, a
 replacement policy decides whether it takes over the cell of the individual
 it was derived from.  The paper uses the elitist *add only if better* policy
 (Table 1); two alternatives are provided for ablations.
+
+Policies expose two equivalent entry points: :meth:`~ReplacementPolicy.
+should_replace` compares two :class:`~repro.core.individual.Individual`
+objects (the sequential cell-update path), and :meth:`~ReplacementPolicy.
+accepts` compares raw fitness values — scalars or whole arrays — which is
+what the resident-grid batch path uses to decide a phase's replacements in
+one vectorized comparison.
 """
 
 from __future__ import annotations
 
 import abc
 from typing import Callable, Iterator
+
+import numpy as np
 
 from repro.core.individual import Individual
 
@@ -30,8 +39,20 @@ class ReplacementPolicy(abc.ABC):
     name: str = ""
 
     @abc.abstractmethod
+    def accepts(
+        self,
+        incumbent_fitness: float | np.ndarray,
+        offspring_fitness: float | np.ndarray,
+    ) -> bool | np.ndarray:
+        """Whether offspring with these fitness values take over their cells.
+
+        Accepts scalars or equally shaped arrays (the batch path compares a
+        whole phase's offspring against their cells at once).
+        """
+
     def should_replace(self, incumbent: Individual, offspring: Individual) -> bool:
         """Whether *offspring* should replace *incumbent* in the grid."""
+        return bool(self.accepts(incumbent.fitness, offspring.fitness))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -42,8 +63,8 @@ class ReplaceIfBetter(ReplacementPolicy):
 
     name = "if_better"
 
-    def should_replace(self, incumbent: Individual, offspring: Individual) -> bool:
-        return offspring.fitness < incumbent.fitness
+    def accepts(self, incumbent_fitness, offspring_fitness):
+        return offspring_fitness < incumbent_fitness
 
 
 class ReplaceIfNotWorse(ReplacementPolicy):
@@ -51,8 +72,8 @@ class ReplaceIfNotWorse(ReplacementPolicy):
 
     name = "if_not_worse"
 
-    def should_replace(self, incumbent: Individual, offspring: Individual) -> bool:
-        return offspring.fitness <= incumbent.fitness
+    def accepts(self, incumbent_fitness, offspring_fitness):
+        return offspring_fitness <= incumbent_fitness
 
 
 class AlwaysReplace(ReplacementPolicy):
@@ -60,8 +81,9 @@ class AlwaysReplace(ReplacementPolicy):
 
     name = "always"
 
-    def should_replace(self, incumbent: Individual, offspring: Individual) -> bool:
-        return True
+    def accepts(self, incumbent_fitness, offspring_fitness):
+        return np.ones_like(np.asarray(offspring_fitness, dtype=float), dtype=bool) \
+            if isinstance(offspring_fitness, np.ndarray) else True
 
 
 _REGISTRY: dict[str, Callable[[], ReplacementPolicy]] = {

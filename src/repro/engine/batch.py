@@ -13,8 +13,27 @@ handful of numpy operations:
   a segment-reset cumulative sum yields every job's finishing time at once;
 * makespan / flowtime / scalarized fitness are plain axis reductions.
 
-Rows can also be updated incrementally (single-job move, two-job swap) with
-the same cache discipline as the scalar schedule, and any row can be exposed
+Populations are designed to stay **resident**: algorithms keep their whole
+mesh (plus offspring scratch rows, see
+:class:`repro.core.population.ResidentGrid`) inside one evaluator for the
+entire run.  To that end rows support three granularities of update:
+
+* whole-row: :meth:`~BatchEvaluator.set_rows` (stage fresh assignments,
+  subset recompute), :meth:`~BatchEvaluator.copy_rows` (replacement as a
+  row copy) and :meth:`~BatchEvaluator.install_row` (adopt a scalar
+  schedule's caches verbatim);
+* per-move, batched: :meth:`~BatchEvaluator.apply_moves` /
+  :meth:`~BatchEvaluator.apply_swaps` change one job (or pair) in *every*
+  row at once, patching only the two affected machine columns per row via
+  closed-form SPT deltas, and return undo records for bit-exact reverts —
+  the primitives behind whole-batch local search;
+* per-move, scalar: :meth:`~BatchEvaluator.move_job` /
+  :meth:`~BatchEvaluator.swap_jobs` keep the original one-row interface.
+
+Candidate moves are scored without being applied by
+:meth:`~BatchEvaluator.score_moves` (one row) and
+:meth:`~BatchEvaluator.score_moves_batch` (the whole ``rows × jobs ×
+machines`` move tensor in one expression), and any row can be exposed
 through the full ``Schedule`` API as a zero-copy view — which is how the
 rest of the library (local searches, operators, tests) interoperates with
 engine state without a second code path.
@@ -214,9 +233,11 @@ class BatchEvaluator:
         completion[:] = instance.ready_times[None, :] + totals.reshape(pop, nb_machines)
 
         # Flowtime: order every row's jobs by (machine, SPT rank) with one
-        # key sort, then cumulative-sum within machine segments.
+        # key sort, then cumulative-sum within machine segments.  The keys
+        # are unique within a row (ranks are a permutation), so the faster
+        # unstable sort yields the same order as a stable one.
         ranks = instance.etc_ranks[jobs[None, :], assign]  # (P, J)
-        order = np.argsort(assign * nb_jobs + ranks, axis=1, kind="stable")
+        order = np.argsort(assign * nb_jobs + ranks, axis=1)
         machines_sorted = np.take_along_axis(assign, order, axis=1)
         times_sorted = np.take_along_axis(chosen, order, axis=1)
         running = np.cumsum(times_sorted, axis=1)
@@ -239,21 +260,23 @@ class BatchEvaluator:
             self._completion[rows] = completion
             self._machine_flowtime[rows] = flowtime
 
-    def makespans(self) -> np.ndarray:
-        """``(pop,)`` makespan of every row."""
-        return self._completion.max(axis=1)
+    def makespans(self, rows: np.ndarray | Sequence[int] | None = None) -> np.ndarray:
+        """Makespan of every row (or of the ``rows`` subset)."""
+        completion = self._completion if rows is None else self._completion[rows]
+        return completion.max(axis=1)
 
-    def flowtimes(self) -> np.ndarray:
-        """``(pop,)`` flowtime of every row."""
-        return self._machine_flowtime.sum(axis=1)
+    def flowtimes(self, rows: np.ndarray | Sequence[int] | None = None) -> np.ndarray:
+        """Flowtime of every row (or of the ``rows`` subset)."""
+        flowtime = self._machine_flowtime if rows is None else self._machine_flowtime[rows]
+        return flowtime.sum(axis=1)
 
-    def mean_flowtimes(self) -> np.ndarray:
-        """``(pop,)`` flowtime divided by the number of machines."""
-        return self.flowtimes() / self.nb_machines
+    def mean_flowtimes(self, rows: np.ndarray | Sequence[int] | None = None) -> np.ndarray:
+        """Flowtime divided by the number of machines, per row."""
+        return self.flowtimes(rows) / self.nb_machines
 
-    def fitnesses(self) -> np.ndarray:
-        """``(pop,)`` scalarized fitness ``λ·makespan + (1−λ)·mean_flowtime``."""
-        return self.weight * self.makespans() + (1.0 - self.weight) * self.mean_flowtimes()
+    def fitnesses(self, rows: np.ndarray | Sequence[int] | None = None) -> np.ndarray:
+        """Scalarized fitness ``λ·makespan + (1−λ)·mean_flowtime`` per row."""
+        return self.weight * self.makespans(rows) + (1.0 - self.weight) * self.mean_flowtimes(rows)
 
     def best_row(self) -> int:
         """Index of the row with the lowest scalarized fitness."""
@@ -310,6 +333,310 @@ class BatchEvaluator:
         return scan.score_all_moves(
             self.instance.etc, self._assignments[row], self._completion[row]
         )
+
+    def score_moves_batch(self, rows: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Move scores for a whole row subset, ``(len(rows), jobs, machines)``.
+
+        ``scores[i, j, m]`` is the makespan ``rows[i]`` would have after
+        moving job *j* to machine *m* (``+inf`` where the job already sits on
+        *m*) — :meth:`score_moves` for every requested row in one vectorized
+        expression (see :func:`repro.engine.scan.score_all_moves_batch`).
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        return scan.score_all_moves_batch(
+            self.instance.etc, self._assignments[rows], self._completion[rows]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vectorized row-set updates (the resident-population primitives)
+    # ------------------------------------------------------------------ #
+    def set_rows(
+        self, rows: np.ndarray | Sequence[int], assignments: np.ndarray
+    ) -> None:
+        """Replace a set of rows' assignments and recompute only those rows.
+
+        The batched :meth:`set_row`: ``assignments`` must have shape
+        ``(len(rows), jobs)``; row indices must be distinct.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        matrix = np.asarray(assignments, dtype=np.int64)
+        if matrix.shape != (rows.shape[0], self.nb_jobs):
+            raise ValueError(
+                f"assignments must have shape ({rows.shape[0]}, {self.nb_jobs}), "
+                f"got {matrix.shape}"
+            )
+        if matrix.size and (matrix.min() < 0 or matrix.max() >= self.nb_machines):
+            raise ValueError(
+                f"assignment values must be machine indices in [0, {self.nb_machines})"
+            )
+        self._assignments[rows] = matrix
+        self.recompute(rows)
+
+    def copy_rows(
+        self,
+        source_rows: np.ndarray | Sequence[int],
+        target_rows: np.ndarray | Sequence[int],
+    ) -> None:
+        """Copy whole rows (assignment + caches) inside the batch, no recompute.
+
+        This is how a resident population replaces a cell with a staged
+        offspring row: one fancy-indexed write of three matrices.  Target
+        rows must be distinct and must not overlap the source rows.
+        """
+        source_rows = np.atleast_1d(np.asarray(source_rows, dtype=np.int64))
+        target_rows = np.atleast_1d(np.asarray(target_rows, dtype=np.int64))
+        self._assignments[target_rows] = self._assignments[source_rows]
+        self._completion[target_rows] = self._completion[source_rows]
+        self._machine_flowtime[target_rows] = self._machine_flowtime[source_rows]
+
+    def install_row(self, row: int, schedule: Schedule) -> None:
+        """Copy a scalar schedule's assignment *and caches* into one row.
+
+        Unlike :meth:`set_row` this performs no recomputation: the schedule's
+        incrementally maintained caches are adopted verbatim, so installing
+        an evaluated offspring is a plain ``O(jobs + machines)`` write.
+        """
+        if schedule.instance is not self.instance:
+            raise ValueError("schedule belongs to a different instance")
+        self._assignments[row] = schedule.assignment
+        self._completion[row] = schedule.completion_times
+        self._machine_flowtime[row] = schedule.machine_flowtimes
+
+    def _flowtimes_of_machines(
+        self, rows: np.ndarray, machines: np.ndarray
+    ) -> np.ndarray:
+        """Flowtime contribution of ``machines[i]`` of ``rows[i]``, vectorized.
+
+        The batched :func:`~repro.model.schedule.spt_flowtime`: each row's
+        jobs are read in the instance's precomputed SPT column order for its
+        machine, masked to the jobs actually assigned there, and reduced
+        with one cumulative sum — no per-row python work, and bit-identical
+        to the scalar kernel (masked positions contribute exact zeros).
+        """
+        instance = self.instance
+        order = instance.spt_order.T[machines]  # (R, J) SPT order per row's machine
+        assigned = self._assignments[rows[:, None], order] == machines[:, None]
+        times = instance.etc_spt[machines]  # (R, J) contiguous row gather
+        running = np.cumsum(times * assigned, axis=1)
+        finish = instance.ready_times[machines][:, None] + running
+        return (finish * assigned).sum(axis=1)
+
+    def _touch_machines(
+        self, rows: np.ndarray, first: np.ndarray, second: np.ndarray
+    ) -> tuple:
+        """Snapshot the cache slots a two-machine update is about to dirty.
+
+        A single-job move or a swap touches exactly two machines per row, so
+        the pre-update completion times, flowtimes and assignment stay
+        restorable from ``O(rows)`` scalars — the cheap undo that lets
+        batched local-search steps apply, evaluate and selectively revert
+        without full-row snapshots.
+        """
+        return (
+            self._completion[rows, first].copy(),
+            self._completion[rows, second].copy(),
+            self._machine_flowtime[rows, first].copy(),
+            self._machine_flowtime[rows, second].copy(),
+        )
+
+    def _restore_machines(
+        self,
+        rows: np.ndarray,
+        first: np.ndarray,
+        second: np.ndarray,
+        snapshot: tuple,
+        mask: np.ndarray,
+    ) -> None:
+        rows, first, second = rows[mask], first[mask], second[mask]
+        completion_first, completion_second, flowtime_first, flowtime_second = snapshot
+        self._completion[rows, first] = completion_first[mask]
+        self._completion[rows, second] = completion_second[mask]
+        self._machine_flowtime[rows, first] = flowtime_first[mask]
+        self._machine_flowtime[rows, second] = flowtime_second[mask]
+
+    def _refresh_flowtimes(
+        self, rows: np.ndarray, first: np.ndarray, second: np.ndarray
+    ) -> None:
+        """Recompute the flowtime of two machine columns per row in one pass."""
+        count = rows.shape[0]
+        both = self._flowtimes_of_machines(
+            np.concatenate([rows, rows]), np.concatenate([first, second])
+        )
+        self._machine_flowtime[rows, first] = both[:count]
+        self._machine_flowtime[rows, second] = both[count:]
+
+    def _insertion_deltas(
+        self,
+        jobs: np.ndarray,
+        machines: np.ndarray,
+        assignments: np.ndarray,
+        removing: bool,
+    ) -> np.ndarray:
+        """Flowtime change of inserting/removing ``jobs[i]`` on ``machines[i]``.
+
+        Under SPT ordering, inserting job *x* on machine *m* adds *x*'s own
+        finish time (``ready + Σ etc of earlier-ranked jobs + etc_x``) and
+        delays every later-ranked job by ``etc_x`` — a closed form needing
+        only masked reductions over the given ``(rows, jobs)`` assignment
+        snapshot, no cumulative sums.  Removal is the same quantity measured
+        on a snapshot that still contains *x*.
+        """
+        instance = self.instance
+        ranks_m = instance.etc_ranks.T[machines]  # (R, J) all jobs' ranks on m
+        rank_x = instance.etc_ranks[jobs, machines][:, None]
+        on_machine = assignments == machines[:, None]
+        earlier = on_machine & (ranks_m < rank_x)
+        etc_m = instance.etc.T[machines]  # (R, J)
+        sum_earlier = (etc_m * earlier).sum(axis=1)
+        n_after = on_machine.sum(axis=1) - earlier.sum(axis=1) - (1 if removing else 0)
+        etc_x = instance.etc[jobs, machines]
+        return instance.ready_times[machines] + sum_earlier + etc_x * (1 + n_after)
+
+    def apply_moves(
+        self,
+        rows: np.ndarray,
+        jobs: np.ndarray,
+        machines: np.ndarray,
+    ) -> tuple:
+        """Reassign ``jobs[i]`` of ``rows[i]`` to ``machines[i]``, vectorized.
+
+        A move touches two machines per row, so the caches are updated
+        incrementally: ``O(rows)`` completion-time arithmetic plus two
+        closed-form flowtime deltas (:meth:`_insertion_deltas`) — never a
+        full row recomputation.  Rows must be distinct and ``machines[i]``
+        must differ from the job's current machine (apply successive moves
+        to the same row one call at a time).  Returns an undo record for
+        :meth:`undo_moves`.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        if rows.size == 0:
+            return None
+        etc = self.instance.etc
+        old = self._assignments[rows, jobs].copy()
+        snapshot = self._touch_machines(rows, old, machines)
+        assignments = self._assignments[rows]  # snapshot before the write
+        self._completion[rows, old] -= etc[jobs, old]
+        self._completion[rows, machines] += etc[jobs, machines]
+        self._assignments[rows, jobs] = machines
+        self._machine_flowtime[rows, old] -= self._insertion_deltas(
+            jobs, old, assignments, removing=True
+        )
+        self._machine_flowtime[rows, machines] += self._insertion_deltas(
+            jobs, machines, assignments, removing=False
+        )
+        return (old, snapshot)
+
+    def undo_moves(
+        self,
+        rows: np.ndarray,
+        jobs: np.ndarray,
+        undo: tuple,
+        mask: np.ndarray,
+    ) -> None:
+        """Bit-exact revert of the masked subset of an :meth:`apply_moves` call."""
+        old, snapshot = undo
+        machines = self._assignments[rows, jobs]
+        self._assignments[rows[mask], jobs[mask]] = old[mask]
+        self._restore_machines(rows, old, machines, snapshot, mask)
+
+    def apply_swaps(
+        self,
+        rows: np.ndarray,
+        jobs_a: np.ndarray,
+        jobs_b: np.ndarray,
+    ) -> tuple:
+        """Exchange the machines of ``jobs_a[i]``/``jobs_b[i]`` of ``rows[i]``.
+
+        Incremental like :meth:`apply_moves`; rows must be distinct and the
+        two jobs must sit on different machines.  Returns an undo record for
+        :meth:`undo_swaps`.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        if rows.size == 0:
+            return None
+        etc = self.instance.etc
+        machines_a = self._assignments[rows, jobs_a].copy()
+        machines_b = self._assignments[rows, jobs_b].copy()
+        snapshot = self._touch_machines(rows, machines_a, machines_b)
+        self._completion[rows, machines_a] += etc[jobs_b, machines_a] - etc[jobs_a, machines_a]
+        self._completion[rows, machines_b] += etc[jobs_a, machines_b] - etc[jobs_b, machines_b]
+        self._assignments[rows, jobs_a] = machines_b
+        self._assignments[rows, jobs_b] = machines_a
+        self._refresh_flowtimes(rows, machines_a, machines_b)
+        return (machines_a, machines_b, snapshot)
+
+    def undo_swaps(
+        self,
+        rows: np.ndarray,
+        jobs_a: np.ndarray,
+        jobs_b: np.ndarray,
+        undo: tuple,
+        mask: np.ndarray,
+    ) -> None:
+        """Bit-exact revert of the masked subset of an :meth:`apply_swaps` call."""
+        machines_a, machines_b, snapshot = undo
+        self._assignments[rows[mask], jobs_a[mask]] = machines_a[mask]
+        self._assignments[rows[mask], jobs_b[mask]] = machines_b[mask]
+        self._restore_machines(rows, machines_a, machines_b, snapshot, mask)
+
+    def save_rows(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Snapshot (assignment, completion, flowtime) copies of a row subset.
+
+        Paired with :meth:`restore_rows`, this is the general-purpose
+        checkpoint for arbitrary row experiments (tests, diagnostics,
+        custom operators that rewrite whole rows).  The hot batched
+        local-search steps do **not** use it — single-move/swap updates
+        revert through the ``O(rows)`` undo records of :meth:`apply_moves`
+        / :meth:`apply_swaps` instead, which dirty only two machine columns
+        per row.
+        """
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        return (
+            self._assignments[rows].copy(),
+            self._completion[rows].copy(),
+            self._machine_flowtime[rows].copy(),
+        )
+
+    def restore_rows(
+        self,
+        rows: np.ndarray,
+        snapshot: tuple[np.ndarray, np.ndarray, np.ndarray],
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Restore rows (or the masked subset) from a :meth:`save_rows` snapshot."""
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        assignments, completion, flowtime = snapshot
+        if mask is not None:
+            rows, assignments = rows[mask], assignments[mask]
+            completion, flowtime = completion[mask], flowtime[mask]
+        self._assignments[rows] = assignments
+        self._completion[rows] = completion
+        self._machine_flowtime[rows] = flowtime
+
+    def expanded(self, extra_rows: int) -> "BatchEvaluator":
+        """A copy of this batch with ``extra_rows`` scratch rows appended.
+
+        The appended rows duplicate row 0 (any valid schedule works — they
+        exist to be overwritten by staged offspring), and every cache is
+        copied rather than recomputed.  Used to build resident populations:
+        ``population rows + offspring scratch rows`` in one state block.
+        """
+        if extra_rows < 0:
+            raise ValueError(f"extra_rows must be non-negative, got {extra_rows}")
+        clone = object.__new__(BatchEvaluator)
+        clone.instance = self.instance
+        clone.weight = self.weight
+        pad_rows = np.zeros(extra_rows, dtype=np.int64)
+        clone._assignments = np.concatenate(
+            [self._assignments, self._assignments[pad_rows]], axis=0
+        )
+        clone._completion = np.concatenate(
+            [self._completion, self._completion[pad_rows]], axis=0
+        )
+        clone._machine_flowtime = np.concatenate(
+            [self._machine_flowtime, self._machine_flowtime[pad_rows]], axis=0
+        )
+        return clone
 
     # ------------------------------------------------------------------ #
     # Interop with the scalar Schedule API

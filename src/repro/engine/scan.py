@@ -3,10 +3,12 @@
 Every local-search method of the paper ranks candidate moves by the machine
 completion times they would produce.  The functions in this module compute
 those scores as single numpy expressions over the *current* assignment and
-completion arrays — no per-candidate ``np.delete``, no schedule copies — so
-the same code serves both the scalar :class:`~repro.model.schedule.Schedule`
-path (one solution at a time, used by the local searches) and the
-structure-of-arrays rows of :class:`~repro.engine.batch.BatchEvaluator`.
+completion arrays — no per-candidate ``np.delete``, no schedule copies.
+Each kernel exists at two granularities: per row (one solution at a time,
+consumed by the scalar local-search steps and the
+:class:`~repro.model.schedule.Schedule` path) and ``*_batch`` (a whole
+population of rows in one expression, consumed by the batched local-search
+steps that improve an entire resident offspring batch per iteration).
 
 The central trick: moving one job touches at most two machine completion
 times, so the makespan after the move is the maximum of the two updated
@@ -23,11 +25,41 @@ from repro.utils.arrays import top_completions
 
 __all__ = [
     "top_completions",
+    "top_completions_batch",
     "score_all_moves",
+    "score_all_moves_batch",
     "score_moves_for_job",
+    "score_moves_for_jobs_batch",
     "score_critical_moves",
+    "score_critical_moves_batch",
     "score_critical_swaps",
+    "score_critical_swaps_batch",
 ]
+
+
+def top_completions_batch(
+    completion: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`top_completions`: the *k* largest entries per row.
+
+    Returns ``(indices, values)`` of shape ``(rows, k)``, sorted descending
+    within each row and padded with ``(-1, -inf)`` when there are fewer than
+    *k* columns, so exclusion logic works unchanged on every row at once.
+    """
+    completion = np.asarray(completion, dtype=float)
+    rows, nb_machines = completion.shape
+    keep = min(k, nb_machines)
+    if keep < nb_machines:
+        top = np.argpartition(completion, nb_machines - keep, axis=1)[:, nb_machines - keep:]
+    else:
+        top = np.tile(np.arange(nb_machines), (rows, 1))
+    top_values = np.take_along_axis(completion, top, axis=1)
+    order = np.argsort(-top_values, axis=1, kind="stable")
+    indices = np.full((rows, k), -1, dtype=np.int64)
+    values = np.full((rows, k), -np.inf)
+    indices[:, :keep] = np.take_along_axis(top, order, axis=1)
+    values[:, :keep] = np.take_along_axis(top_values, order, axis=1)
+    return indices, values
 
 
 def score_all_moves(
@@ -59,6 +91,64 @@ def score_all_moves(
     return scores
 
 
+def score_all_moves_batch(
+    etc: np.ndarray, assignments: np.ndarray, completions: np.ndarray
+) -> np.ndarray:
+    """:func:`score_all_moves` for a whole batch, ``(rows, jobs, machines)``.
+
+    ``scores[r, j, m]`` is the makespan row *r* would have after reassigning
+    job *j* to machine *m*; entries with ``m == assignments[r, j]`` hold
+    ``+inf``.  One expression scores every single-job move of every row —
+    the kernel behind whole-grid batch local search.
+
+    To keep the number of full ``(rows, jobs, machines)`` passes minimal,
+    the kernel first assumes the unchanged-machines maximum is the global
+    top completion time ``v1`` (true for every candidate that excludes
+    neither ``v1``'s machine as source nor as destination) and then repairs
+    the two thin exception slabs — the ``m == top-machine`` column and the
+    ``j on top-machine`` rows — with 2-D-sized work.
+    """
+    count = assignments.shape[0]
+    nb_jobs, nb_machines = etc.shape
+    rows_2d = np.arange(count)[:, None]
+    jobs = np.arange(nb_jobs)
+    chosen = etc[jobs[None, :], assignments]  # (R, J) current-machine ETC
+    removed = completions[rows_2d, assignments] - chosen  # (R, J)
+    indices, values = top_completions_batch(completions, 3)
+    i1, i2 = indices[:, 0], indices[:, 1]
+    v1, v2, v3 = values[:, 0], values[:, 1], values[:, 2]
+
+    # Main pass: max(removed, v1) folded in 2-D, one 3-D maximum.
+    scores = completions[:, None, :] + etc[None, :, :]  # (R, J, M) "added"
+    base = np.maximum(removed, v1[:, None])  # (R, J)
+    np.maximum(scores, base[:, :, None], out=scores)
+
+    # Fix the destination == top-machine column: v1's machine is excluded,
+    # so the unchanged maximum drops to v2 (or v3 when the source is v2's).
+    unchanged_col = np.where(assignments != i2[:, None], v2[:, None], v3[:, None])
+    added_col = v1[:, None] + etc[:, i1].T  # (R, J)
+    scores[rows_2d, jobs[None, :], i1[:, None]] = np.maximum(
+        np.maximum(unchanged_col, removed), added_col
+    )
+
+    # Fix the source == top-machine rows: moving a job *off* v1's machine
+    # excludes it everywhere, so those job rows use v2/v3 across machines.
+    row_idx, job_idx = np.nonzero(assignments == i1[:, None])
+    if row_idx.size:
+        unchanged_rows = np.where(
+            np.arange(nb_machines)[None, :] != i2[row_idx, None],
+            v2[row_idx, None],
+            v3[row_idx, None],
+        )  # (K, M)
+        added_rows = completions[row_idx] + etc[job_idx]  # (K, M)
+        scores[row_idx, job_idx] = np.maximum(
+            np.maximum(unchanged_rows, removed[row_idx, job_idx, None]), added_rows
+        )
+
+    scores[rows_2d, jobs[None, :], assignments] = np.inf
+    return scores
+
+
 def score_moves_for_job(
     etc: np.ndarray, assignment: np.ndarray, completion: np.ndarray, job: int
 ) -> np.ndarray:
@@ -77,6 +167,36 @@ def score_moves_for_job(
     unchanged = np.where(np.arange(completion.shape[0]) == i1, v2, v1)
     scores = np.maximum(unchanged, new_destination)
     scores[source] = np.inf
+    return scores
+
+
+def score_moves_for_jobs_batch(
+    etc: np.ndarray,
+    assignments: np.ndarray,
+    completions: np.ndarray,
+    jobs: np.ndarray,
+) -> np.ndarray:
+    """:func:`score_moves_for_job` for one chosen job per row, ``(rows, machines)``.
+
+    ``scores[r, m]`` is the makespan of moving ``jobs[r]`` of row *r* to
+    machine *m* (``+inf`` on the job's current machine) — the batched SLM
+    scan: every row's reduced completion vector, its top two entries and the
+    destination maxima are formed in one expression.
+    """
+    rows = np.arange(assignments.shape[0])
+    nb_machines = completions.shape[1]
+    sources = assignments[rows, jobs]
+    reduced = completions.astype(float, copy=True)
+    reduced[rows, sources] -= etc[jobs, sources]
+    indices, values = top_completions_batch(reduced, 2)
+    new_destination = reduced + etc[jobs]  # (R, M)
+    unchanged = np.where(
+        np.arange(nb_machines)[None, :] == indices[:, 0, None],
+        values[:, 1, None],
+        values[:, 0, None],
+    )
+    scores = np.maximum(unchanged, new_destination)
+    scores[rows, sources] = np.inf
     return scores
 
 
@@ -126,3 +246,84 @@ def score_critical_swaps(
         + etc[source_jobs[:, None], other_machines[None, :]]
     )  # (A, B)
     return np.maximum(new_source, new_target)
+
+
+def score_critical_moves_batch(
+    etc: np.ndarray,
+    completions: np.ndarray,
+    source_jobs: np.ndarray,
+    valid: np.ndarray,
+    sources: np.ndarray,
+) -> np.ndarray:
+    """:func:`score_critical_moves` for a whole batch, ``(rows, A, machines)``.
+
+    ``source_jobs`` is a ``(rows, A)`` matrix of per-row makespan-machine
+    jobs padded to the widest row, ``valid`` the matching boolean mask and
+    ``sources`` the ``(rows,)`` makespan-defining machines.  Padded entries
+    and the source-machine column hold ``+inf``.
+    """
+    rows = np.arange(completions.shape[0])
+    new_source = (
+        completions[rows, sources][:, None] - etc[source_jobs, sources[:, None]]
+    )  # (R, A)
+    new_destination = completions[:, None, :] + etc[source_jobs]  # (R, A, M)
+    metric = np.maximum(new_source[:, :, None], new_destination)
+    np.put_along_axis(metric, sources[:, None, None], np.inf, axis=2)
+    metric[~valid] = np.inf
+    return metric
+
+
+def score_critical_swaps_batch(
+    etc: np.ndarray,
+    assignments: np.ndarray,
+    completions: np.ndarray,
+    source_jobs: np.ndarray,
+    valid: np.ndarray,
+    sources: np.ndarray,
+) -> np.ndarray:
+    """:func:`score_critical_swaps` for a whole batch, ``(rows, A, jobs)``.
+
+    ``metric[r, a, b]`` ranks swapping ``source_jobs[r, a]`` (on row *r*'s
+    makespan-defining machine ``sources[r]``) with job *b*.  Candidates *b*
+    run over **all** jobs so rows with different off-machine job sets share
+    one rectangular tensor; entries where *b* sits on the source machine and
+    padded *a* entries hold ``+inf``.
+
+    The new-target side ``etc[a, machine_of(b)] + (completion[machine_of(b)]
+    − etc[b])`` is materialized as one batched matmul: the ``(rows, A,
+    machines+1)`` ETC slice (augmented with a column of ones) against a
+    ``(rows, machines+1, jobs)`` matrix whose machine rows are the one-hot
+    membership of each job and whose extra row carries the b-dependent base
+    term.  Each dot product hits the 1.0 of b's machine plus the 1.0 of the
+    base row, so the result is bit-exact while the tensor build runs at
+    BLAS speed instead of fancy-indexed gather speed.  The ``+inf`` masks
+    ride in additively (an infinite addend makes the whole candidate
+    infinite), avoiding extra full-tensor passes.
+    """
+    count, nb_machines = completions.shape
+    rows = np.arange(count)
+    nb_jobs = etc.shape[0]
+    jobs = np.arange(nb_jobs)
+    new_source_base = np.where(
+        valid,
+        completions[rows, sources][:, None] - etc[source_jobs, sources[:, None]],
+        np.inf,
+    )  # (R, A)
+    etc_b_source = etc.T[sources]  # (R, J) b's ETC on row's source machine
+    comp_b = np.take_along_axis(completions, assignments, axis=1)  # (R, J)
+    target_base = np.where(
+        assignments == sources[:, None],  # b already on source machine
+        np.inf,
+        comp_b - etc[jobs[None, :], assignments],
+    )  # (R, J)
+    membership = np.empty((count, nb_machines + 1, nb_jobs))
+    membership[:, :nb_machines, :] = (
+        assignments[:, None, :] == np.arange(nb_machines)[None, :, None]
+    )
+    membership[:, nb_machines, :] = target_base
+    etc_a = np.empty((count, source_jobs.shape[1], nb_machines + 1))
+    etc_a[:, :, :nb_machines] = etc[source_jobs]
+    etc_a[:, :, nb_machines] = 1.0
+    metric = etc_a @ membership  # (R, A, J) == new-target side of the metric
+    new_source = new_source_base[:, :, None] + etc_b_source[:, None, :]
+    return np.maximum(new_source, metric, out=metric)

@@ -147,6 +147,22 @@ class EvaluationEngine:
         """Apply a local search through the engine's counter."""
         return local_search.improve(schedule, self.evaluator, rng)
 
+    def improve_batch(
+        self,
+        batch: BatchEvaluator,
+        rows: np.ndarray,
+        local_search,
+        rng: RNGLike = None,
+    ) -> np.ndarray:
+        """Batched local search over a row subset of a resident population.
+
+        Every improvement step scores and applies candidate moves for all
+        *rows* in a few vectorized expressions (see
+        :meth:`repro.core.local_search.LocalSearch.improve_batch`); returns
+        the per-row improvement mask.
+        """
+        return local_search.improve_batch(batch, rows, self.evaluator, rng)
+
     # ------------------------------------------------------------------ #
     # History and results
     # ------------------------------------------------------------------ #

@@ -173,6 +173,22 @@ class SchedulingInstance:
             object.__setattr__(self, "_etc_ranks", cached)
         return cached
 
+    @property
+    def etc_spt(self) -> np.ndarray:
+        """``(nb_machines, nb_jobs)`` ETC values in per-machine SPT order.
+
+        ``etc_spt[m, k]`` is the ETC on machine *m* of the *k*-th job of
+        ``spt_order[:, m]`` — the ETC column pre-permuted into the order the
+        flowtime kernels walk, so batched per-machine flowtime updates read
+        contiguous rows instead of performing large fancy-indexed gathers.
+        """
+        cached = self.__dict__.get("_etc_spt")
+        if cached is None:
+            cached = np.take_along_axis(self.etc, self.spt_order, axis=0).T.copy()
+            cached.setflags(write=False)
+            object.__setattr__(self, "_etc_spt", cached)
+        return cached
+
     # ------------------------------------------------------------------ #
     # Bounds (used for sanity checks in tests and reports)
     # ------------------------------------------------------------------ #

@@ -189,6 +189,13 @@ class Schedule:
         return view
 
     @property
+    def machine_flowtimes(self) -> np.ndarray:
+        """Read-only view of the per-machine flowtime contributions."""
+        view = self._machine_flowtime.view()
+        view.setflags(write=False)
+        return view
+
+    @property
     def makespan(self) -> float:
         """The finishing time of the latest machine (eq. 2 of the paper)."""
         return float(self._completion.max())

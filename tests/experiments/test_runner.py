@@ -100,8 +100,13 @@ class TestRepeatRun:
 
     def test_runs_are_independent(self, instance):
         results = repeat_run(cma_spec(), instance, FAST.scaled(runs=3))
-        makespans = {round(r.makespan, 6) for r in results}
-        assert len(makespans) >= 2  # different seeds explore differently
+        # Different seeds start from different populations and walk different
+        # trajectories.  (Final makespans may coincide: on toy instances the
+        # whole-grid batch local search drives every run into the same
+        # optimum, so the start of the convergence history is the robust
+        # independence probe.)
+        starts = {round(r.history.fitnesses()[0], 6) for r in results}
+        assert len(starts) >= 2
 
 
 class TestCompareAlgorithms:

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Documentation checker: internal links and runnable fenced examples.
+
+Guards ``docs/*.md`` (and the README) against rot:
+
+* **links** — every relative markdown link must point at an existing file,
+  and every ``#anchor`` (own-page or cross-page) must match a heading;
+* **examples** — every fenced ```python block containing ``>>>`` prompts is
+  executed with :mod:`doctest`.  Blocks within one file share a namespace,
+  in order, so later examples can build on earlier ones exactly as a reader
+  would run them.
+
+Run from the repository root (CI does)::
+
+    python tools/check_docs.py
+
+Exits non-zero listing every failure; prints a one-line summary otherwise.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links and examples are checked.
+DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCED_PYTHON = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _label(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_anchors(markdown: str) -> set[str]:
+    return {github_slug(match) for match in _HEADING.findall(markdown)}
+
+
+def check_links(path: Path) -> list[str]:
+    """Problems with the relative links of one markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for target in _LINK.findall(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        base, _, anchor = target.partition("#")
+        destination = (path.parent / base).resolve() if base else path
+        if not destination.exists():
+            problems.append(f"{_label(path)}: broken link -> {target}")
+            continue
+        if anchor and destination.suffix == ".md":
+            anchors = heading_anchors(destination.read_text(encoding="utf-8"))
+            if anchor not in anchors:
+                problems.append(
+                    f"{_label(path)}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def run_examples(path: Path) -> list[str]:
+    """Doctest failures from the fenced python examples of one file."""
+    text = path.read_text(encoding="utf-8")
+    blocks = [b for b in _FENCED_PYTHON.findall(text) if ">>>" in b]
+    if not blocks:
+        return []
+    source = "\n".join(blocks)
+    parser = doctest.DocTestParser()
+    name = _label(path)
+    test = parser.get_doctest(source, {}, name, name, 0)
+    results: list[str] = []
+
+    class _Collector(doctest.DocTestRunner):
+        def report_failure(self, out, test, example, got):  # noqa: N802
+            results.append(
+                f"{name}: example failed\n  >>> {example.source.strip()}\n"
+                f"  expected: {example.want.strip()!r}\n  got:      {got.strip()!r}"
+            )
+
+        def report_unexpected_exception(self, out, test, example, exc_info):  # noqa: N802
+            results.append(
+                f"{name}: example raised\n  >>> {example.source.strip()}\n"
+                f"  {exc_info[0].__name__}: {exc_info[1]}"
+            )
+
+    _Collector(verbose=False).run(test, clear_globs=False)
+    return results
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in DOC_FILES:
+        if not path.exists():
+            problems.append(f"missing documentation file: {path}")
+            continue
+        problems.extend(check_links(path))
+        problems.extend(run_examples(path))
+    if problems:
+        print("\n".join(problems))
+        return 1
+    print(f"docs OK: {len(DOC_FILES)} files, links and fenced examples verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())
