@@ -12,6 +12,8 @@ using Cellular Memetic Algorithms"* (Xhafa, Alba & Dorronsoro, IPPS/IPDPS
   per-run evaluation services);
 * :mod:`repro.core` — the cellular memetic algorithm and all of its operators;
 * :mod:`repro.baselines` — the GAs the paper compares against plus ablations;
+* :mod:`repro.islands` — the process-parallel island layer (K engines,
+  shared-memory migration);
 * :mod:`repro.grid` — a discrete-event simulator for the dynamic batch-mode
   deployment scenario;
 * :mod:`repro.experiments` — the harness reproducing Figures 2-5 and
@@ -30,9 +32,11 @@ True
 from repro.core import (
     CellularMemeticAlgorithm,
     CMAConfig,
+    IslandConfig,
     SchedulingResult,
     TerminationCriteria,
 )
+from repro.islands import IslandModel
 from repro.engine import BatchEvaluator, EvaluationEngine
 from repro.model import (
     FitnessEvaluator,
@@ -53,6 +57,8 @@ __all__ = [
     "CellularMemeticAlgorithm",
     "CMAConfig",
     "EvaluationEngine",
+    "IslandConfig",
+    "IslandModel",
     "SchedulingResult",
     "TerminationCriteria",
     "FitnessEvaluator",

@@ -12,6 +12,9 @@ be driven without writing Python:
 ``repro-scheduler table``
     Re-generate one of the comparison tables (Tables 2-5) or the robustness
     study.
+``repro-scheduler islands``
+    Run K islands of one algorithm — in-process or one worker process per
+    island — with periodic best-row migration along a chosen topology.
 ``repro-scheduler simulate``
     Run the dynamic-grid simulation with a chosen batch scheduling policy.
 
@@ -35,10 +38,22 @@ from repro.baselines import (
     StruggleGA,
     TabuSearchScheduler,
 )
-from repro.core import CellularMemeticAlgorithm, CMAConfig, TerminationCriteria
+from repro.core import CellularMemeticAlgorithm, CMAConfig, IslandConfig, TerminationCriteria
+from repro.core.config import EMIGRANT_SELECTIONS, ISLAND_TOPOLOGIES
 from repro.engine.service import EvaluationEngine
 from repro.experiments.reporting import format_mapping, format_table
-from repro.experiments.runner import ExperimentSettings
+from repro.experiments.runner import (
+    ExperimentSettings,
+    braun_ga_spec,
+    cellular_ga_spec,
+    cma_spec,
+    panmictic_ma_spec,
+    simulated_annealing_spec,
+    steady_state_ga_spec,
+    struggle_ga_spec,
+    tabu_search_spec,
+)
+from repro.islands import IslandModel
 from repro.experiments.tables import (
     flowtime_comparison_table,
     flowtime_table,
@@ -75,6 +90,18 @@ ALGORITHMS = (
 )
 
 TABLES = ("table1", "table2", "table3", "table4", "table5", "robustness")
+
+#: Spec builders addressable from ``repro-scheduler islands --algorithm``.
+ISLAND_SPECS = {
+    "cma": cma_spec,
+    "braun_ga": braun_ga_spec,
+    "carretero_xhafa_ga": steady_state_ga_spec,
+    "struggle_ga": struggle_ga_spec,
+    "cellular_ga": cellular_ga_spec,
+    "panmictic_ma": panmictic_ma_spec,
+    "simulated_annealing": simulated_annealing_spec,
+    "tabu_search": tabu_search_spec,
+}
 
 
 # --------------------------------------------------------------------------- #
@@ -132,6 +159,53 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=None,
         help="subset of benchmark instance names (default: all 12)",
+    )
+
+    islands = subparsers.add_parser(
+        "islands",
+        help="run K islands of one algorithm with shared-memory migration",
+    )
+    add_instance_arguments(islands)
+    islands.add_argument(
+        "--algorithm", choices=sorted(ISLAND_SPECS), default="cma",
+        help="what runs inside every island",
+    )
+    islands.add_argument("--islands", type=int, default=4, help="number of islands (default 4)")
+    islands.add_argument(
+        "--topology", choices=ISLAND_TOPOLOGIES, default="ring",
+        help="migration graph (default ring)",
+    )
+    islands.add_argument(
+        "--interval", type=float, default=1000.0,
+        help="distance between migration points (default 1000)",
+    )
+    islands.add_argument(
+        "--interval-unit", choices=("evaluations", "seconds"), default="evaluations",
+        help="how --interval is measured (default evaluations)",
+    )
+    islands.add_argument(
+        "--no-migration", action="store_true",
+        help="disable migration: islands become independent repetitions",
+    )
+    islands.add_argument(
+        "--emigrants", type=int, default=1, help="rows migrated per point (default 1)"
+    )
+    islands.add_argument(
+        "--selection", choices=EMIGRANT_SELECTIONS, default="best_k",
+        help="emigrant selection (default best_k)",
+    )
+    islands.add_argument(
+        "--workers", type=int, default=0,
+        help="0 = deterministic in-process driver; = --islands spawns one process per island",
+    )
+    islands.add_argument(
+        "--seconds", type=float, default=2.0, help="wall-clock budget per island"
+    )
+    islands.add_argument(
+        "--evaluations", type=int, default=None, help="optional evaluation budget per island"
+    )
+    islands.add_argument(
+        "--iterations", type=int, default=None, help="optional iteration budget per island"
     )
 
     simulate = subparsers.add_parser("simulate", help="run the dynamic grid simulation")
@@ -286,6 +360,73 @@ def _command_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_islands(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    termination = TerminationCriteria(
+        max_seconds=args.seconds,
+        max_evaluations=args.evaluations,
+        max_iterations=args.iterations,
+    )
+    config = IslandConfig(
+        nb_islands=args.islands,
+        topology=args.topology,
+        migration_interval=None if args.no_migration else args.interval,
+        interval_unit=args.interval_unit,
+        nb_emigrants=args.emigrants,
+        emigrant_selection=args.selection,
+        workers=args.workers,
+    )
+    spec = ISLAND_SPECS[args.algorithm]()
+    model = IslandModel(instance, spec, config, termination, rng=args.seed)
+    result = model.run()
+
+    rows = [
+        [
+            row["island"],
+            row["best_fitness"],
+            row["makespan"],
+            row["flowtime"],
+            row["evaluations"],
+            row.get("migrations_in", 0),
+            row.get("immigrants_adopted", 0),
+        ]
+        for row in result.metadata["per_island"]
+    ]
+    print(
+        format_table(
+            [
+                "island",
+                "fitness",
+                "makespan",
+                "flowtime",
+                "evaluations",
+                "migrations in",
+                "adopted",
+            ],
+            rows,
+            title=f"{config.nb_islands} x {args.algorithm} islands "
+            f"({config.topology} topology, workers={config.workers}) on {instance.name}",
+            precision=1,
+        )
+    )
+    print()
+    print(
+        format_mapping(
+            {
+                "algorithm": result.algorithm,
+                "best island": float(result.metadata["best_island"]),
+                "best fitness": result.best_fitness,
+                "makespan": result.makespan,
+                "flowtime": result.flowtime,
+                "total evaluations": float(result.evaluations),
+                "elapsed seconds": result.elapsed_seconds,
+            },
+            title="combined result",
+        )
+    )
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     jobs = PoissonArrivalModel(rate=args.rate, duration=args.duration).generate(rng=args.seed)
     machines = StaticResourceModel(nb_machines=args.machines).generate(rng=args.seed)
@@ -315,6 +456,7 @@ _COMMANDS = {
     "heuristics": _command_heuristics,
     "tune": _command_tune,
     "table": _command_table,
+    "islands": _command_islands,
     "simulate": _command_simulate,
 }
 
@@ -325,7 +467,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError, KeyError, FileNotFoundError) as error:
+    except (ValueError, KeyError, FileNotFoundError, TypeError, RuntimeError) as error:
+        # TypeError: e.g. a non-steppable --algorithm combined with
+        # migration; RuntimeError: island worker failures and timeouts.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

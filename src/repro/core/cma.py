@@ -139,60 +139,101 @@ class CellularMemeticAlgorithm:
             perturbation_rate=cfg.perturbation_rate,
         )
 
-        # Run state (populated by run()).
+        # Run state (populated by start()/run()).
         self.grid: ResidentGrid | None = None
         self.best: Individual | None = None
         self.history = self.engine.history
+        self.state: SearchState | None = None
+        self._deadline = None
+        self._rec_order = None
+        self._mut_order = None
 
     # ------------------------------------------------------------------ #
-    # Main loop
+    # Main loop — a steppable lifecycle
     # ------------------------------------------------------------------ #
-    def run(self) -> SchedulingResult:
-        """Execute the search and return the best schedule found."""
+    # The run is split into start() / should_continue() / step() / finish()
+    # so that drivers above the algorithm (the island model interleaving
+    # migration between iterations, notebooks single-stepping the search)
+    # can pause at iteration boundaries; run() composes the four phases and
+    # is bit-for-bit the pre-split loop.
+    def start(self) -> SearchState:
+        """Initialize a run: population, initial local search, sweep orders."""
         cfg = self.config
         self.engine.begin_run()
-        deadline = cfg.termination.make_deadline()
-        state = SearchState()
+        self._deadline = cfg.termination.make_deadline()
+        self.state = SearchState()
 
         self.grid = self._initialize_population()
         self.best = self.grid.best().copy()
+        self.state.evaluations = self.evaluator.evaluations
+        self.state.best_fitness = self.best.fitness
+        self._record(self.state)
+
+        self._rec_order = get_sweep(cfg.recombination_order, self.grid.size, self.rng)
+        self._mut_order = get_sweep(cfg.mutation_order, self.grid.size, self.rng)
+        return self.state
+
+    def should_continue(self) -> bool:
+        """Whether the termination criteria allow another iteration."""
+        if self.state is None:
+            raise RuntimeError("call start() before should_continue()")
+        return not self.config.termination.should_stop(self.state, self._deadline)
+
+    def step(self) -> bool:
+        """Run one iteration (both update streams); True if the best improved."""
+        if self.state is None:
+            raise RuntimeError("call start() before step()")
+        state = self.state
+        improved = False
+        if self.config.cell_updates == "batch":
+            improved |= self._recombination_phase(self._rec_order)
+            improved |= self._mutation_phase(self._mut_order)
+        else:
+            improved |= self._recombination_stream(self._rec_order)
+            improved |= self._mutation_stream(self._mut_order)
+        self._rec_order.update()
+        self._mut_order.update()
+
         state.evaluations = self.evaluator.evaluations
-        state.best_fitness = self.best.fitness
+        improved |= self.sync_best_from_grid()
+        state.register_iteration(improved)
         self._record(state)
+        if self.observer is not None:
+            self.observer(self, state)
+        return improved
 
-        rec_order = get_sweep(cfg.recombination_order, self.grid.size, self.rng)
-        mut_order = get_sweep(cfg.mutation_order, self.grid.size, self.rng)
+    def sync_best_from_grid(self) -> bool:
+        """Adopt the grid's best cell if it beats the tracked best.
 
-        batch_updates = cfg.cell_updates == "batch"
-        while not cfg.termination.should_stop(state, deadline):
-            improved = False
-            if batch_updates:
-                improved |= self._recombination_phase(rec_order)
-                improved |= self._mutation_phase(mut_order)
-            else:
-                improved |= self._recombination_stream(rec_order)
-                improved |= self._mutation_stream(mut_order)
-            rec_order.update()
-            mut_order.update()
+        Called at the end of every iteration; external drivers that write
+        into the grid between iterations (island migration) call it too so
+        an adopted immigrant is immediately reflected in the run's best.
+        """
+        current_best = self.grid.best()
+        if current_best.fitness < self.best.fitness:
+            self.best = current_best.copy()
+            self.state.best_fitness = self.best.fitness
+            return True
+        return False
 
-            state.evaluations = self.evaluator.evaluations
-            current_best = self.grid.best()
-            if current_best.fitness < self.best.fitness:
-                self.best = current_best.copy()
-                state.best_fitness = self.best.fitness
-                improved = True
-            state.register_iteration(improved)
-            self._record(state)
-            if self.observer is not None:
-                self.observer(self, state)
-
+    def finish(self) -> SchedulingResult:
+        """Assemble the result record for the current run state."""
+        if self.state is None:
+            raise RuntimeError("call start() before finish()")
         return self.engine.build_result(
             algorithm="cma",
             best_schedule=self.best.schedule.copy(),
             best_fitness=self.best.fitness,
-            state=state,
-            metadata={"config": cfg.describe()},
+            state=self.state,
+            metadata={"config": self.config.describe()},
         )
+
+    def run(self) -> SchedulingResult:
+        """Execute the search and return the best schedule found."""
+        self.start()
+        while self.should_continue():
+            self.step()
+        return self.finish()
 
     # ------------------------------------------------------------------ #
     # Stages

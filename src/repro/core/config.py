@@ -25,7 +25,25 @@ from repro.heuristics import list_heuristics
 from repro.model.fitness import DEFAULT_LAMBDA
 from repro.utils.validation import check_integer, check_probability
 
-__all__ = ["CMAConfig"]
+__all__ = [
+    "CMAConfig",
+    "IslandConfig",
+    "ISLAND_TOPOLOGIES",
+    "MIGRATION_INTERVAL_UNITS",
+    "EMIGRANT_SELECTIONS",
+]
+
+#: Migration-graph names understood by :mod:`repro.islands.topology`.  The
+#: registry lives up in the islands layer; the names are mirrored here so the
+#: config layer can validate without importing upward (pinned in sync by
+#: ``tests/islands/test_topology.py``).
+ISLAND_TOPOLOGIES = ("ring", "torus", "star", "complete")
+
+#: How :attr:`IslandConfig.migration_interval` is measured.
+MIGRATION_INTERVAL_UNITS = ("evaluations", "seconds")
+
+#: Emigrant-selection strategies of :mod:`repro.islands.migration`.
+EMIGRANT_SELECTIONS = ("best_k", "random_k")
 
 
 def _check_choice(name: str, value: str, available) -> str:
@@ -272,4 +290,132 @@ class CMAConfig:
             "add only if better": self.replacement == "if_better",
             "cell updates": self.cell_updates,
             "lambda": self.fitness_weight,
+        }
+
+
+@dataclass(frozen=True)
+class IslandConfig:
+    """Configuration of the process-parallel island model.
+
+    The island subsystem (:mod:`repro.islands`) runs ``nb_islands``
+    independent engine-resident algorithm instances and periodically copies
+    the best rows between them along a migration graph.  This config only
+    describes the island layer; what runs *inside* each island is an
+    ordinary algorithm spec with its own configuration.
+
+    Attributes
+    ----------
+    nb_islands:
+        Number of islands (one full population each).
+    topology:
+        Migration-graph name (``"ring"``, ``"torus"``, ``"star"``,
+        ``"complete"``).
+    migration_interval:
+        Distance between migration points, measured in ``interval_unit``.
+        ``None`` disables migration entirely, which makes the islands
+        bit-identical to the same number of independent repetitions.
+    interval_unit:
+        ``"evaluations"`` (deterministic; the default) or ``"seconds"``.
+    nb_emigrants:
+        Rows copied out of an island at each migration point.
+    emigrant_selection:
+        ``"best_k"`` (the k best cells) or ``"random_k"``.
+    immigrant_replacement:
+        Replacement-policy name applied when immigrants challenge the
+        destination island's worst cells (``"if_better"`` keeps migration
+        elitist, matching the paper's cell replacement).
+    workers:
+        ``0`` runs every island in-process on a deterministic synchronous
+        schedule (the reference semantics); ``nb_islands`` spawns one worker
+        process per island with shared-memory migration.  No other value is
+        accepted.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` picks ``"fork"`` where available (fast)
+        and ``"spawn"`` otherwise.
+    worker_timeout:
+        Seconds the parent waits for a worker result before it terminates
+        the pool and raises — the guard against deadlocked queues.
+    """
+
+    nb_islands: int = 4
+    topology: str = "ring"
+    migration_interval: float | None = 1_000.0
+    interval_unit: str = "evaluations"
+    nb_emigrants: int = 1
+    emigrant_selection: str = "best_k"
+    immigrant_replacement: str = "if_better"
+    workers: int = 0
+    start_method: str | None = None
+    worker_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        check_integer("nb_islands", self.nb_islands, minimum=1)
+        check_integer("nb_emigrants", self.nb_emigrants, minimum=1)
+        object.__setattr__(
+            self, "topology", _check_choice("topology", self.topology, ISLAND_TOPOLOGIES)
+        )
+        object.__setattr__(
+            self,
+            "interval_unit",
+            _check_choice("interval_unit", self.interval_unit, MIGRATION_INTERVAL_UNITS),
+        )
+        object.__setattr__(
+            self,
+            "emigrant_selection",
+            _check_choice(
+                "emigrant_selection", self.emigrant_selection, EMIGRANT_SELECTIONS
+            ),
+        )
+        object.__setattr__(
+            self,
+            "immigrant_replacement",
+            _check_choice(
+                "immigrant_replacement", self.immigrant_replacement, list_replacements()
+            ),
+        )
+        if self.migration_interval is not None and self.migration_interval <= 0:
+            raise ValueError(
+                f"migration_interval must be positive or None, "
+                f"got {self.migration_interval}"
+            )
+        check_integer("workers", self.workers, minimum=0)
+        if self.workers not in (0, self.nb_islands):
+            raise ValueError(
+                f"workers must be 0 (in-process) or nb_islands "
+                f"({self.nb_islands}, one process per island), got {self.workers}"
+            )
+        if self.start_method is not None:
+            object.__setattr__(
+                self,
+                "start_method",
+                _check_choice(
+                    "start_method", self.start_method, ("fork", "spawn", "forkserver")
+                ),
+            )
+        if self.worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {self.worker_timeout}"
+            )
+
+    @property
+    def migration_enabled(self) -> bool:
+        """Whether migration points exist at all."""
+        return self.migration_interval is not None
+
+    def evolve(self, **changes: Any) -> "IslandConfig":
+        """Return a copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly description of the island layer."""
+        return {
+            "nb islands": self.nb_islands,
+            "topology": self.topology,
+            "migration interval": self.migration_interval,
+            "interval unit": self.interval_unit,
+            "nb emigrants": self.nb_emigrants,
+            "emigrant selection": self.emigrant_selection,
+            "immigrant replacement": self.immigrant_replacement,
+            "workers": self.workers,
         }

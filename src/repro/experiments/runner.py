@@ -33,12 +33,18 @@ from repro.baselines import (
     TabuSearchScheduler,
 )
 from repro.core.cma import CellularMemeticAlgorithm, SchedulingResult
-from repro.core.config import CMAConfig
+from repro.core.config import CMAConfig, IslandConfig
 from repro.core.termination import SearchState, TerminationCriteria
 from repro.engine.service import EvaluationEngine
 from repro.heuristics import build_schedule
+from repro.islands.model import IslandModel
 from repro.model.instance import SchedulingInstance
-from repro.utils.rng import RNGLike, as_generator, spawn_generators
+from repro.utils.rng import (
+    RNGLike,
+    as_generator,
+    spawn_generators,
+    substream_seed_sequence,
+)
 from repro.utils.stats import RunStatistics, summarize
 from repro.utils.validation import check_integer
 
@@ -54,6 +60,7 @@ __all__ = [
     "simulated_annealing_spec",
     "tabu_search_spec",
     "heuristic_spec",
+    "islands_spec",
     "default_algorithm_specs",
     "repeat_run",
     "ComparisonCell",
@@ -176,28 +183,86 @@ class AlgorithmSpec:
 
 
 # --------------------------------------------------------------------------- #
+# Picklable scheduler factories
+# --------------------------------------------------------------------------- #
+# Specs cross process boundaries (the island workers receive them whole), so
+# factories are module-level dataclasses rather than closures: a closure
+# cannot be pickled, a frozen dataclass holding a scheduler class and its
+# config can.
+
+
+@dataclass(frozen=True)
+class _CMAFactory:
+    """Builds the cMA; the run's termination is folded into the config."""
+
+    config: CMAConfig
+
+    def __call__(self, instance, termination, rng, engine=None):
+        return CellularMemeticAlgorithm(
+            instance,
+            self.config.evolve(termination=termination),
+            rng=rng,
+            engine=engine,
+        )
+
+
+@dataclass(frozen=True)
+class _ConfiguredFactory:
+    """Builds any baseline following the uniform scheduler signature."""
+
+    scheduler: type
+    config: object
+
+    def __call__(self, instance, termination, rng, engine=None):
+        return self.scheduler(
+            instance, self.config, termination=termination, rng=rng, engine=engine
+        )
+
+
+@dataclass(frozen=True)
+class _HeuristicFactory:
+    """Wraps a constructive heuristic behind the scheduler protocol."""
+
+    heuristic: str
+
+    def __call__(self, instance, termination, rng, engine=None):
+        return _HeuristicRunner(self.heuristic, instance, rng, engine=engine)
+
+
+@dataclass(frozen=True)
+class _IslandFactory:
+    """Builds an :class:`~repro.islands.model.IslandModel` over an inner spec.
+
+    The ``engine`` argument is accepted for signature uniformity and
+    ignored: islands build one engine per island by design.
+    """
+
+    inner: "AlgorithmSpec"
+    config: IslandConfig
+
+    def __call__(self, instance, termination, rng, engine=None):
+        return IslandModel(instance, self.inner, self.config, termination, rng=rng)
+
+
+# --------------------------------------------------------------------------- #
 # Built-in algorithm specs
 # --------------------------------------------------------------------------- #
 def cma_spec(config: CMAConfig | None = None, name: str = "cma") -> AlgorithmSpec:
     """The paper's cellular memetic algorithm (Table 1 configuration by default)."""
     base = config if config is not None else CMAConfig.paper_defaults()
-
-    def factory(instance, termination, rng, engine=None):
-        return CellularMemeticAlgorithm(
-            instance, base.evolve(termination=termination), rng=rng, engine=engine
-        )
-
-    return AlgorithmSpec(name=name, factory=factory, description="Cellular memetic algorithm")
+    return AlgorithmSpec(
+        name=name, factory=_CMAFactory(base), description="Cellular memetic algorithm"
+    )
 
 
 def braun_ga_spec(config: GAConfig | None = None, name: str = "braun_ga") -> AlgorithmSpec:
     """The Braun et al.-style generational GA baseline."""
     base = config if config is not None else GAConfig.fast_defaults()
-
-    def factory(instance, termination, rng, engine=None):
-        return GenerationalGA(instance, base, termination=termination, rng=rng, engine=engine)
-
-    return AlgorithmSpec(name=name, factory=factory, description="Generational GA (Braun et al.)")
+    return AlgorithmSpec(
+        name=name,
+        factory=_ConfiguredFactory(GenerationalGA, base),
+        description="Generational GA (Braun et al.)",
+    )
 
 
 def steady_state_ga_spec(
@@ -205,12 +270,10 @@ def steady_state_ga_spec(
 ) -> AlgorithmSpec:
     """The Carretero & Xhafa-style steady-state GA baseline."""
     base = config if config is not None else SteadyStateGAConfig.fast_defaults()
-
-    def factory(instance, termination, rng, engine=None):
-        return SteadyStateGA(instance, base, termination=termination, rng=rng, engine=engine)
-
     return AlgorithmSpec(
-        name=name, factory=factory, description="Steady-state GA (Carretero & Xhafa)"
+        name=name,
+        factory=_ConfiguredFactory(SteadyStateGA, base),
+        description="Steady-state GA (Carretero & Xhafa)",
     )
 
 
@@ -219,11 +282,11 @@ def struggle_ga_spec(
 ) -> AlgorithmSpec:
     """Xhafa's Struggle GA baseline."""
     base = config if config is not None else StruggleGAConfig.fast_defaults()
-
-    def factory(instance, termination, rng, engine=None):
-        return StruggleGA(instance, base, termination=termination, rng=rng, engine=engine)
-
-    return AlgorithmSpec(name=name, factory=factory, description="Struggle GA (Xhafa)")
+    return AlgorithmSpec(
+        name=name,
+        factory=_ConfiguredFactory(StruggleGA, base),
+        description="Struggle GA (Xhafa)",
+    )
 
 
 def cellular_ga_spec(
@@ -231,11 +294,11 @@ def cellular_ga_spec(
 ) -> AlgorithmSpec:
     """Cellular GA ablation (cMA without local search)."""
     base = config if config is not None else CellularGAConfig()
-
-    def factory(instance, termination, rng, engine=None):
-        return CellularGA(instance, base, termination=termination, rng=rng, engine=engine)
-
-    return AlgorithmSpec(name=name, factory=factory, description="Cellular GA (no local search)")
+    return AlgorithmSpec(
+        name=name,
+        factory=_ConfiguredFactory(CellularGA, base),
+        description="Cellular GA (no local search)",
+    )
 
 
 def panmictic_ma_spec(
@@ -243,12 +306,10 @@ def panmictic_ma_spec(
 ) -> AlgorithmSpec:
     """Panmictic MA ablation (local search without cellular structure)."""
     base = config if config is not None else PanmicticMAConfig.fast_defaults()
-
-    def factory(instance, termination, rng, engine=None):
-        return PanmicticMA(instance, base, termination=termination, rng=rng, engine=engine)
-
     return AlgorithmSpec(
-        name=name, factory=factory, description="Unstructured memetic algorithm"
+        name=name,
+        factory=_ConfiguredFactory(PanmicticMA, base),
+        description="Unstructured memetic algorithm",
     )
 
 
@@ -257,13 +318,11 @@ def simulated_annealing_spec(
 ) -> AlgorithmSpec:
     """Simulated-annealing extension baseline."""
     base = config if config is not None else SimulatedAnnealingConfig()
-
-    def factory(instance, termination, rng, engine=None):
-        return SimulatedAnnealingScheduler(
-            instance, base, termination=termination, rng=rng, engine=engine
-        )
-
-    return AlgorithmSpec(name=name, factory=factory, description="Simulated annealing")
+    return AlgorithmSpec(
+        name=name,
+        factory=_ConfiguredFactory(SimulatedAnnealingScheduler, base),
+        description="Simulated annealing",
+    )
 
 
 def tabu_search_spec(
@@ -271,13 +330,11 @@ def tabu_search_spec(
 ) -> AlgorithmSpec:
     """Tabu-search extension baseline."""
     base = config if config is not None else TabuSearchConfig()
-
-    def factory(instance, termination, rng, engine=None):
-        return TabuSearchScheduler(
-            instance, base, termination=termination, rng=rng, engine=engine
-        )
-
-    return AlgorithmSpec(name=name, factory=factory, description="Tabu search")
+    return AlgorithmSpec(
+        name=name,
+        factory=_ConfiguredFactory(TabuSearchScheduler, base),
+        description="Tabu search",
+    )
 
 
 class _HeuristicRunner:
@@ -318,12 +375,38 @@ class _HeuristicRunner:
 
 def heuristic_spec(heuristic: str) -> AlgorithmSpec:
     """A constructive heuristic (LJFR-SJFR, Min-Min, ...) as an algorithm spec."""
-
-    def factory(instance, termination, rng, engine=None):
-        return _HeuristicRunner(heuristic, instance, rng, engine=engine)
-
     return AlgorithmSpec(
-        name=heuristic, factory=factory, description=f"Constructive heuristic {heuristic}"
+        name=heuristic,
+        factory=_HeuristicFactory(heuristic),
+        description=f"Constructive heuristic {heuristic}",
+    )
+
+
+def islands_spec(
+    inner: AlgorithmSpec | None = None,
+    config: IslandConfig | None = None,
+    name: str | None = None,
+) -> AlgorithmSpec:
+    """An island model over *inner* as an ordinary algorithm spec.
+
+    This makes the whole island layer addressable by every experiment:
+    ``repeat_run`` and ``compare_algorithms`` treat the K-island run as one
+    algorithm whose result is the best island (per-island details ride in
+    the result metadata).  The per-run termination passed by the harness
+    becomes the **per-island** budget, matching the paper's protocol of
+    giving every competitor the same wall-clock budget.
+    """
+    inner = inner if inner is not None else cma_spec()
+    config = config if config is not None else IslandConfig()
+    if name is None:
+        name = f"islands_{inner.name}_x{config.nb_islands}"
+    return AlgorithmSpec(
+        name=name,
+        factory=_IslandFactory(inner, config),
+        description=(
+            f"{config.nb_islands}-island {inner.name} "
+            f"({config.topology} topology, workers={config.workers})"
+        ),
     )
 
 
@@ -395,14 +478,19 @@ def compare_algorithms(
 
     Returns a mapping keyed by ``(instance_name, algorithm_name)``.  The seed
     of each cell is derived deterministically from the experiment seed, the
-    instance name and the algorithm name, so adding an algorithm does not
-    change the results of the others.
+    instance name and the algorithm name — through the stable
+    :func:`~repro.utils.rng.substream_seed_sequence` derivation, never
+    ``hash()`` (which is salted per process) — so adding an algorithm does
+    not change the results of the others, and a cell reproduces across
+    processes and interpreter restarts.
     """
     cells: dict[tuple[str, str], ComparisonCell] = {}
     for instance_name, instance in instances.items():
         for spec in specs:
-            cell_seed = abs(hash((settings.seed, instance_name, spec.name))) % (2**32)
-            results = repeat_run(spec, instance, settings, rng=cell_seed)
+            cell_stream = substream_seed_sequence(
+                settings.seed, instance_name, spec.name
+            )
+            results = repeat_run(spec, instance, settings, rng=cell_stream)
             cells[(instance_name, spec.name)] = ComparisonCell(
                 algorithm=spec.name,
                 instance=instance_name,

@@ -1,0 +1,66 @@
+"""repro.islands — the process-parallel island execution layer.
+
+The island model is the next rung of the paper's structured-population
+ladder: where the cMA structures one population as a toroidal mesh, the
+island layer structures the *run* as K cooperating populations — each a
+full engine-resident algorithm with its own
+:class:`~repro.engine.service.EvaluationEngine` — connected by a sparse
+migration graph along which the best rows travel.
+
+* :mod:`repro.islands.topology` — ring / torus / star / complete migration
+  graphs as immutable neighbor tables;
+* :mod:`repro.islands.migration` — emigrant selection, immigrant
+  integration through the array-capable replacement policies, and the
+  migration clock (evaluation- or wall-clock-based intervals);
+* :mod:`repro.islands.worker` — the shared-memory migration board and the
+  worker-process entry point (rows cross process boundaries as row copies,
+  never as pickled populations);
+* :mod:`repro.islands.model` — :class:`IslandModel`: the deterministic
+  in-process driver (``workers=0``) and the one-process-per-island mode,
+  both built on the same :class:`IslandRuntime`.
+
+Configuration lives in :class:`repro.core.config.IslandConfig`; the
+experiment harness exposes the whole layer as an ordinary algorithm spec
+through :func:`repro.experiments.runner.islands_spec`.
+"""
+
+from repro.core.config import IslandConfig
+from repro.islands.migration import (
+    EmigrantParcel,
+    MigrationClock,
+    integrate_immigrants,
+    select_emigrants,
+)
+from repro.islands.model import IslandModel, IslandRuntime
+from repro.islands.topology import (
+    MigrationTopology,
+    complete_topology,
+    get_topology,
+    list_topologies,
+    ring_topology,
+    star_topology,
+    torus_shape,
+    torus_topology,
+)
+from repro.islands.worker import MigrationBoard, WorkerTask, run_island_worker
+
+__all__ = [
+    "IslandConfig",
+    "IslandModel",
+    "IslandRuntime",
+    "EmigrantParcel",
+    "MigrationClock",
+    "select_emigrants",
+    "integrate_immigrants",
+    "MigrationTopology",
+    "ring_topology",
+    "torus_topology",
+    "star_topology",
+    "complete_topology",
+    "torus_shape",
+    "get_topology",
+    "list_topologies",
+    "MigrationBoard",
+    "WorkerTask",
+    "run_island_worker",
+]

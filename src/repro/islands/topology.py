@@ -1,0 +1,189 @@
+"""Migration graphs: who sends emigrants to whom.
+
+A topology fixes, for every island, the set of **source** islands whose
+emigrants it receives (in-neighbors).  Emigration is the mirror image: the
+out-neighbors of island *i* are exactly the islands that list *i* as a
+source.  All four classic island-model graphs are provided:
+
+* ``ring`` — island *i* receives from island *i−1* (mod K): slow takeover,
+  the structured-population analogue of the cMA's own toroidal mesh;
+* ``torus`` — islands arranged on a near-square toroidal grid, each
+  receiving from its four von-Neumann neighbors;
+* ``star`` — island 0 is the hub: it receives from every spoke, every
+  spoke receives only from the hub;
+* ``complete`` — every island receives from every other (panmictic
+  migration, fastest takeover).
+
+Topologies are plain frozen data (picklable, trivially testable): the
+neighbor tables are computed once by the factory functions below and carried
+as tuples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.config import ISLAND_TOPOLOGIES
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "MigrationTopology",
+    "ring_topology",
+    "torus_topology",
+    "star_topology",
+    "complete_topology",
+    "get_topology",
+    "list_topologies",
+    "torus_shape",
+]
+
+
+@dataclass(frozen=True)
+class MigrationTopology:
+    """An immutable migration graph over ``nb_islands`` islands.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the graph family.
+    nb_islands:
+        Number of islands (vertices).
+    sources:
+        ``sources[i]`` are the islands whose emigrants island *i* receives,
+        in ascending order, never including *i* itself.
+    """
+
+    name: str
+    nb_islands: int
+    sources: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        check_integer("nb_islands", self.nb_islands, minimum=1)
+        if len(self.sources) != self.nb_islands:
+            raise ValueError(
+                f"expected {self.nb_islands} source tuples, got {len(self.sources)}"
+            )
+        for island, incoming in enumerate(self.sources):
+            for source in incoming:
+                if not 0 <= source < self.nb_islands:
+                    raise ValueError(
+                        f"island {island} lists source {source} outside "
+                        f"[0, {self.nb_islands})"
+                    )
+                if source == island:
+                    raise ValueError(f"island {island} lists itself as a source")
+
+    def sources_of(self, island: int) -> tuple[int, ...]:
+        """Islands whose emigrants *island* receives."""
+        return self.sources[island]
+
+    def targets_of(self, island: int) -> tuple[int, ...]:
+        """Islands that receive *island*'s emigrants (the transposed graph)."""
+        return tuple(
+            other
+            for other in range(self.nb_islands)
+            if island in self.sources[other]
+        )
+
+    def as_table(self) -> list[tuple[int, tuple[int, ...]]]:
+        """(island, sources) rows for reporting and the CLI."""
+        return [(island, self.sources[island]) for island in range(self.nb_islands)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MigrationTopology({self.name!r}, nb_islands={self.nb_islands})"
+
+
+def ring_topology(nb_islands: int) -> MigrationTopology:
+    """Directed ring: island *i* receives from island ``(i−1) mod K``."""
+    check_integer("nb_islands", nb_islands, minimum=1)
+    if nb_islands == 1:
+        sources: tuple[tuple[int, ...], ...] = ((),)
+    else:
+        sources = tuple(
+            ((island - 1) % nb_islands,) for island in range(nb_islands)
+        )
+    return MigrationTopology("ring", nb_islands, sources)
+
+
+def torus_shape(nb_islands: int) -> tuple[int, int]:
+    """The ``height × width`` factorization used by :func:`torus_topology`.
+
+    The most square factorization of K: the largest divisor of K that is at
+    most ``√K`` becomes the height.  Prime K degenerates to a ``1 × K``
+    ring, exactly like the paper's one-dimensional meshes.
+    """
+    check_integer("nb_islands", nb_islands, minimum=1)
+    height = 1
+    for candidate in range(int(math.isqrt(nb_islands)), 0, -1):
+        if nb_islands % candidate == 0:
+            height = candidate
+            break
+    return height, nb_islands // height
+
+
+def torus_topology(nb_islands: int) -> MigrationTopology:
+    """Toroidal grid: each island receives from its von-Neumann neighbors."""
+    height, width = torus_shape(nb_islands)
+    sources = []
+    for island in range(nb_islands):
+        row, col = divmod(island, width)
+        neighbors = {
+            ((row - 1) % height) * width + col,
+            ((row + 1) % height) * width + col,
+            row * width + (col - 1) % width,
+            row * width + (col + 1) % width,
+        }
+        neighbors.discard(island)
+        sources.append(tuple(sorted(neighbors)))
+    return MigrationTopology("torus", nb_islands, tuple(sources))
+
+
+def star_topology(nb_islands: int) -> MigrationTopology:
+    """Star: island 0 is the hub; spokes exchange only with the hub."""
+    check_integer("nb_islands", nb_islands, minimum=1)
+    if nb_islands == 1:
+        return MigrationTopology("star", 1, ((),))
+    hub_sources = tuple(range(1, nb_islands))
+    sources = (hub_sources,) + tuple((0,) for _ in range(1, nb_islands))
+    return MigrationTopology("star", nb_islands, sources)
+
+
+def complete_topology(nb_islands: int) -> MigrationTopology:
+    """Fully connected: every island receives from every other island."""
+    check_integer("nb_islands", nb_islands, minimum=1)
+    sources = tuple(
+        tuple(other for other in range(nb_islands) if other != island)
+        for island in range(nb_islands)
+    )
+    return MigrationTopology("complete", nb_islands, sources)
+
+
+_REGISTRY: dict[str, Callable[[int], MigrationTopology]] = {
+    "ring": ring_topology,
+    "torus": torus_topology,
+    "star": star_topology,
+    "complete": complete_topology,
+}
+
+# The config layer validates topology names without importing this module;
+# fail loudly at import time if the two ever drift apart.
+assert set(_REGISTRY) == set(ISLAND_TOPOLOGIES), "topology registry out of sync"
+
+
+def get_topology(name: str, nb_islands: int) -> MigrationTopology:
+    """Build the topology registered under *name* for ``nb_islands`` islands."""
+    key = str(name).lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(int(nb_islands))
+
+
+def list_topologies() -> Iterator[str]:
+    """Names of all registered migration topologies, sorted."""
+    return iter(sorted(_REGISTRY))

@@ -10,11 +10,18 @@ streams are statistically independent and reproducible.
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators", "derive_seed"]
+__all__ = [
+    "as_generator",
+    "spawn_seed_sequences",
+    "spawn_generators",
+    "substream_seed_sequence",
+    "derive_seed",
+]
 
 #: Type accepted everywhere a source of randomness is expected.
 RNGLike = int | np.random.Generator | np.random.SeedSequence | None
@@ -52,12 +59,44 @@ def as_generator(rng: RNGLike = None) -> np.random.Generator:
     )
 
 
+def spawn_seed_sequences(rng: RNGLike, count: int) -> list[np.random.SeedSequence]:
+    """Derive *count* independent child :class:`~numpy.random.SeedSequence`.
+
+    This is the single seed-derivation path of the library: every component
+    that fans one stream out into several (the per-repetition seeding of
+    ``repeat_run``, the per-island streams of :mod:`repro.islands`) goes
+    through ``SeedSequence.spawn`` here, never through ad-hoc seed
+    arithmetic.  Seed sequences — unlike generators — are cheap to pickle,
+    so they are also what crosses process boundaries; materialize them with
+    :func:`as_generator` on the far side.  ``as_generator(child)`` produces
+    exactly the stream ``Generator.spawn`` would have produced for the same
+    parent, so seed-sequence and generator spawning are interchangeable.
+
+    Parameters
+    ----------
+    rng:
+        Parent source of randomness (seed, seed sequence, generator,
+        ``None``).  Spawning advances the parent's spawn counter, exactly
+        like ``Generator.spawn``.
+    count:
+        Number of children, must be non-negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return []
+    if isinstance(rng, np.random.SeedSequence):
+        return list(rng.spawn(count))
+    return list(as_generator(rng).bit_generator.seed_seq.spawn(count))
+
+
 def spawn_generators(rng: RNGLike, count: int) -> list[np.random.Generator]:
     """Create *count* statistically independent child generators.
 
     The parent generator (or seed) is normalized first; the children are
-    derived via ``Generator.spawn`` so that they do not overlap with the
-    parent stream nor with each other.
+    derived via :func:`spawn_seed_sequences` (NumPy's ``SeedSequence.spawn``
+    machinery) so that they do not overlap with the parent stream nor with
+    each other.
 
     Parameters
     ----------
@@ -66,12 +105,23 @@ def spawn_generators(rng: RNGLike, count: int) -> list[np.random.Generator]:
     count:
         Number of child generators, must be non-negative.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    parent = as_generator(rng)
-    if count == 0:
-        return []
-    return list(parent.spawn(count))
+    return [as_generator(child) for child in spawn_seed_sequences(rng, count)]
+
+
+def substream_seed_sequence(seed: int, *labels: str | int) -> np.random.SeedSequence:
+    """A reproducible named substream of a root *seed*.
+
+    Experiments that key substreams by names (instance name, algorithm name)
+    need a derivation that is stable across processes and Python versions —
+    ``hash(str)`` is salted per process and therefore is not.  Each label is
+    folded into the seed sequence's entropy through CRC-32, which is stable,
+    fast and spreads nearby labels across the 32-bit space.
+    """
+    entropy = [int(seed)]
+    for label in labels:
+        data = str(label).encode("utf-8")
+        entropy.append(zlib.crc32(data, len(entropy)))
+    return np.random.SeedSequence(entropy)
 
 
 def derive_seed(rng: RNGLike, *, low: int = 0, high: int = 2**31 - 1) -> int:

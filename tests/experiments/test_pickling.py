@@ -1,0 +1,119 @@
+"""Specs, configs and instances must survive a pickle round-trip.
+
+The island workers receive whole :class:`AlgorithmSpec` objects across the
+process boundary, so every built-in spec — and everything a spec closes
+over (scheduler configs, the instance, termination criteria) — has to be
+picklable, and the unpickled copy has to run bit-identically.
+"""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import CMAConfig, IslandConfig
+from repro.core.termination import TerminationCriteria
+from repro.experiments.runner import (
+    ExperimentSettings,
+    braun_ga_spec,
+    cellular_ga_spec,
+    cma_spec,
+    heuristic_spec,
+    islands_spec,
+    panmictic_ma_spec,
+    simulated_annealing_spec,
+    steady_state_ga_spec,
+    struggle_ga_spec,
+    tabu_search_spec,
+)
+from repro.model.benchmark import generate_braun_like_instance
+
+ALL_SPEC_FACTORIES = [
+    cma_spec,
+    braun_ga_spec,
+    steady_state_ga_spec,
+    struggle_ga_spec,
+    cellular_ga_spec,
+    panmictic_ma_spec,
+    simulated_annealing_spec,
+    tabu_search_spec,
+]
+
+TERMINATION = TerminationCriteria(max_seconds=math.inf, max_evaluations=300)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_braun_like_instance("u_c_hihi.0", rng=1, nb_jobs=16, nb_machines=4)
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("factory", ALL_SPEC_FACTORIES)
+    def test_spec_pickles(self, factory):
+        spec = factory()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.name == spec.name
+        assert clone.description == spec.description
+
+    @pytest.mark.parametrize(
+        "factory", [cma_spec, braun_ga_spec, panmictic_ma_spec]
+    )
+    def test_unpickled_spec_runs_identically(self, factory, instance):
+        spec = factory()
+        clone = pickle.loads(pickle.dumps(spec))
+        original = spec.build(instance, TERMINATION, rng=3).run()
+        copied = clone.build(instance, TERMINATION, rng=3).run()
+        assert copied.best_fitness == original.best_fitness
+        assert copied.evaluations == original.evaluations
+        assert np.array_equal(
+            np.asarray(copied.best_schedule.assignment),
+            np.asarray(original.best_schedule.assignment),
+        )
+
+    def test_heuristic_spec_pickles_and_runs(self, instance):
+        spec = heuristic_spec("min_min")
+        clone = pickle.loads(pickle.dumps(spec))
+        original = spec.build(instance, TERMINATION, rng=1).run()
+        copied = clone.build(instance, TERMINATION, rng=1).run()
+        assert copied.makespan == original.makespan
+
+    def test_islands_spec_pickles(self, instance):
+        spec = islands_spec(
+            cma_spec(CMAConfig.fast_defaults()),
+            IslandConfig(nb_islands=2, migration_interval=None, workers=0),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        original = spec.build(instance, TERMINATION, rng=9).run()
+        copied = clone.build(instance, TERMINATION, rng=9).run()
+        assert copied.best_fitness == original.best_fitness
+
+
+class TestSupportingTypesRoundTrip:
+    def test_instance_pickles(self, instance):
+        clone = pickle.loads(pickle.dumps(instance))
+        assert clone.name == instance.name
+        assert np.array_equal(np.asarray(clone.etc), np.asarray(instance.etc))
+        assert np.array_equal(
+            np.asarray(clone.ready_times), np.asarray(instance.ready_times)
+        )
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            CMAConfig.paper_defaults(),
+            CMAConfig.fast_defaults(),
+            IslandConfig(nb_islands=3, topology="star", workers=0),
+            TerminationCriteria.by_evaluations(100),
+            ExperimentSettings(),
+        ],
+    )
+    def test_configs_pickle_equal(self, config):
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_seed_sequences_pickle(self):
+        stream = np.random.SeedSequence(42).spawn(3)[1]
+        clone = pickle.loads(pickle.dumps(stream))
+        a = np.random.default_rng(stream).integers(0, 1_000_000, 10)
+        b = np.random.default_rng(clone).integers(0, 1_000_000, 10)
+        assert np.array_equal(a, b)

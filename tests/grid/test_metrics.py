@@ -53,6 +53,27 @@ class TestFromRecords:
         assert metrics.nb_activations == 2
         assert metrics.mean_scheduler_seconds == pytest.approx(0.02)
 
+    def test_scheduler_seconds_quantiles(self):
+        metrics = make_metrics()
+        assert metrics.p50_scheduler_seconds == pytest.approx(0.02)
+        assert metrics.p95_scheduler_seconds == pytest.approx(0.029)
+
+    def test_quantiles_follow_the_tail(self):
+        # One slow activation must move the p95 but barely the p50 — the
+        # property that makes the quantiles worth reporting at all.
+        slow = ActivationRecord(
+            time=20.0,
+            pending_jobs=4,
+            available_machines=2,
+            scheduled_jobs=4,
+            batch_makespan=9.0,
+            scheduler_wall_seconds=1.0,
+        )
+        metrics = make_metrics()
+        tailed = make_metrics(activations=list(metrics.activations) + [slow])
+        assert tailed.p50_scheduler_seconds < 0.1
+        assert tailed.p95_scheduler_seconds > 0.5
+
     def test_throughput(self):
         metrics = make_metrics()
         assert metrics.throughput == pytest.approx(3 / 20.0)
@@ -71,6 +92,8 @@ class TestFromRecords:
         assert metrics.makespan == 0.0
         assert metrics.throughput == 0.0
         assert metrics.mean_scheduler_seconds == 0.0
+        assert metrics.p50_scheduler_seconds == 0.0
+        assert metrics.p95_scheduler_seconds == 0.0
 
     def test_summary_round_trip(self):
         summary = make_metrics().summary()

@@ -1,0 +1,137 @@
+"""Tests for emigrant selection, immigrant integration and the clock."""
+
+import numpy as np
+import pytest
+
+from repro.core.population import PopulationInitializer
+from repro.core.replacement import get_replacement
+from repro.engine.service import EvaluationEngine
+from repro.islands.migration import (
+    MigrationClock,
+    integrate_immigrants,
+    select_emigrants,
+)
+from repro.model.benchmark import generate_braun_like_instance
+from repro.model.fitness import FitnessEvaluator
+
+
+@pytest.fixture()
+def instance():
+    return generate_braun_like_instance("u_c_hihi.0", rng=1, nb_jobs=16, nb_machines=4)
+
+
+@pytest.fixture()
+def grid(instance):
+    evaluator = FitnessEvaluator(0.75)
+    return PopulationInitializer().build_resident(
+        instance, 2, 3, evaluator, scratch_rows=4, rng=0
+    )
+
+
+class TestSelectEmigrants:
+    def test_best_k_takes_lowest_fitness(self, grid):
+        parcel = select_emigrants(grid, 2, "best_k")
+        fitness = grid.fitness_values()
+        expected = np.sort(fitness)[:2]
+        assert np.array_equal(parcel.fitnesses, expected)
+        assert parcel.assignments.shape == (2, grid.batch.nb_jobs)
+
+    def test_parcel_owns_its_data(self, grid):
+        parcel = select_emigrants(grid, 1, "best_k")
+        before = parcel.assignments.copy()
+        best = int(np.argmin(grid.fitness_values()))
+        grid.batch.view(best).move_job(0, (grid.batch.assignments[best, 0] + 1) % 4)
+        assert np.array_equal(parcel.assignments, before)
+
+    def test_random_k_is_seeded_and_distinct(self, grid):
+        first = select_emigrants(grid, 3, "random_k", rng=5)
+        second = select_emigrants(grid, 3, "random_k", rng=5)
+        assert np.array_equal(first.assignments, second.assignments)
+        assert len({tuple(row) for row in first.assignments}) >= 1
+
+    def test_count_clamped_to_grid(self, grid):
+        parcel = select_emigrants(grid, 100, "best_k")
+        assert len(parcel) == grid.size
+
+    def test_unknown_selection_rejected(self, grid):
+        with pytest.raises(ValueError):
+            select_emigrants(grid, 1, "worst_k")
+
+
+class TestIntegrateImmigrants:
+    def test_better_immigrant_replaces_worst_cell(self, grid):
+        best = int(np.argmin(grid.fitness_values()))
+        worst_before = grid.fitness_values().max()
+        immigrant = grid.batch.assignments[best].copy()[None, :]
+        adopted = integrate_immigrants(grid, immigrant, get_replacement("if_better"))
+        assert adopted == 1
+        assert grid.fitness_values().max() <= worst_before
+
+    def test_hopeless_immigrant_rejected(self, grid, instance):
+        # Everything on machine 0 is far worse than any seeded cell.
+        immigrant = np.zeros((1, instance.nb_jobs), dtype=np.int64)
+        before = grid.fitness_values()
+        adopted = integrate_immigrants(grid, immigrant, get_replacement("if_better"))
+        assert adopted == 0
+        assert np.array_equal(grid.fitness_values(), before)
+
+    def test_always_policy_adopts_everything(self, grid, instance):
+        immigrants = np.zeros((2, instance.nb_jobs), dtype=np.int64)
+        adopted = integrate_immigrants(grid, immigrants, get_replacement("always"))
+        assert adopted == 2
+
+    def test_integration_charges_the_evaluator(self, grid):
+        before = grid.evaluator.evaluations
+        immigrant = grid.batch.assignments[0].copy()[None, :]
+        integrate_immigrants(grid, immigrant, get_replacement("if_better"))
+        assert grid.evaluator.evaluations == before + 1
+
+    def test_parcel_larger_than_scratch_is_truncated(self, grid, instance):
+        immigrants = np.zeros((10, instance.nb_jobs), dtype=np.int64)
+        adopted = integrate_immigrants(grid, immigrants, get_replacement("always"))
+        assert adopted == grid.scratch_rows
+
+    def test_empty_parcel_is_a_noop(self, grid, instance):
+        adopted = integrate_immigrants(
+            grid,
+            np.empty((0, instance.nb_jobs), dtype=np.int64),
+            get_replacement("if_better"),
+        )
+        assert adopted == 0
+
+    def test_grid_caches_stay_exact(self, grid, instance):
+        immigrants = np.zeros((2, instance.nb_jobs), dtype=np.int64)
+        integrate_immigrants(grid, immigrants, get_replacement("always"))
+        grid.batch.validate()
+
+
+class TestMigrationClock:
+    def test_due_after_interval_evaluations(self, instance):
+        engine = EvaluationEngine(instance)
+        clock = MigrationClock(10.0, "evaluations")
+        assert not clock.due(engine)
+        engine.evaluator.add_evaluations(25)
+        assert clock.due(engine)
+
+    def test_advance_skips_crossed_strides(self, instance):
+        engine = EvaluationEngine(instance)
+        clock = MigrationClock(10.0, "evaluations")
+        engine.evaluator.add_evaluations(25)
+        clock.advance(engine)
+        assert clock.next_point == 30.0
+        assert not clock.due(engine)
+
+    def test_none_interval_never_fires(self, instance):
+        engine = EvaluationEngine(instance)
+        clock = MigrationClock(None, "evaluations")
+        engine.evaluator.add_evaluations(1_000)
+        assert not clock.due(engine)
+        clock.advance(engine)  # must not raise
+
+    def test_invalid_unit_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationClock(5.0, "iterations")
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationClock(0.0, "evaluations")

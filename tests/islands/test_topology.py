@@ -1,0 +1,109 @@
+"""Tests for the migration-graph neighbor tables."""
+
+import pytest
+
+from repro.core.config import ISLAND_TOPOLOGIES
+from repro.islands.topology import (
+    MigrationTopology,
+    complete_topology,
+    get_topology,
+    list_topologies,
+    ring_topology,
+    star_topology,
+    torus_shape,
+    torus_topology,
+)
+
+
+class TestRing:
+    def test_sources_are_predecessors(self):
+        topology = ring_topology(5)
+        for island in range(5):
+            assert topology.sources_of(island) == ((island - 1) % 5,)
+
+    def test_single_island_has_no_sources(self):
+        assert ring_topology(1).sources_of(0) == ()
+
+    def test_targets_are_successors(self):
+        topology = ring_topology(4)
+        for island in range(4):
+            assert topology.targets_of(island) == ((island + 1) % 4,)
+
+
+class TestTorus:
+    def test_shape_most_square(self):
+        assert torus_shape(6) == (2, 3)
+        assert torus_shape(16) == (4, 4)
+        assert torus_shape(12) == (3, 4)
+
+    def test_prime_degenerates_to_row(self):
+        assert torus_shape(5) == (1, 5)
+        topology = torus_topology(5)
+        # A 1 x 5 torus: vertical neighbors collapse onto the cell itself,
+        # leaving the two horizontal neighbors.
+        assert topology.sources_of(0) == (1, 4)
+        assert topology.sources_of(2) == (1, 3)
+
+    def test_von_neumann_neighbors_on_2x3(self):
+        topology = torus_topology(6)  # islands laid out as rows (0 1 2) (3 4 5)
+        assert topology.sources_of(0) == (1, 2, 3)
+        assert topology.sources_of(4) == (1, 3, 5)
+
+    def test_4x4_has_four_distinct_neighbors(self):
+        topology = torus_topology(16)
+        for island in range(16):
+            assert len(topology.sources_of(island)) == 4
+            assert island not in topology.sources_of(island)
+
+
+class TestStar:
+    def test_hub_receives_from_all_spokes(self):
+        topology = star_topology(4)
+        assert topology.sources_of(0) == (1, 2, 3)
+
+    def test_spokes_receive_only_from_hub(self):
+        topology = star_topology(4)
+        for spoke in range(1, 4):
+            assert topology.sources_of(spoke) == (0,)
+
+    def test_single_island(self):
+        assert star_topology(1).sources_of(0) == ()
+
+
+class TestComplete:
+    def test_all_pairs_connected(self):
+        topology = complete_topology(3)
+        assert topology.sources_of(0) == (1, 2)
+        assert topology.sources_of(1) == (0, 2)
+        assert topology.sources_of(2) == (0, 1)
+
+
+class TestRegistry:
+    def test_matches_config_layer_names(self):
+        # core.config validates names without importing the islands layer;
+        # this pin keeps the two lists from drifting apart.
+        assert set(list_topologies()) == set(ISLAND_TOPOLOGIES)
+
+    @pytest.mark.parametrize("name", sorted(ISLAND_TOPOLOGIES))
+    def test_every_topology_builds(self, name):
+        topology = get_topology(name, 4)
+        assert topology.nb_islands == 4
+        assert len(topology.as_table()) == 4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_topology("mesh-of-trees", 4)
+
+
+class TestValidation:
+    def test_self_source_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationTopology("bad", 2, ((0,), (0,)))
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationTopology("bad", 2, ((5,), (0,)))
+
+    def test_wrong_row_count_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationTopology("bad", 3, ((1,), (0,)))

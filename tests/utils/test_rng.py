@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.utils import rng as rng_module
-from repro.utils.rng import as_generator, derive_seed, spawn_generators
+from repro.utils.rng import (
+    as_generator,
+    derive_seed,
+    spawn_generators,
+    spawn_seed_sequences,
+    substream_seed_sequence,
+)
 
 
 class TestAsGenerator:
@@ -65,6 +71,67 @@ class TestSpawnGenerators:
         second = [g.integers(0, 1000, size=5) for g in spawn_generators(99, 3)]
         for a, b in zip(first, second):
             assert np.array_equal(a, b)
+
+
+class TestSpawnSeedSequences:
+    def test_matches_generator_spawn(self):
+        # The seed-sequence path must reproduce numpy's Generator.spawn
+        # streams exactly: it is what crosses process boundaries while
+        # repeat_run materializes generators directly.
+        children = spawn_generators(42, 3)
+        reference = np.random.default_rng(42).spawn(3)
+        for child, ref in zip(children, reference):
+            assert np.array_equal(
+                child.integers(0, 1_000_000, size=20),
+                ref.integers(0, 1_000_000, size=20),
+            )
+
+    def test_sequences_materialize_like_generators(self):
+        sequences = spawn_seed_sequences(7, 2)
+        generators = spawn_generators(7, 2)
+        for seq, gen in zip(sequences, generators):
+            assert np.array_equal(
+                as_generator(seq).integers(0, 1_000_000, size=20),
+                gen.integers(0, 1_000_000, size=20),
+            )
+
+    def test_seed_sequence_parent_accepted(self):
+        parent = np.random.SeedSequence(5)
+        children = spawn_seed_sequences(parent, 2)
+        assert len(children) == 2
+
+    def test_zero_count(self):
+        assert spawn_seed_sequences(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
+
+
+class TestSubstreamSeedSequence:
+    def test_stable_across_calls(self):
+        a = as_generator(substream_seed_sequence(1, "u_c_hihi.0", "cma"))
+        b = as_generator(substream_seed_sequence(1, "u_c_hihi.0", "cma"))
+        assert np.array_equal(
+            a.integers(0, 1_000_000, 20), b.integers(0, 1_000_000, 20)
+        )
+
+    def test_labels_change_the_stream(self):
+        a = as_generator(substream_seed_sequence(1, "u_c_hihi.0", "cma"))
+        b = as_generator(substream_seed_sequence(1, "u_c_hihi.0", "struggle_ga"))
+        assert not np.array_equal(
+            a.integers(0, 1_000_000, 20), b.integers(0, 1_000_000, 20)
+        )
+
+    def test_label_order_matters(self):
+        a = as_generator(substream_seed_sequence(1, "x", "y"))
+        b = as_generator(substream_seed_sequence(1, "y", "x"))
+        assert not np.array_equal(
+            a.integers(0, 1_000_000, 20), b.integers(0, 1_000_000, 20)
+        )
+
+    def test_integer_labels_accepted(self):
+        substream_seed_sequence(3, 0, 17)
 
 
 class TestDeriveSeed:
