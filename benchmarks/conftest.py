@@ -15,6 +15,7 @@ reading the output.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from pathlib import Path
@@ -82,6 +83,24 @@ def record_output():
     def _record(name: str, text: str) -> Path:
         path = OUTPUT_DIR / f"{name}.txt"
         path.write_text(text + "\n")
+        return path
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Write a machine-readable benchmark payload to benchmarks/output/.
+
+    The perf-trajectory benchmarks dump their numbers as JSON next to the
+    rendered text tables so future PRs can diff performance numerically
+    instead of parsing tables (e.g. ``BENCH_engine.json``).
+    """
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _record(name: str, payload: dict) -> Path:
+        path = OUTPUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return path
 
     return _record

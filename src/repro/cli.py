@@ -70,6 +70,7 @@ from repro.grid import (
     PoissonArrivalModel,
     SimulationConfig,
     StaticResourceModel,
+    WarmCMAPolicy,
 )
 from repro.heuristics import build_schedule, list_heuristics
 from repro.model.benchmark import BRAUN_INSTANCE_NAMES, generate_braun_like_instance
@@ -209,12 +210,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     simulate = subparsers.add_parser("simulate", help="run the dynamic grid simulation")
-    simulate.add_argument("--policy", default="cma", help="'cma' or any heuristic name")
+    simulate.add_argument(
+        "--policy",
+        default="cma",
+        help="'cma' (cold start per activation), 'warm-cma' (persistent "
+        "warm-started service) or any heuristic name",
+    )
     simulate.add_argument("--rate", type=float, default=1.0, help="job arrivals per simulated second")
     simulate.add_argument("--duration", type=float, default=60.0, help="submission window (simulated seconds)")
     simulate.add_argument("--machines", type=int, default=8)
     simulate.add_argument("--interval", type=float, default=10.0, help="scheduler activation interval")
     simulate.add_argument("--budget", type=float, default=0.2, help="cMA wall-clock budget per activation")
+    simulate.add_argument(
+        "--stagnation", type=int, default=None,
+        help="optional per-activation early stop after N stagnant iterations",
+    )
     simulate.add_argument("--seed", type=int, default=2007)
 
     return parser
@@ -431,7 +441,13 @@ def _command_simulate(args: argparse.Namespace) -> int:
     jobs = PoissonArrivalModel(rate=args.rate, duration=args.duration).generate(rng=args.seed)
     machines = StaticResourceModel(nb_machines=args.machines).generate(rng=args.seed)
     if args.policy == "cma":
-        policy = CMABatchPolicy(max_seconds=args.budget)
+        policy = CMABatchPolicy(
+            max_seconds=args.budget, max_stagnant_iterations=args.stagnation
+        )
+    elif args.policy in ("warm-cma", "warm_cma"):
+        policy = WarmCMAPolicy(
+            max_seconds=args.budget, max_stagnant_iterations=args.stagnation
+        )
     else:
         policy = HeuristicBatchPolicy(args.policy)
     simulator = GridSimulator(

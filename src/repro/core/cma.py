@@ -156,14 +156,38 @@ class CellularMemeticAlgorithm:
     # migration between iterations, notebooks single-stepping the search)
     # can pause at iteration boundaries; run() composes the four phases and
     # is bit-for-bit the pre-split loop.
-    def start(self) -> SearchState:
-        """Initialize a run: population, initial local search, sweep orders."""
+    def start(
+        self,
+        *,
+        grid: ResidentGrid | None = None,
+        initial_local_search: bool = True,
+    ) -> SearchState:
+        """Initialize a run: population, initial local search, sweep orders.
+
+        Parameters
+        ----------
+        grid:
+            Optional pre-seeded :class:`~repro.core.population.ResidentGrid`
+            to adopt instead of seeding a fresh population — the re-priming
+            hook of the warm dynamic scheduling service, which carries the
+            previous activation's plan into the next run's population.  The
+            grid must match the configured mesh dimensions, provide enough
+            scratch rows for both update streams, and live on this
+            algorithm's instance.
+        initial_local_search:
+            Whether to apply the initial whole-population local-search pass
+            of Algorithm 1.  Warm restarts may skip it: their seed rows are
+            carried over from an already-improved plan.
+        """
         cfg = self.config
         self.engine.begin_run()
         self._deadline = cfg.termination.make_deadline()
         self.state = SearchState()
 
-        self.grid = self._initialize_population()
+        if grid is None:
+            self.grid = self._initialize_population(initial_local_search)
+        else:
+            self.grid = self._adopt_population(grid, initial_local_search)
         self.best = self.grid.best().copy()
         self.state.evaluations = self.evaluator.evaluations
         self.state.best_fitness = self.best.fitness
@@ -238,7 +262,7 @@ class CellularMemeticAlgorithm:
     # ------------------------------------------------------------------ #
     # Stages
     # ------------------------------------------------------------------ #
-    def _initialize_population(self) -> ResidentGrid:
+    def _initialize_population(self, initial_local_search: bool = True) -> ResidentGrid:
         """Seed the resident mesh and apply the initial local-search pass.
 
         The whole population is seeded through one vectorized draw and stays
@@ -255,7 +279,43 @@ class CellularMemeticAlgorithm:
             scratch_rows=max(cfg.nb_recombinations, cfg.nb_mutations),
             rng=self.rng,
         )
-        if cfg.cell_updates == "batch":
+        if initial_local_search:
+            self._initial_local_search_pass(grid)
+        return grid
+
+    def _adopt_population(
+        self, grid: ResidentGrid, initial_local_search: bool
+    ) -> ResidentGrid:
+        """Adopt a pre-seeded resident grid (the warm-restart path).
+
+        The grid's cells are charged one counted evaluation each — exactly
+        what :meth:`_initialize_population` charges for a fresh seed — so
+        evaluation budgets stay comparable between cold and warm runs.
+        """
+        cfg = self.config
+        if grid.batch.instance is not self.instance:
+            raise ValueError("the adopted grid lives on a different instance")
+        if (grid.height, grid.width) != (cfg.population_height, cfg.population_width):
+            raise ValueError(
+                f"adopted grid is {grid.height}x{grid.width}, the configuration "
+                f"needs {cfg.population_height}x{cfg.population_width}"
+            )
+        scratch_needed = max(cfg.nb_recombinations, cfg.nb_mutations)
+        if grid.scratch_rows < scratch_needed:
+            raise ValueError(
+                f"adopted grid has {grid.scratch_rows} scratch rows, "
+                f"the update streams need {scratch_needed}"
+            )
+        # ResidentGrid construction already refreshed every cell's cached
+        # objectives, so only the evaluation counter needs charging here.
+        grid.evaluator.add_evaluations(grid.size)
+        if initial_local_search:
+            self._initial_local_search_pass(grid)
+        return grid
+
+    def _initial_local_search_pass(self, grid: ResidentGrid) -> None:
+        """The initial whole-population local-search pass of Algorithm 1."""
+        if self.config.cell_updates == "batch":
             improved = self.engine.improve_batch(
                 grid.batch, grid.population_rows, self.local_search, self.rng
             )
@@ -265,7 +325,6 @@ class CellularMemeticAlgorithm:
             for row in range(grid.size):
                 if self.engine.improve(grid.batch.view(row), self.local_search, self.rng):
                     grid.evaluate_rows([row])
-        return grid
 
     # -------------------------- batch cell updates --------------------- #
     def _recombination_phase(self, order) -> bool:

@@ -22,6 +22,11 @@ entire run.  To that end rows support three granularities of update:
   subset recompute), :meth:`~BatchEvaluator.copy_rows` (replacement as a
   row copy) and :meth:`~BatchEvaluator.install_row` (adopt a scalar
   schedule's caches verbatim);
+* whole-state: :meth:`~BatchEvaluator.reseat` re-targets the evaluator at a
+  *different* instance and population in place, reusing grow-only backing
+  stores (high-water-mark capacity) — the primitive behind the warm dynamic
+  scheduling service, whose activations each solve a new pending-jobs
+  instance;
 * per-move, batched: :meth:`~BatchEvaluator.apply_moves` /
   :meth:`~BatchEvaluator.apply_swaps` change one job (or pair) in *every*
   row at once, patching only the two affected machine columns per row via
@@ -68,7 +73,16 @@ class BatchEvaluator:
         The λ of the scalarized fitness (eq. 3 of the paper).
     """
 
-    __slots__ = ("instance", "weight", "_assignments", "_completion", "_machine_flowtime")
+    __slots__ = (
+        "instance",
+        "weight",
+        "_assignments",
+        "_completion",
+        "_machine_flowtime",
+        "_assign_store",
+        "_completion_store",
+        "_flowtime_store",
+    )
 
     def __init__(
         self,
@@ -92,6 +106,11 @@ class BatchEvaluator:
         self._assignments = matrix
         self._completion = np.empty((matrix.shape[0], instance.nb_machines), dtype=float)
         self._machine_flowtime = np.empty_like(self._completion)
+        # The backing stores coincide with the active matrices until a
+        # reseat() grows them past the active shape (grow-only capacity).
+        self._assign_store = self._assignments
+        self._completion_store = self._completion
+        self._flowtime_store = self._machine_flowtime
         self.recompute()
 
     # ------------------------------------------------------------------ #
@@ -182,6 +201,21 @@ class BatchEvaluator:
         return self.population_size
 
     @property
+    def row_capacity(self) -> int:
+        """Population rows the backing store can hold without reallocating."""
+        return int(self._assign_store.shape[0])
+
+    @property
+    def job_capacity(self) -> int:
+        """Job columns the backing store can hold without reallocating."""
+        return int(self._assign_store.shape[1])
+
+    @property
+    def machine_capacity(self) -> int:
+        """Machine columns the cache stores can hold without reallocating."""
+        return int(self._completion_store.shape[1])
+
+    @property
     def assignments(self) -> np.ndarray:
         """Read-only ``(pop, jobs)`` view of the assignment matrix."""
         view = self._assignments.view()
@@ -201,6 +235,64 @@ class BatchEvaluator:
         view = self._machine_flowtime.view()
         view.setflags(write=False)
         return view
+
+    def reseat(
+        self,
+        instance: SchedulingInstance,
+        assignments: np.ndarray | Iterable[Iterable[int]],
+        *,
+        min_rows: int = 0,
+        min_jobs: int = 0,
+        min_machines: int = 0,
+    ) -> bool:
+        """Re-target this evaluator at a new instance and population in place.
+
+        The dynamic-scheduling primitive: each scheduler activation solves a
+        *different* instance (the currently pending jobs on the currently
+        available machines), but a warm service keeps one evaluator alive
+        across the whole simulation.  The active matrices become views into
+        grow-only backing stores: when the new ``(pop, jobs, machines)``
+        shape fits inside the high-water-mark capacity the rows are reused
+        (one fancy write + one subset recompute, no allocation); only a batch
+        that exceeds the capacity triggers a reallocation, optionally padded
+        by the ``min_*`` floors so the caller can reserve slack for future
+        growth.
+
+        Returns ``True`` when the existing buffers were reused, ``False``
+        when the store had to grow.
+        """
+        matrix = np.array(assignments, dtype=np.int64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2 or matrix.shape[1] != instance.nb_jobs:
+            raise ValueError(
+                f"assignments must have shape (pop, {instance.nb_jobs}), got {matrix.shape}"
+            )
+        if matrix.size and (matrix.min() < 0 or matrix.max() >= instance.nb_machines):
+            raise ValueError(
+                f"assignment values must be machine indices in [0, {instance.nb_machines})"
+            )
+        pop, jobs = matrix.shape
+        machines = instance.nb_machines
+        reused = (
+            pop <= self.row_capacity
+            and jobs <= self.job_capacity
+            and machines <= self.machine_capacity
+        )
+        if not reused:
+            rows_cap = max(pop, min_rows, self.row_capacity)
+            jobs_cap = max(jobs, min_jobs, self.job_capacity)
+            machines_cap = max(machines, min_machines, self.machine_capacity)
+            self._assign_store = np.zeros((rows_cap, jobs_cap), dtype=np.int64)
+            self._completion_store = np.empty((rows_cap, machines_cap), dtype=float)
+            self._flowtime_store = np.empty((rows_cap, machines_cap), dtype=float)
+        self.instance = instance
+        self._assignments = self._assign_store[:pop, :jobs]
+        self._assignments[:] = matrix
+        self._completion = self._completion_store[:pop, :machines]
+        self._machine_flowtime = self._flowtime_store[:pop, :machines]
+        self.recompute()
+        return reused
 
     # ------------------------------------------------------------------ #
     # Vectorized batch evaluation
@@ -636,6 +728,9 @@ class BatchEvaluator:
         clone._machine_flowtime = np.concatenate(
             [self._machine_flowtime, self._machine_flowtime[pad_rows]], axis=0
         )
+        clone._assign_store = clone._assignments
+        clone._completion_store = clone._completion
+        clone._flowtime_store = clone._machine_flowtime
         return clone
 
     # ------------------------------------------------------------------ #

@@ -9,13 +9,15 @@ in for the external grid-simulator packages the paper defers to future work
 """
 
 from repro.grid.job import GridJob, JobRecord, JobState
-from repro.grid.machine import GridMachine, MachineState
+from repro.grid.machine import GridMachine, MachineState, execution_times_matrix
 from repro.grid.metrics import ActivationRecord, SimulationMetrics
 from repro.grid.scheduler import (
     BatchSchedulingPolicy,
     CMABatchPolicy,
     HeuristicBatchPolicy,
+    degenerate_assignment,
 )
+from repro.grid.service import DynamicSchedulerService, ServiceStats, WarmCMAPolicy
 from repro.grid.simulator import GridSimulator, SimulationConfig
 from repro.grid.workload import (
     ArrivalModel,
@@ -32,11 +34,16 @@ __all__ = [
     "JobState",
     "GridMachine",
     "MachineState",
+    "execution_times_matrix",
     "ActivationRecord",
     "SimulationMetrics",
     "BatchSchedulingPolicy",
     "HeuristicBatchPolicy",
     "CMABatchPolicy",
+    "degenerate_assignment",
+    "DynamicSchedulerService",
+    "ServiceStats",
+    "WarmCMAPolicy",
     "GridSimulator",
     "SimulationConfig",
     "ArrivalModel",

@@ -11,14 +11,87 @@ added/dropped from the Grid").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.grid.job import GridJob
-from repro.utils.rng import RNGLike, as_generator
+from repro.utils.rng import RNGLike
 from repro.utils.validation import check_non_negative, check_positive
 
-__all__ = ["GridMachine", "MachineState"]
+__all__ = ["GridMachine", "MachineState", "execution_times_matrix", "affinity_factors"]
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic per-(job, machine) affinity noise
+# --------------------------------------------------------------------------- #
+# The *inconsistent* grid scenarios need execution-time noise that is a pure
+# function of the (job_id, machine_id) pair: repeated queries must agree, and
+# the scalar `GridMachine.execution_time` path must agree bit-for-bit with the
+# batched `execution_times_matrix` hot path.  A counter-based construction —
+# SplitMix64 finalizer on a pair key, Box-Muller to a standard normal — gives
+# exactly that with whole-matrix numpy expressions (a per-pair
+# `np.random.Generator`, the previous implementation, costs a generator
+# construction per query and cannot be vectorized).
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MACHINE_SALT = np.uint64(0xD1342543DE82EF95)
+_STREAM_SALT = np.uint64(0x2545F4914F6CDD1D)
+
+
+def _splitmix64(keys: np.ndarray) -> np.ndarray:
+    """The SplitMix64 finalizer, elementwise on a uint64 array."""
+    z = (keys + _GOLDEN).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _uniform01(keys: np.ndarray) -> np.ndarray:
+    """Map hashed uint64 keys to uniforms in the open interval (0, 1)."""
+    return ((keys >> np.uint64(11)).astype(float) + 0.5) * 2.0**-53
+
+
+def affinity_factors(
+    job_ids: np.ndarray, machine_ids: np.ndarray, spreads: np.ndarray
+) -> np.ndarray:
+    """``(jobs, machines)`` log-normal affinity factors, fully vectorized.
+
+    ``factors[i, j] = exp(spreads[j] * z(job_ids[i], machine_ids[j]))`` where
+    *z* is a deterministic standard normal of the id pair (SplitMix64 keys
+    pushed through Box-Muller).  Machines with ``spreads == 0`` get exact
+    ``1.0`` factors.
+    """
+    job_ids = np.asarray(job_ids, dtype=np.uint64)
+    machine_ids = np.asarray(machine_ids, dtype=np.uint64)
+    keys = job_ids[:, None] * _GOLDEN + machine_ids[None, :] * _MACHINE_SALT
+    u1 = _uniform01(_splitmix64(keys))
+    u2 = _uniform01(_splitmix64(keys ^ _STREAM_SALT))
+    normals = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+    return np.exp(np.asarray(spreads, dtype=float)[None, :] * normals)
+
+
+def execution_times_matrix(
+    jobs: Sequence[GridJob], machines: Sequence["GridMachine"]
+) -> np.ndarray:
+    """``(jobs, machines)`` expected execution times in one array expression.
+
+    The batched :meth:`GridMachine.execution_time`: the base matrix is the
+    ``workload / mips`` outer quotient, and machines with a positive
+    ``affinity_spread`` are multiplied by their deterministic per-pair
+    log-normal factors.  This is the simulator's ETC constructor — one call
+    per activation instead of a ``jobs x machines`` scalar double loop.
+    """
+    workloads = np.array([job.workload for job in jobs], dtype=float)
+    mips = np.array([machine.mips for machine in machines], dtype=float)
+    etc = workloads[:, None] / mips[None, :]
+    spreads = np.array([machine.affinity_spread for machine in machines], dtype=float)
+    if np.any(spreads > 0):
+        job_ids = np.array([job.job_id for job in jobs], dtype=np.uint64)
+        machine_ids = np.array(
+            [machine.machine_id for machine in machines], dtype=np.uint64
+        )
+        etc *= affinity_factors(job_ids, machine_ids, spreads)
+    return etc
 
 
 @dataclass(frozen=True)
@@ -61,18 +134,19 @@ class GridMachine:
 
         With ``affinity_spread == 0`` this is simply ``workload / mips``;
         otherwise a log-normal factor with the configured spread is applied,
-        drawn deterministically from the (job, machine) pair so repeated
-        queries agree.
+        derived deterministically from the (job, machine) id pair so repeated
+        queries agree — and so the scalar path matches
+        :func:`execution_times_matrix` exactly.
         """
         base = job.workload / self.mips
         if self.affinity_spread <= 0:
             return base
-        # Deterministic per-pair noise: seed a tiny generator from the ids so
-        # that the same (job, machine) pair always gets the same factor,
-        # independent of query order.
-        seed = (job.job_id * 1_000_003 + self.machine_id * 7919) % (2**32)
-        factor = float(np.exp(as_generator(seed).normal(0.0, self.affinity_spread)))
-        return base * factor
+        factor = affinity_factors(
+            np.array([job.job_id], dtype=np.uint64),
+            np.array([self.machine_id], dtype=np.uint64),
+            np.array([self.affinity_spread]),
+        )
+        return base * float(factor[0, 0])
 
     def is_available(self, time: float) -> bool:
         """Whether the machine is part of the grid at simulated *time*."""

@@ -1,0 +1,367 @@
+"""The warm dynamic scheduling service: a persistent, engine-resident cMA.
+
+:class:`~repro.grid.scheduler.CMABatchPolicy` pays a full cold start at every
+scheduler activation — a fresh engine, a fresh heuristic seed, a fresh
+initial local-search pass over the whole mesh.  The paper's deployment claim
+(Sections 1 and 6) is that the cMA runs "in batch mode for a very short
+time" *periodically*; consecutive activations of a real grid overlap heavily
+(most pending jobs were pending one interval ago), so almost all of that
+cold-start work re-derives information the previous activation already had.
+
+:class:`DynamicSchedulerService` keeps exactly one cMA's worth of state
+alive across the whole simulation:
+
+* **capacity** — one :class:`~repro.engine.batch.BatchEvaluator` whose
+  backing stores are grow-only (:meth:`~repro.engine.batch.BatchEvaluator.
+  reseat`): an activation whose batch fits under the high-water mark reuses
+  the resident rows, only a larger batch reallocates (padded by
+  :attr:`~repro.core.config.WarmStartConfig.capacity_slack`);
+* **knowledge** — the previous activation's plan, remembered as a
+  ``job_id → machine_id`` mapping.  At the next activation, jobs still
+  pending keep their last assignment (remapped through the stable ids the
+  simulator publishes in ``instance.metadata``, which drops machines that
+  left the grid), unassigned jobs (new arrivals, orphans of departed
+  machines) are placed by a constructive heuristic on top of the carried
+  load, and only the remaining population rows are randomly seeded;
+* **lifecycle** — each activation re-primes a
+  :class:`~repro.core.population.ResidentGrid` over the resident batch and
+  drives the standard ``start/step/should_continue/finish`` cMA lifecycle
+  under the per-activation budget, skipping the initial whole-population
+  local-search pass by default (the carried rows descend from an
+  already-improved plan).
+
+:class:`WarmCMAPolicy` exposes the service through the ordinary
+:class:`~repro.grid.scheduler.BatchSchedulingPolicy` interface, so the
+simulator, the CLI (``repro-scheduler simulate --policy warm-cma``) and the
+benchmarks treat it like any other policy.  With
+``WarmStartConfig(mode="off")`` the policy is trajectory-identical to the
+cold :class:`~repro.grid.scheduler.CMABatchPolicy` under the same seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cma import CellularMemeticAlgorithm
+from repro.core.config import CMAConfig, WarmStartConfig
+from repro.core.population import ResidentGrid
+from repro.engine.batch import BatchEvaluator, perturbed_copies
+from repro.engine.service import EvaluationEngine
+from repro.grid.scheduler import (
+    BatchSchedulingPolicy,
+    CMABatchPolicy,
+    degenerate_assignment,
+)
+from repro.heuristics.base import build_schedule
+from repro.model.fitness import FitnessEvaluator
+from repro.model.instance import SchedulingInstance
+from repro.utils.rng import RNGLike, as_generator
+
+__all__ = ["ServiceStats", "DynamicSchedulerService", "WarmCMAPolicy"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing what the service reused across activations."""
+
+    activations: int = 0
+    #: Jobs whose assignment was carried over from the previous plan.
+    carried_jobs: int = 0
+    #: Jobs placed by the fill heuristic (new arrivals + churn orphans).
+    filled_jobs: int = 0
+    #: Activations solved by the degenerate fallback (no cMA run).
+    degenerate_batches: int = 0
+    #: Jobs scheduled through the degenerate fallback.  Together with the
+    #: carried/filled counters this accounts for every planned job:
+    #: ``carried + filled + degenerate == Σ batch sizes`` over all
+    #: warm-mode activations.
+    degenerate_jobs: int = 0
+    #: Times the resident buffers had to grow (first allocation included).
+    capacity_reallocations: int = 0
+
+
+class DynamicSchedulerService:
+    """Keeps one warm, engine-resident cMA alive across scheduler activations.
+
+    Parameters
+    ----------
+    config:
+        Base cMA configuration; its termination criterion is replaced by the
+        per-activation budget below.
+    warm_start:
+        The warm-start policy (:class:`~repro.core.config.WarmStartConfig`);
+        defaults to carrying the previous plan.
+    max_seconds, max_iterations, max_stagnant_iterations:
+        Per-activation budget, mirroring
+        :class:`~repro.grid.scheduler.CMABatchPolicy` so cold and warm runs
+        compare at equal budgets.
+    """
+
+    def __init__(
+        self,
+        config: CMAConfig | None = None,
+        warm_start: WarmStartConfig | None = None,
+        *,
+        max_seconds: float = 0.25,
+        max_iterations: int | None = 50,
+        max_stagnant_iterations: int | None = None,
+    ) -> None:
+        # The cold twin used when warm starting is off: sharing its exact
+        # configuration *and* schedule() implementation keeps "off"
+        # trajectory-identical to CMABatchPolicy under the same seed, by
+        # construction.
+        self._cold = CMABatchPolicy(
+            config=config,
+            max_seconds=max_seconds,
+            max_iterations=max_iterations,
+            max_stagnant_iterations=max_stagnant_iterations,
+        )
+        self.config = self._cold.config
+        self.warm_start = warm_start if warm_start is not None else WarmStartConfig()
+        self.stats = ServiceStats()
+        self._evaluator = FitnessEvaluator(self.config.fitness_weight)
+        self._batch: BatchEvaluator | None = None
+        self._plan: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by tests and the benchmarks)
+    # ------------------------------------------------------------------ #
+    @property
+    def batch(self) -> BatchEvaluator | None:
+        """The resident population state (``None`` before the first cMA run)."""
+        return self._batch
+
+    @property
+    def plan(self) -> dict[int, int]:
+        """The last remembered plan (``job_id → machine_id``, a copy)."""
+        return dict(self._plan)
+
+    # ------------------------------------------------------------------ #
+    # Warm-start construction
+    # ------------------------------------------------------------------ #
+    def warm_assignment(
+        self, instance: SchedulingInstance, rng: RNGLike = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(plan, carried)`` warm assignment for one activation's batch.
+
+        ``plan`` is a full assignment vector for *instance*; ``carried``
+        marks the jobs whose machine was carried over from the previous
+        plan.  Carrying remaps stable ids through ``instance.metadata``
+        (``"job_ids"`` / ``"machine_ids"``): a job keeps its machine only if
+        that machine is still part of the batch — departed machines are
+        dropped, and their jobs (like new arrivals) are placed by the fill
+        heuristic *on top of* the carried per-machine load.
+        """
+        nb_jobs = instance.nb_jobs
+        job_ids = instance.metadata.get("job_ids")
+        machine_ids = instance.metadata.get("machine_ids")
+        plan = np.full(nb_jobs, -1, dtype=np.int64)
+        if job_ids is not None and machine_ids is not None and self._plan:
+            plan = self._remap_plan(
+                np.asarray(job_ids, dtype=np.int64),
+                np.asarray(machine_ids, dtype=np.int64),
+            )
+        carried = plan >= 0
+        missing = np.nonzero(~carried)[0]
+        if missing.size:
+            # Ready times of the fill sub-instance = batch ready times plus
+            # the carried load, so the heuristic sees the machines as the
+            # carried plan leaves them.
+            load = np.bincount(
+                plan[carried],
+                weights=instance.etc[np.nonzero(carried)[0], plan[carried]],
+                minlength=instance.nb_machines,
+            )
+            sub_instance = SchedulingInstance(
+                etc=instance.etc[missing],
+                ready_times=instance.ready_times + load,
+                name=f"{instance.name}/warm-fill",
+            )
+            fill = build_schedule(self.warm_start.fill_heuristic, sub_instance, rng)
+            plan[missing] = np.asarray(fill.assignment, dtype=np.int64)
+        return plan, carried
+
+    def _remap_plan(self, job_ids: np.ndarray, machine_ids: np.ndarray) -> np.ndarray:
+        """Carry the previous plan into this batch's columns, fully vectorized.
+
+        Two sorted-lookup passes: batch job id → previous machine id, then
+        previous machine id → current machine column.  Jobs without a plan
+        entry and jobs whose machine left the grid resolve to ``-1``.
+        """
+        previous_jobs = np.fromiter(self._plan.keys(), dtype=np.int64, count=len(self._plan))
+        previous_machines = np.fromiter(
+            self._plan.values(), dtype=np.int64, count=len(self._plan)
+        )
+        order = np.argsort(previous_jobs)
+        previous_jobs, previous_machines = previous_jobs[order], previous_machines[order]
+        slot = np.minimum(
+            np.searchsorted(previous_jobs, job_ids), previous_jobs.size - 1
+        )
+        known = previous_jobs[slot] == job_ids
+        planned_machine = np.where(known, previous_machines[slot], -1)
+
+        column_order = np.argsort(machine_ids)
+        sorted_machine_ids = machine_ids[column_order]
+        slot = np.minimum(
+            np.searchsorted(sorted_machine_ids, planned_machine),
+            sorted_machine_ids.size - 1,
+        )
+        alive = known & (sorted_machine_ids[slot] == planned_machine)
+        return np.where(alive, column_order[slot], -1).astype(np.int64)
+
+    def _warm_population(
+        self, instance: SchedulingInstance, plan: np.ndarray, gen: np.random.Generator
+    ) -> np.ndarray:
+        """The activation's initial population plus offspring scratch rows.
+
+        Row 0 is the warm plan verbatim; a ``warm_fraction`` share of the
+        mesh holds perturbed copies of it; the rest is uniform random (the
+        exploration share).  Scratch rows are placeholders (they are staged
+        over before ever being read).
+        """
+        cfg = self.config
+        warm = self.warm_start
+        population = cfg.population_size
+        scratch = max(cfg.nb_recombinations, cfg.nb_mutations)
+        rows = np.tile(plan, (population + scratch, 1))
+        warm_rows = max(1, int(round(warm.warm_fraction * population)))
+        if warm_rows > 1:
+            rows[1:warm_rows] = perturbed_copies(
+                plan, warm_rows - 1, instance.nb_machines, warm.perturbation_rate, gen
+            )
+        if warm_rows < population:
+            rows[warm_rows:population] = gen.integers(
+                0, instance.nb_machines, size=(population - warm_rows, instance.nb_jobs)
+            )
+        return rows
+
+    def _acquire_batch(
+        self, instance: SchedulingInstance, rows: np.ndarray
+    ) -> BatchEvaluator:
+        """Reseat the resident buffers on this activation's batch (grow-only)."""
+        weight = self.config.fitness_weight
+        if self._batch is None:
+            self._batch = BatchEvaluator(instance, rows, weight=weight)
+            self.stats.capacity_reallocations += 1
+            return self._batch
+        reused = self._batch.reseat(
+            instance,
+            rows,
+            min_jobs=int(math.ceil(instance.nb_jobs * self.warm_start.capacity_slack)),
+        )
+        if not reused:
+            self.stats.capacity_reallocations += 1
+        return self._batch
+
+    # ------------------------------------------------------------------ #
+    # One activation
+    # ------------------------------------------------------------------ #
+    def schedule(self, instance: SchedulingInstance, rng: RNGLike = None) -> np.ndarray:
+        """Schedule one activation's batch, warm-starting from the last plan."""
+        self.stats.activations += 1
+        gen = as_generator(rng)
+        if not self.warm_start.enabled:
+            return self._cold.schedule(instance, gen)
+
+        fallback = degenerate_assignment(instance, self.config, gen)
+        if fallback is not None:
+            self.stats.degenerate_batches += 1
+            self.stats.degenerate_jobs += instance.nb_jobs
+            self._remember(instance, fallback)
+            return fallback
+
+        plan, carried = self.warm_assignment(instance, gen)
+        self.stats.carried_jobs += int(carried.sum())
+        self.stats.filled_jobs += int((~carried).sum())
+
+        cfg = self.config
+        batch = self._acquire_batch(instance, self._warm_population(instance, plan, gen))
+        grid = ResidentGrid(
+            cfg.population_height,
+            cfg.population_width,
+            batch,
+            self._evaluator,
+            scratch_rows=max(cfg.nb_recombinations, cfg.nb_mutations),
+        )
+        engine = EvaluationEngine(instance, cfg.fitness_weight, evaluator=self._evaluator)
+        algorithm = CellularMemeticAlgorithm(instance, cfg, rng=gen, engine=engine)
+        algorithm.start(
+            grid=grid, initial_local_search=self.warm_start.initial_local_search
+        )
+        while algorithm.should_continue():
+            algorithm.step()
+        result = algorithm.finish()
+        assignment = np.array(result.best_schedule.assignment, dtype=np.int64)
+        self._remember(instance, assignment)
+        return assignment
+
+    def _remember(self, instance: SchedulingInstance, assignment: np.ndarray) -> None:
+        """Replace the remembered plan with this activation's outcome.
+
+        The plan is replaced wholesale (not merged): jobs absent from this
+        batch were either committed — they never come back — or will be
+        resubmitted after a machine departure, in which case their stale
+        entry would be dropped by the remap anyway.
+        """
+        job_ids = instance.metadata.get("job_ids")
+        machine_ids = instance.metadata.get("machine_ids")
+        if job_ids is None or machine_ids is None:
+            self._plan = {}
+            return
+        machine_ids = np.asarray(machine_ids)
+        self._plan = {
+            int(job_id): int(machine_ids[column])
+            for job_id, column in zip(job_ids, assignment)
+        }
+
+
+#: Sentinel distinguishing "argument omitted" from an explicit value.
+_UNSET = object()
+
+
+class WarmCMAPolicy(BatchSchedulingPolicy):
+    """The :class:`DynamicSchedulerService` as a batch scheduling policy.
+
+    Mirrors :class:`~repro.grid.scheduler.CMABatchPolicy`'s constructor so
+    cold and warm policies are interchangeable in simulations; pass
+    ``service=`` to share one warm state between several callers instead
+    (exclusively — an existing service keeps its own configuration and
+    budget, so combining it with any other argument is rejected).
+    """
+
+    name = "warm-cma"
+
+    def __init__(
+        self,
+        config: CMAConfig | None = None,
+        warm_start: WarmStartConfig | None = None,
+        *,
+        service: DynamicSchedulerService | None = None,
+        max_seconds: float = _UNSET,  # type: ignore[assignment]
+        max_iterations: int | None = _UNSET,  # type: ignore[assignment]
+        max_stagnant_iterations: int | None = _UNSET,  # type: ignore[assignment]
+    ) -> None:
+        budget = {
+            name: value
+            for name, value in (
+                ("max_seconds", max_seconds),
+                ("max_iterations", max_iterations),
+                ("max_stagnant_iterations", max_stagnant_iterations),
+            )
+            if value is not _UNSET
+        }
+        if service is not None:
+            if config is not None or warm_start is not None or budget:
+                raise ValueError(
+                    "pass either an existing service or the configuration and "
+                    "budget to build one, not both"
+                )
+            self.service = service
+        else:
+            self.service = DynamicSchedulerService(config, warm_start, **budget)
+
+    def schedule(self, instance: SchedulingInstance, rng: RNGLike = None) -> np.ndarray:
+        return self.service.schedule(instance, rng)

@@ -14,10 +14,15 @@ The simulator advances activation by activation:
    pool (their earlier completion records are revoked and their reschedule
    counter incremented) — this is the "unless it drops from the Grid" clause
    of the problem description.
-2. Pending jobs that have already arrived are collected and a static
+2. Pending jobs that have already arrived are collected (a monotone arrival
+   cursor plus a pending-index set — jobs are arrival-sorted, so no rescan
+   of the whole stream) and a static
    :class:`~repro.model.instance.SchedulingInstance` is built from them and
-   from the machines currently available (``ETC[i][j]`` =
-   ``machine.execution_time(job_i)``, ready times = committed busy time).
+   from the machines currently available in one vectorized
+   :func:`~repro.grid.machine.execution_times_matrix` call (ready times =
+   committed busy time).  The instance's metadata carries the stable job and
+   machine ids of the batch so stateful policies (the warm scheduling
+   service of :mod:`repro.grid.service`) can remap plans across activations.
 3. The configured :class:`~repro.grid.scheduler.BatchSchedulingPolicy`
    produces an assignment; jobs are appended to their machines' queues in
    shortest-processing-time order and their start / completion times are
@@ -38,7 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.grid.job import GridJob, JobRecord, JobState
-from repro.grid.machine import GridMachine, MachineState
+from repro.grid.machine import GridMachine, MachineState, execution_times_matrix
 from repro.grid.metrics import ActivationRecord, SimulationMetrics
 from repro.grid.scheduler import BatchSchedulingPolicy
 from repro.model.instance import SchedulingInstance
@@ -51,14 +56,34 @@ __all__ = ["SimulationConfig", "GridSimulator"]
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Parameters of the dynamic simulation loop."""
+    """Parameters of the dynamic simulation loop.
+
+    Attributes
+    ----------
+    activation_interval:
+        Simulated seconds between scheduler activations.
+    max_activations:
+        Hard cap on the number of activations (a runaway guard).
+    commit_horizon:
+        ``None`` (default) commits every scheduled job's start/finish at the
+        activation that planned it — the classic batch mode, where
+        consecutive batches never overlap.  A positive value enables
+        *rolling-horizon* scheduling: only placements that start before
+        ``now + commit_horizon`` are locked in; the rest of the plan stays
+        pending and is re-optimized at the next activation (which is what
+        lets a warm scheduling policy carry its plan forward, and lets any
+        policy revise queued-but-not-started decisions as new jobs arrive).
+    """
 
     activation_interval: float = 10.0
     max_activations: int = 10_000
+    commit_horizon: float | None = None
 
     def __post_init__(self) -> None:
         check_positive("activation_interval", self.activation_interval)
         check_integer("max_activations", self.max_activations, minimum=1)
+        if self.commit_horizon is not None:
+            check_positive("commit_horizon", self.commit_horizon)
 
 
 @dataclass
@@ -104,6 +129,15 @@ class GridSimulator:
         }
         self._departed: set[int] = set()
         self.activations: list[ActivationRecord] = []
+        # Pending-job index: jobs are arrival-sorted, so a monotone cursor
+        # admits arrivals exactly once and the pending set is maintained
+        # incrementally (resubmissions re-add, commits remove) — no rescan
+        # of the whole job stream at every activation.
+        self._job_position: dict[int, int] = {
+            job.job_id: position for position, job in enumerate(self.jobs)
+        }
+        self._arrival_cursor = 0
+        self._pending_positions: set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -148,8 +182,14 @@ class GridSimulator:
                 record.completion_time = None
                 record.reschedules += 1
                 record.note(f"resubmitted at t={leave:.2f} (machine departed)")
-                state.busy_time -= max(0.0, min(entry.finish, leave) - entry.start)
-                state.completed_jobs -= 0 if entry.finish > leave else 1
+                self._pending_positions.add(self._job_position[entry.job_id])
+                # Commit credited the full duration and one completion; the
+                # machine only processed the job up to its leave time (if it
+                # started at all), so give back the un-run remainder and the
+                # completion credit.
+                processed = max(0.0, min(entry.finish, leave) - entry.start)
+                state.busy_time -= (entry.finish - entry.start) - processed
+                state.completed_jobs -= 1
             self._queues[machine.machine_id] = surviving
             state.busy_until = min(state.busy_until, leave)
 
@@ -161,14 +201,14 @@ class GridSimulator:
         ]
 
     def _pending_jobs(self, now: float) -> list[GridJob]:
-        pending: list[GridJob] = []
-        for job in self.jobs:
-            if job.arrival_time > now:
-                break
-            record = self.records[job.job_id]
-            if record.state in (JobState.PENDING, JobState.RESUBMITTED):
-                pending.append(job)
-        return pending
+        """Jobs awaiting scheduling, in arrival order (cursor-maintained)."""
+        while (
+            self._arrival_cursor < len(self.jobs)
+            and self.jobs[self._arrival_cursor].arrival_time <= now
+        ):
+            self._pending_positions.add(self._arrival_cursor)
+            self._arrival_cursor += 1
+        return [self.jobs[position] for position in sorted(self._pending_positions)]
 
     def _activate_scheduler(self, now: float) -> None:
         """One activation: build the batch instance, schedule it, commit it."""
@@ -177,14 +217,24 @@ class GridSimulator:
         if not pending or not available:
             return
 
-        etc = np.empty((len(pending), len(available)), dtype=float)
-        ready = np.empty(len(available), dtype=float)
-        for col, machine in enumerate(available):
-            ready[col] = self.machine_states[machine.machine_id].ready_time(now)
-            for row, job in enumerate(pending):
-                etc[row, col] = machine.execution_time(job)
+        etc = execution_times_matrix(pending, available)
+        ready = np.array(
+            [
+                self.machine_states[machine.machine_id].ready_time(now)
+                for machine in available
+            ],
+            dtype=float,
+        )
         instance = SchedulingInstance(
-            etc=etc, ready_times=ready, name=f"batch@t={now:.2f}"
+            etc=etc,
+            ready_times=ready,
+            name=f"batch@t={now:.2f}",
+            metadata={
+                "job_ids": np.array([job.job_id for job in pending], dtype=np.int64),
+                "machine_ids": np.array(
+                    [machine.machine_id for machine in available], dtype=np.int64
+                ),
+            },
         )
 
         stopwatch = Stopwatch()
@@ -198,13 +248,15 @@ class GridSimulator:
         if assignment.size and (assignment.min() < 0 or assignment.max() >= len(available)):
             raise ValueError("policy returned machine indices outside the batch")
 
-        batch_makespan = self._commit_assignment(now, pending, available, assignment)
+        batch_makespan, committed = self._commit_assignment(
+            now, pending, available, assignment, etc
+        )
         self.activations.append(
             ActivationRecord(
                 time=now,
                 pending_jobs=len(pending),
                 available_machines=len(available),
-                scheduled_jobs=len(pending),
+                scheduled_jobs=committed,
                 batch_makespan=batch_makespan,
                 scheduler_wall_seconds=scheduler_seconds,
             )
@@ -216,42 +268,95 @@ class GridSimulator:
         pending: list[GridJob],
         available: list[GridMachine],
         assignment: np.ndarray,
-    ) -> float:
-        """Append the scheduled jobs to the machine queues (SPT order per machine)."""
+        etc: np.ndarray,
+    ) -> tuple[float, int]:
+        """Commit the scheduled jobs to the machine queues (SPT order per machine).
+
+        The per-machine shortest-processing-time queueing is computed for the
+        whole batch at once: one stable ``(machine, duration)`` key sort, one
+        cumulative sum with per-machine segment resets.  ``etc`` is the
+        activation's already-built execution-time matrix, so no execution
+        time is recomputed here.  Returns ``(batch makespan of the committed
+        work, number of committed jobs)`` — under a ``commit_horizon`` only
+        the placements that start inside the horizon are committed.
+        """
+        count = len(pending)
+        if count == 0:
+            return 0.0, 0
+        durations = etc[np.arange(count), assignment]
+        # Stable sort by (machine, duration): within a machine this is the
+        # SPT order, ties broken by batch position exactly like the previous
+        # per-machine stable argsort.
+        order = np.lexsort((durations, assignment))
+        sorted_machines = assignment[order]
+        sorted_durations = durations[order]
+        # Queue base per machine: work may start once the machine finishes
+        # its committed work (never before the activation itself).
+        queue_base = np.array(
+            [
+                max(now, self.machine_states[machine.machine_id].busy_until)
+                for machine in available
+            ],
+            dtype=float,
+        )
+        # Cumulative duration within each machine segment of the sorted batch.
+        running = np.cumsum(sorted_durations)
+        before = running - sorted_durations
+        positions = np.arange(count)
+        new_segment = np.empty(count, dtype=bool)
+        new_segment[0] = True
+        new_segment[1:] = sorted_machines[1:] != sorted_machines[:-1]
+        segment_start = np.maximum.accumulate(np.where(new_segment, positions, 0))
+        starts = queue_base[sorted_machines] + (before - before[segment_start])
+        finishes = starts + sorted_durations
+
+        # Rolling horizon: only placements starting soon are locked in; the
+        # tail of the plan stays pending for the next activation.  Starts
+        # increase within every machine segment, so the committed jobs are a
+        # contiguous prefix of each machine's planned queue.
+        horizon = self.config.commit_horizon
+        if horizon is None:
+            commit = np.ones(count, dtype=bool)
+        else:
+            commit = starts < now + horizon
+
+        for position in np.nonzero(commit)[0]:
+            job = pending[int(order[position])]
+            machine = available[int(sorted_machines[position])]
+            start = float(starts[position])
+            finish = float(finishes[position])
+            record = self.records[job.job_id]
+            record.state = JobState.COMPLETED
+            record.machine_id = machine.machine_id
+            record.start_time = start
+            record.completion_time = finish
+            record.note(
+                f"scheduled at t={now:.2f} on machine {machine.machine_id} "
+                f"(start={start:.2f}, finish={finish:.2f})"
+            )
+            self._queues[machine.machine_id].append(
+                _QueueEntry(job_id=job.job_id, start=start, finish=finish)
+            )
+            self._pending_positions.discard(self._job_position[job.job_id])
+
+        committed_machines = sorted_machines[commit]
+        busy_totals = np.bincount(
+            committed_machines, weights=sorted_durations[commit], minlength=len(available)
+        )
+        job_counts = np.bincount(committed_machines, minlength=len(available))
+        # Per machine, the committed queue ends at its last committed finish.
+        queue_end = np.copy(queue_base)
+        np.maximum.at(queue_end, committed_machines, finishes[commit])
         batch_finish = now
         for col, machine in enumerate(available):
-            job_indices = np.nonzero(assignment == col)[0]
-            if job_indices.size == 0:
+            if job_counts[col] == 0:
                 continue
             state = self.machine_states[machine.machine_id]
-            execution_times = np.array(
-                [machine.execution_time(pending[int(i)]) for i in job_indices]
-            )
-            order = np.argsort(execution_times, kind="stable")
-            cursor = max(now, state.busy_until)
-            for position in order:
-                job = pending[int(job_indices[int(position)])]
-                duration = float(execution_times[int(position)])
-                start = cursor
-                finish = start + duration
-                cursor = finish
-                record = self.records[job.job_id]
-                record.state = JobState.COMPLETED
-                record.machine_id = machine.machine_id
-                record.start_time = start
-                record.completion_time = finish
-                record.note(
-                    f"scheduled at t={now:.2f} on machine {machine.machine_id} "
-                    f"(start={start:.2f}, finish={finish:.2f})"
-                )
-                self._queues[machine.machine_id].append(
-                    _QueueEntry(job_id=job.job_id, start=start, finish=finish)
-                )
-                state.busy_time += duration
-                state.completed_jobs += 1
-            state.busy_until = cursor
-            batch_finish = max(batch_finish, cursor)
-        return batch_finish - now
+            state.busy_time += float(busy_totals[col])
+            state.completed_jobs += int(job_counts[col])
+            state.busy_until = float(queue_end[col])
+            batch_finish = max(batch_finish, state.busy_until)
+        return batch_finish - now, int(commit.sum())
 
     def _finished(self, now: float) -> bool:
         """All jobs completed, no arrivals pending and no departures to come."""

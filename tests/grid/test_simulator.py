@@ -38,6 +38,20 @@ class TestBatchPolicies:
         assignment = CMABatchPolicy().schedule(instance, rng=1)
         assert assignment.tolist() == [0] * 5
 
+    def test_cma_policy_tiny_batch_falls_back_to_min_min(self):
+        # Regression: batches with fewer jobs than the recombination operator
+        # needs parents used to spin up the full metaheuristic; they must be
+        # solved by Min-Min directly.
+        from repro.heuristics.base import build_schedule
+
+        for nb_jobs in (1, 2):
+            instance = SchedulingInstance(
+                etc=np.random.default_rng(8).uniform(1.0, 9.0, size=(nb_jobs, 3))
+            )
+            assignment = CMABatchPolicy().schedule(instance, rng=1)
+            reference = build_schedule("min_min", instance)
+            assert assignment.tolist() == list(reference.assignment)
+
     def test_policy_name_reported(self):
         assert HeuristicBatchPolicy("mct").name == "mct"
         assert CMABatchPolicy().name == "cma"

@@ -1,0 +1,335 @@
+"""Tests for the warm dynamic scheduling service.
+
+Covers the three warm-start correctness properties the service promises:
+
+* warm-started plans stay valid assignments when machines churn between
+  activations (the id remap drops departed machines);
+* with ``WarmStartConfig(mode="off")`` the service is trajectory-identical
+  to the cold :class:`~repro.grid.scheduler.CMABatchPolicy` under the same
+  seed;
+* the resident buffers are grow-only and never leak rows between
+  activations (a smaller batch after a larger one reuses capacity and its
+  caches are exact).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CMAConfig, WarmStartConfig
+from repro.engine.batch import BatchEvaluator
+from repro.grid import (
+    CMABatchPolicy,
+    DynamicSchedulerService,
+    GridJob,
+    GridMachine,
+    GridSimulator,
+    HeuristicBatchPolicy,
+    PoissonArrivalModel,
+    SimulationConfig,
+    StaticResourceModel,
+    WarmCMAPolicy,
+)
+from repro.heuristics.base import build_schedule
+from repro.model.instance import SchedulingInstance
+
+
+def batch_instance(job_ids, machine_ids, rng_seed=5, name="batch"):
+    """A batch instance with stable-id metadata, like the simulator builds."""
+    gen = np.random.default_rng(rng_seed)
+    etc = gen.uniform(1.0, 10.0, size=(len(job_ids), len(machine_ids)))
+    return SchedulingInstance(
+        etc=etc,
+        name=name,
+        metadata={
+            "job_ids": np.asarray(job_ids, dtype=np.int64),
+            "machine_ids": np.asarray(machine_ids, dtype=np.int64),
+        },
+    )
+
+
+def small_budget_service(**kwargs):
+    return DynamicSchedulerService(
+        CMAConfig.fast_defaults(),
+        max_seconds=5.0,
+        max_iterations=3,
+        **kwargs,
+    )
+
+
+class TestWarmAssignment:
+    def test_carries_previous_plan_through_stable_ids(self):
+        service = small_budget_service()
+        first = batch_instance(job_ids=[10, 11, 12, 13], machine_ids=[0, 1, 2])
+        assignment = service.schedule(first, rng=1)
+        assert assignment.shape == (4,)
+
+        # Same jobs still pending, machines reordered: the warm plan must
+        # follow the ids, not the columns.
+        second = batch_instance(job_ids=[10, 11, 12, 13], machine_ids=[2, 0, 1])
+        plan, carried = service.warm_assignment(second, rng=2)
+        assert carried.all()
+        machine_ids_second = [2, 0, 1]
+        previous = service.plan
+        for row, job_id in enumerate([10, 11, 12, 13]):
+            assert machine_ids_second[int(plan[row])] == previous[job_id]
+
+    def test_machine_churn_drops_departed_machines(self):
+        service = small_budget_service()
+        first = batch_instance(job_ids=[0, 1, 2, 3, 4], machine_ids=[0, 1, 2])
+        service.schedule(first, rng=1)
+        previous = service.plan
+
+        # Machine 1 left the grid; a new machine 7 joined.
+        surviving = [0, 2, 7]
+        second = batch_instance(job_ids=[0, 1, 2, 3, 4, 99], machine_ids=surviving)
+        plan, carried = service.warm_assignment(second, rng=2)
+
+        assert plan.min() >= 0 and plan.max() < second.nb_machines
+        for row, job_id in enumerate([0, 1, 2, 3, 4]):
+            if previous[job_id] in surviving:
+                assert carried[row]
+                assert surviving[int(plan[row])] == previous[job_id]
+            else:
+                assert not carried[row]
+        # The brand-new job has no plan entry to carry.
+        assert not carried[5]
+
+    def test_without_metadata_everything_is_filled(self):
+        service = small_budget_service()
+        instance = SchedulingInstance(
+            etc=np.random.default_rng(3).uniform(1.0, 5.0, size=(6, 3)), name="anon"
+        )
+        plan, carried = service.warm_assignment(instance, rng=1)
+        assert not carried.any()
+        assert plan.min() >= 0 and plan.max() < 3
+
+    def test_fill_matches_configured_heuristic_on_fresh_batches(self):
+        service = small_budget_service(warm_start=WarmStartConfig(fill_heuristic="mct"))
+        instance = batch_instance(job_ids=[1, 2, 3, 4, 5], machine_ids=[0, 1, 2])
+        plan, carried = service.warm_assignment(instance, rng=1)
+        assert not carried.any()
+        reference = build_schedule("mct", instance)
+        np.testing.assert_array_equal(plan, np.asarray(reference.assignment))
+
+
+class TestOffModeTrajectory:
+    def test_off_mode_identical_to_cold_policy(self):
+        jobs = PoissonArrivalModel(rate=0.8, duration=30.0, heterogeneity="lo").generate(
+            rng=6
+        )
+        machines = StaticResourceModel(nb_machines=3, heterogeneity="lo").generate(rng=6)
+        budget = dict(max_seconds=10.0, max_iterations=3)
+        config = SimulationConfig(activation_interval=10.0)
+
+        cold = GridSimulator(
+            jobs, machines, CMABatchPolicy(**budget), config, rng=6
+        ).run()
+        warm_off = GridSimulator(
+            jobs,
+            machines,
+            WarmCMAPolicy(warm_start=WarmStartConfig(mode="off"), **budget),
+            config,
+            rng=6,
+        ).run()
+
+        assert warm_off.makespan == cold.makespan
+        assert warm_off.total_flowtime == cold.total_flowtime
+        assert warm_off.mean_response_time == cold.mean_response_time
+        assert warm_off.nb_activations == cold.nb_activations
+        for mine, theirs in zip(warm_off.activations, cold.activations):
+            assert mine.batch_makespan == theirs.batch_makespan
+            assert mine.scheduled_jobs == theirs.scheduled_jobs
+
+
+class TestGrowOnlyCapacity:
+    def test_capacity_grows_once_and_is_reused(self):
+        service = small_budget_service()
+        big = batch_instance(job_ids=list(range(40)), machine_ids=[0, 1, 2, 3], name="big")
+        service.schedule(big, rng=1)
+        capacity = (
+            service.batch.row_capacity,
+            service.batch.job_capacity,
+            service.batch.machine_capacity,
+        )
+        reallocations = service.stats.capacity_reallocations
+
+        small = batch_instance(job_ids=list(range(100, 110)), machine_ids=[0, 1], name="small")
+        service.schedule(small, rng=2)
+        assert service.stats.capacity_reallocations == reallocations
+        assert (
+            service.batch.row_capacity,
+            service.batch.job_capacity,
+            service.batch.machine_capacity,
+        ) == capacity
+
+        bigger = batch_instance(
+            job_ids=list(range(200, 280)), machine_ids=[0, 1, 2, 3, 4], name="bigger"
+        )
+        service.schedule(bigger, rng=3)
+        assert service.stats.capacity_reallocations == reallocations + 1
+        assert service.batch.job_capacity >= 80
+
+    def test_reused_rows_never_leak_between_activations(self):
+        service = small_budget_service()
+        big = batch_instance(job_ids=list(range(30)), machine_ids=[0, 1, 2, 3], name="big")
+        service.schedule(big, rng=1)
+
+        small = batch_instance(job_ids=[7, 8, 9], machine_ids=[0, 1], name="small")
+        service.schedule(small, rng=2)
+        # Degenerate batches bypass the resident engine; this one must not.
+        assert service.batch.instance is small
+        assert service.batch.nb_jobs == 3
+        # Every cached matrix must match a from-scratch evaluation of the
+        # reused rows: stale content from the big activation would fail.
+        service.batch.validate()
+
+    def test_population_shape_tracks_each_batch(self):
+        service = small_budget_service()
+        config = service.config
+        rows = config.population_size + max(
+            config.nb_recombinations, config.nb_mutations
+        )
+        first = batch_instance(job_ids=list(range(12)), machine_ids=[0, 1, 2])
+        service.schedule(first, rng=1)
+        assert service.batch.population_size == rows
+        assert service.batch.nb_jobs == 12
+
+        second = batch_instance(job_ids=list(range(50, 55)), machine_ids=[0, 1, 2])
+        service.schedule(second, rng=2)
+        assert service.batch.population_size == rows
+        assert service.batch.nb_jobs == 5
+
+
+class TestDegenerateBatches:
+    def test_single_machine_shortcut(self):
+        service = small_budget_service()
+        instance = SchedulingInstance(
+            etc=np.arange(1.0, 6.0).reshape(5, 1),
+            metadata={
+                "job_ids": np.arange(5, dtype=np.int64),
+                "machine_ids": np.array([3], dtype=np.int64),
+            },
+        )
+        assignment = service.schedule(instance, rng=1)
+        assert assignment.tolist() == [0] * 5
+        assert service.stats.degenerate_batches == 1
+        # The plan is still remembered so follow-up batches can carry it.
+        assert service.plan == {job: 3 for job in range(5)}
+
+    def test_tiny_batch_falls_back_to_min_min(self):
+        service = small_budget_service()
+        instance = batch_instance(job_ids=[42], machine_ids=[0, 1, 2])
+        assignment = service.schedule(instance, rng=1)
+        reference = build_schedule("min_min", instance)
+        np.testing.assert_array_equal(assignment, np.asarray(reference.assignment))
+        assert service.stats.degenerate_batches == 1
+
+
+class TestWarmPolicyEndToEnd:
+    def test_rolling_horizon_simulation_completes_with_churn(self):
+        jobs = PoissonArrivalModel(rate=1.0, duration=30.0, heterogeneity="lo").generate(
+            rng=9
+        )
+        machines = [
+            GridMachine(machine_id=0, mips=40.0),
+            GridMachine(machine_id=1, mips=30.0),
+            GridMachine(machine_id=2, mips=30.0, leave_time=25.0),
+        ]
+        policy = WarmCMAPolicy(
+            CMAConfig.fast_defaults(), max_seconds=5.0, max_iterations=3
+        )
+        metrics = GridSimulator(
+            jobs,
+            machines,
+            policy,
+            SimulationConfig(activation_interval=10.0, commit_horizon=10.0),
+            rng=9,
+        ).run()
+        assert metrics.completed_jobs == len(jobs)
+        assert metrics.policy == "warm-cma"
+        stats = policy.service.stats
+        assert stats.activations == metrics.nb_activations
+
+    def test_sharing_a_service_between_policies_is_explicit(self):
+        service = small_budget_service()
+        policy = WarmCMAPolicy(service=service)
+        assert policy.service is service
+        with pytest.raises(ValueError):
+            WarmCMAPolicy(CMAConfig.fast_defaults(), service=service)
+        # Budget arguments would be silently ignored next to a service —
+        # the constructor must refuse them too.
+        with pytest.raises(ValueError):
+            WarmCMAPolicy(service=service, max_iterations=3)
+
+
+class TestRollingHorizonSimulator:
+    def test_horizon_defers_late_starts(self):
+        # Two equal jobs on one slow machine: with a 5-second horizon only
+        # the job starting inside the first window is committed at t=0.
+        jobs = [GridJob(0, 100.0, 0.0), GridJob(1, 100.0, 0.0)]
+        machines = [GridMachine(0, mips=10.0)]
+        simulator = GridSimulator(
+            jobs,
+            machines,
+            HeuristicBatchPolicy("mct"),
+            SimulationConfig(activation_interval=5.0, commit_horizon=5.0),
+            rng=1,
+        )
+        metrics = simulator.run()
+        assert metrics.completed_jobs == 2
+        first = simulator.activations[0]
+        assert first.pending_jobs == 2
+        assert first.scheduled_jobs == 1
+
+    def test_horizon_stream_matches_full_commit_for_single_jobs(self):
+        # With one job per activation the horizon changes nothing.
+        jobs = [GridJob(i, 50.0, 12.0 * i) for i in range(4)]
+        machines = [GridMachine(0, mips=10.0), GridMachine(1, mips=10.0)]
+        full = GridSimulator(
+            jobs, machines, HeuristicBatchPolicy("mct"),
+            SimulationConfig(activation_interval=12.0), rng=1,
+        ).run()
+        rolling = GridSimulator(
+            jobs, machines, HeuristicBatchPolicy("mct"),
+            SimulationConfig(activation_interval=12.0, commit_horizon=12.0), rng=1,
+        ).run()
+        assert rolling.makespan == full.makespan
+        assert rolling.completed_jobs == full.completed_jobs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(commit_horizon=0.0)
+
+
+class TestReseatEngine:
+    def test_reseat_reuses_and_grows(self, tiny_instance, small_instance):
+        batch = BatchEvaluator.random(small_instance, 8, rng=1)
+        assert batch.row_capacity == 8
+        assignments = np.random.default_rng(2).integers(
+            0, tiny_instance.nb_machines, size=(6, tiny_instance.nb_jobs)
+        )
+        reused = batch.reseat(tiny_instance, assignments)
+        assert reused
+        assert batch.instance is tiny_instance
+        assert batch.population_size == 6
+        reference = BatchEvaluator(tiny_instance, assignments)
+        np.testing.assert_allclose(batch.completion_times, reference.completion_times)
+        np.testing.assert_allclose(batch.fitnesses(), reference.fitnesses())
+
+        grown = np.random.default_rng(3).integers(
+            0, small_instance.nb_machines, size=(20, small_instance.nb_jobs)
+        )
+        reused = batch.reseat(small_instance, grown, min_rows=32)
+        assert not reused
+        assert batch.row_capacity == 32
+        batch.validate()
+
+    def test_reseat_rejects_bad_shapes(self, tiny_instance, small_instance):
+        batch = BatchEvaluator.random(small_instance, 4, rng=1)
+        with pytest.raises(ValueError):
+            batch.reseat(tiny_instance, np.zeros((4, small_instance.nb_jobs), dtype=int))
+        with pytest.raises(ValueError):
+            batch.reseat(
+                tiny_instance,
+                np.full((4, tiny_instance.nb_jobs), tiny_instance.nb_machines),
+            )

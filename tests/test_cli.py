@@ -187,6 +187,27 @@ class TestSimulateCommand:
         assert code == 0
         assert "cma" in capsys.readouterr().out
 
+    def test_warm_cma_policy(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "warm-cma",
+                "--rate",
+                "0.5",
+                "--duration",
+                "15",
+                "--machines",
+                "3",
+                "--budget",
+                "0.05",
+                "--stagnation",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "warm-cma" in capsys.readouterr().out
+
     def test_unknown_policy_reported(self, capsys):
         code = main(["simulate", "--policy", "nonsense", "--duration", "5"])
         assert code == 2
