@@ -88,19 +88,44 @@ def record_output():
     return _record
 
 
+def _merge_json(existing: object, update: object) -> object:
+    """Recursively merge *update* into *existing* (dicts merge, else replace).
+
+    Keys present in both stay with *update* — a re-run of a benchmark
+    refreshes its own rows — while keys only in *existing* survive, so the
+    sections written by different benchmark files coexist in one payload.
+    """
+    if isinstance(existing, dict) and isinstance(update, dict):
+        merged = dict(existing)
+        for key, value in update.items():
+            merged[key] = _merge_json(merged.get(key), value) if key in merged else value
+        return merged
+    return update
+
+
 @pytest.fixture(scope="session")
 def record_json():
-    """Write a machine-readable benchmark payload to benchmarks/output/.
+    """Merge a machine-readable benchmark payload into benchmarks/output/.
 
     The perf-trajectory benchmarks dump their numbers as JSON next to the
     rendered text tables so future PRs can diff performance numerically
-    instead of parsing tables (e.g. ``BENCH_engine.json``).
+    instead of parsing tables (e.g. ``BENCH_engine.json``).  Several
+    benchmark files write to the same payload (the engine throughput
+    sections, the replay-arena table), so an existing file is deep-merged
+    rather than overwritten: partial benchmark runs refresh only their own
+    sections.  An unreadable existing file is replaced outright.
     """
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
 
     def _record(name: str, payload: dict) -> Path:
         path = OUTPUT_DIR / f"{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        merged: object = payload
+        if path.exists():
+            try:
+                merged = _merge_json(json.loads(path.read_text()), payload)
+            except (json.JSONDecodeError, OSError):
+                merged = payload
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         return path
 
     return _record

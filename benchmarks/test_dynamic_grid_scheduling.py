@@ -169,8 +169,12 @@ def test_dynamic_grid_scenarios(benchmark, record_output):
         warm = results[(scenario, "warm-cma")]
         # Warm starting must not cost solution quality on either scenario...
         assert warm.makespan <= cold.makespan * 1.05, scenario
-        # ...and must not be slower per activation than the cold start.
-        assert warm.mean_scheduler_seconds <= cold.mean_scheduler_seconds * 1.05, scenario
+        # ...and must not be meaningfully slower per activation than the
+        # cold start.  The margin absorbs wall-clock noise on a loaded
+        # machine (sub-second activations jitter by tens of percent); the
+        # hard warm-vs-cold speed claim (>= 1.3x faster at equal budget)
+        # is pinned by the dynamic section of test_engine_throughput.py.
+        assert warm.mean_scheduler_seconds <= cold.mean_scheduler_seconds * 1.25, scenario
 
     print()
     print(text)

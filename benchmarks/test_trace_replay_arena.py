@@ -1,0 +1,135 @@
+"""Extension — the replay arena over the synthetic scenario families.
+
+The ROADMAP's "dynamic scheduling beyond one service" item asks for an
+online comparison harness that replays recorded arrival traces against
+multiple policies; this benchmark runs that harness over the trace
+subsystem's scenario families (calm Poisson, bursty MMPP, diurnal waves,
+heavy-tailed job sizes, flash crowd + churn) × the default policy roster
+(Min-Min, cold cMA, warm cMA, rolling-horizon warm cMA) at an equal
+per-activation budget, and dumps the scenario × policy table both as text
+and into ``BENCH_engine.json`` (merged next to the engine/dynamic
+sections, so partial benchmark runs coexist).
+"""
+
+import os
+
+from repro.core.config import ArenaConfig, TraceConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import dynamic_policy_specs
+from repro.traces import ReplayArena, generate_trace, summarize_arena
+
+from .conftest import run_once
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop").lower()
+
+#: Scenario families × scale.  The laptop scale keeps every simulation to a
+#: few dozen activations; the paper scale stretches the submission windows
+#: and machine parks toward the protocol of the static tables.
+if _SCALE == "paper":
+    _DURATION, _MACHINES, _REPETITIONS = 300.0, 16, 3
+else:
+    _DURATION, _MACHINES, _REPETITIONS = 50.0, 6, 1
+
+SCENARIOS = {
+    "calm": TraceConfig(
+        family="calm", duration=_DURATION, rate=1.0, nb_machines=_MACHINES,
+        job_heterogeneity="lo",
+    ),
+    "bursty": TraceConfig(
+        family="bursty", duration=_DURATION, rate=1.0, nb_machines=_MACHINES,
+        job_heterogeneity="lo",
+    ),
+    "diurnal": TraceConfig(
+        family="diurnal", duration=_DURATION, rate=1.0, nb_machines=_MACHINES,
+        job_heterogeneity="lo",
+    ),
+    "heavy_tail": TraceConfig(
+        family="heavy_tail", duration=_DURATION, rate=0.8, nb_machines=_MACHINES,
+        extra={"pareto_shape": 2.0},
+    ),
+    "flash_crowd": TraceConfig(
+        family="flash_crowd", duration=_DURATION, rate=0.6, nb_machines=_MACHINES,
+        job_heterogeneity="lo", churn_fraction=0.25,
+    ),
+}
+
+#: Equal, deterministic per-activation budget for every metaheuristic
+#: contestant (iteration cap + stagnation stop under a generous wall cap).
+_BUDGET = dict(max_seconds=0.15, max_iterations=30, max_stagnant_iterations=5)
+
+_INTERVAL = 10.0
+
+
+def _run_arenas(seed=2007):
+    results = {}
+    for scenario, config in SCENARIOS.items():
+        trace = generate_trace(config, seed=seed, name=scenario)
+        specs = list(
+            dynamic_policy_specs(horizon=_INTERVAL, **_BUDGET).values()
+        )
+        arena = ReplayArena(
+            trace,
+            specs,
+            ArenaConfig(
+                activation_interval=_INTERVAL,
+                repetitions=_REPETITIONS,
+                seed=seed,
+            ),
+        )
+        results[scenario] = (trace, arena.run())
+    return results
+
+
+def test_trace_replay_arena(benchmark, record_output, record_json):
+    results = run_once(benchmark, _run_arenas)
+
+    rows = []
+    json_rows = []
+    for scenario, (trace, result) in results.items():
+        for report in summarize_arena(result):
+            rows.append(
+                [
+                    scenario,
+                    report.policy,
+                    report.makespan.mean,
+                    report.flowtime.mean,
+                    report.mean_utilization,
+                    report.p95_scheduler_seconds,
+                ]
+            )
+            json_rows.append(
+                {"scenario": scenario, "jobs": trace.nb_jobs, **report.as_dict()}
+            )
+    text = format_table(
+        [
+            "scenario",
+            "policy",
+            "stream makespan",
+            "total flowtime",
+            "utilization",
+            "sched p95 s",
+        ],
+        rows,
+        title="Replay arena: scenario families x policies (equal budget)",
+    )
+    record_output("trace_replay_arena", text)
+    record_json("BENCH_engine", {"sections": {"replay_arena": json_rows}})
+
+    # Every policy finishes every scenario's whole stream.
+    for scenario, (trace, result) in results.items():
+        for report in summarize_arena(result):
+            assert report.completed_jobs == trace.nb_jobs, (scenario, report.policy)
+
+    # Qualitative shape: the metaheuristics stay competitive with Min-Min
+    # on the stream makespan in every scenario (the paper's batch-mode
+    # deployment claim, now across an order of magnitude more workload
+    # shapes), and their per-activation cost respects the budget.
+    for scenario, (trace, result) in results.items():
+        reports = {report.policy: report for report in summarize_arena(result)}
+        baseline = reports["min_min"].makespan.mean
+        for name in ("cma", "warm-cma", "warm-cma-rolling"):
+            assert reports[name].makespan.mean <= baseline * 1.15, (scenario, name)
+            assert reports[name].p95_scheduler_seconds < 1.0, (scenario, name)
+
+    print()
+    print(text)

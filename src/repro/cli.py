@@ -17,6 +17,13 @@ be driven without writing Python:
     island — with periodic best-row migration along a chosen topology.
 ``repro-scheduler simulate``
     Run the dynamic-grid simulation with a chosen batch scheduling policy.
+``repro-scheduler trace``
+    Record, generate and replay dynamic workload traces: ``trace record``
+    captures a live simulation as a trace artifact, ``trace generate``
+    produces a synthetic scenario family (calm / bursty / diurnal /
+    heavy-tailed / flash-crowd), and ``trace replay`` runs the policy
+    arena — one trace against several policies at equal per-activation
+    budget, optionally one worker process per policy.
 
 Every subcommand prints plain-text tables (the same renderings the benchmark
 harness writes to ``benchmarks/output/``) and returns a conventional process
@@ -39,7 +46,13 @@ from repro.baselines import (
     TabuSearchScheduler,
 )
 from repro.core import CellularMemeticAlgorithm, CMAConfig, IslandConfig, TerminationCriteria
-from repro.core.config import EMIGRANT_SELECTIONS, ISLAND_TOPOLOGIES
+from repro.core.config import (
+    EMIGRANT_SELECTIONS,
+    ISLAND_TOPOLOGIES,
+    TRACE_FAMILIES,
+    ArenaConfig,
+    TraceConfig,
+)
 from repro.engine.service import EvaluationEngine
 from repro.experiments.reporting import format_mapping, format_table
 from repro.experiments.runner import (
@@ -76,6 +89,14 @@ from repro.heuristics import build_schedule, list_heuristics
 from repro.model.benchmark import BRAUN_INSTANCE_NAMES, generate_braun_like_instance
 from repro.model.generator import ETCGeneratorConfig
 from repro.model.io import load_etc_file
+from repro.traces import (
+    ReplayArena,
+    TraceRecorder,
+    arena_table,
+    generate_trace,
+    load_trace,
+    policy_spec_from_name,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -197,7 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     islands.add_argument(
         "--workers", type=int, default=0,
-        help="0 = deterministic in-process driver; = --islands spawns one process per island",
+        help="0 = deterministic in-process driver; pass the value of "
+        "--islands to spawn one process per island (no other value accepted)",
     )
     islands.add_argument(
         "--seconds", type=float, default=2.0, help="wall-clock budget per island"
@@ -226,6 +248,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional per-activation early stop after N stagnant iterations",
     )
     simulate.add_argument("--seed", type=int, default=2007)
+
+    trace = subparsers.add_parser(
+        "trace", help="record, generate and replay dynamic workload traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    generate = trace_sub.add_parser(
+        "generate", help="generate a synthetic scenario-family trace"
+    )
+    generate.add_argument(
+        "--family", choices=TRACE_FAMILIES, default="calm",
+        help="scenario family (default calm)",
+    )
+    generate.add_argument("--duration", type=float, default=60.0, help="submission window (simulated seconds)")
+    generate.add_argument("--rate", type=float, default=1.0, help="mean job arrivals per simulated second")
+    generate.add_argument("--machines", type=int, default=8)
+    generate.add_argument("--churn", type=float, default=0.0, help="fraction of machines that join late / leave early")
+    generate.add_argument("--affinity", type=float, default=0.0, help="per-machine ETC affinity noise spread")
+    generate.add_argument("--job-heterogeneity", choices=("hi", "lo"), default="hi")
+    generate.add_argument("--machine-heterogeneity", choices=("hi", "lo"), default="hi")
+    generate.add_argument("--seed", type=int, default=2007)
+    generate.add_argument("--out", required=True, help="output trace file (.npz)")
+
+    record = trace_sub.add_parser(
+        "record", help="run a live simulation and capture it as a trace"
+    )
+    record.add_argument(
+        "--policy", default="min_min",
+        help="'cma', 'warm-cma' or any heuristic name (as in simulate)",
+    )
+    record.add_argument("--rate", type=float, default=1.0, help="job arrivals per simulated second")
+    record.add_argument("--duration", type=float, default=60.0, help="submission window (simulated seconds)")
+    record.add_argument("--machines", type=int, default=8)
+    record.add_argument("--interval", type=float, default=10.0, help="scheduler activation interval")
+    record.add_argument("--budget", type=float, default=0.2, help="cMA wall-clock budget per activation")
+    record.add_argument("--seed", type=int, default=2007)
+    record.add_argument("--out", required=True, help="output trace file (.npz)")
+
+    replay = trace_sub.add_parser(
+        "replay", help="replay one trace against several policies (the arena)"
+    )
+    replay.add_argument("--trace", required=True, help="trace file to replay")
+    replay.add_argument(
+        "--policies", default="min_min,cma,warm-cma",
+        help="comma-separated roster: heuristic names, 'cma', 'warm-cma', "
+        "'warm-cma-rolling' (needs --horizon)",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=0,
+        help="0 = sequential deterministic driver; pass the number of "
+        "policies to spawn one process per policy (no other value accepted)",
+    )
+    replay.add_argument(
+        "--interval", type=float, default=None,
+        help="scheduler activation interval (default: the interval recorded "
+        "in the trace's metadata, else 10)",
+    )
+    replay.add_argument(
+        "--horizon", type=float, default=None,
+        help="rolling commit horizon of the warm-cma-rolling policy "
+        "(simulated seconds); every other policy replays under the trace's "
+        "recorded commit horizon (full commit when none is recorded)",
+    )
+    replay.add_argument("--budget", type=float, default=0.2, help="cMA wall-clock budget per activation")
+    replay.add_argument("--iterations", type=int, default=50, help="cMA iteration cap per activation")
+    replay.add_argument(
+        "--stagnation", type=int, default=None,
+        help="optional per-activation early stop after N stagnant iterations",
+    )
+    replay.add_argument("--repetitions", type=int, default=1, help="independent replays per policy")
+    replay.add_argument("--seed", type=int, default=2007)
 
     return parser
 
@@ -440,16 +533,7 @@ def _command_islands(args: argparse.Namespace) -> int:
 def _command_simulate(args: argparse.Namespace) -> int:
     jobs = PoissonArrivalModel(rate=args.rate, duration=args.duration).generate(rng=args.seed)
     machines = StaticResourceModel(nb_machines=args.machines).generate(rng=args.seed)
-    if args.policy == "cma":
-        policy = CMABatchPolicy(
-            max_seconds=args.budget, max_stagnant_iterations=args.stagnation
-        )
-    elif args.policy in ("warm-cma", "warm_cma"):
-        policy = WarmCMAPolicy(
-            max_seconds=args.budget, max_stagnant_iterations=args.stagnation
-        )
-    else:
-        policy = HeuristicBatchPolicy(args.policy)
+    policy = _simulation_policy(args.policy, args.budget, args.stagnation)
     simulator = GridSimulator(
         jobs,
         machines,
@@ -467,6 +551,97 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulation_policy(name: str, budget: float, stagnation: int | None = None):
+    """The policy used by ``simulate`` and ``trace record`` (shared parsing)."""
+    if name == "cma":
+        return CMABatchPolicy(max_seconds=budget, max_stagnant_iterations=stagnation)
+    if name in ("warm-cma", "warm_cma"):
+        return WarmCMAPolicy(max_seconds=budget, max_stagnant_iterations=stagnation)
+    return HeuristicBatchPolicy(name)
+
+
+def _command_trace_generate(args: argparse.Namespace) -> int:
+    config = TraceConfig(
+        family=args.family,
+        duration=args.duration,
+        rate=args.rate,
+        nb_machines=args.machines,
+        job_heterogeneity=args.job_heterogeneity,
+        machine_heterogeneity=args.machine_heterogeneity,
+        affinity_spread=args.affinity,
+        churn_fraction=args.churn,
+    )
+    trace = generate_trace(config, seed=args.seed)
+    path = trace.save(args.out)
+    print(format_mapping(trace.describe(), title=f"Generated trace -> {path}"))
+    return 0
+
+
+def _command_trace_record(args: argparse.Namespace) -> int:
+    jobs = PoissonArrivalModel(rate=args.rate, duration=args.duration).generate(
+        rng=args.seed
+    )
+    machines = StaticResourceModel(nb_machines=args.machines).generate(rng=args.seed)
+    recorder = TraceRecorder()
+    GridSimulator(
+        jobs,
+        machines,
+        _simulation_policy(args.policy, args.budget),
+        SimulationConfig(activation_interval=args.interval),
+        rng=args.seed,
+        recorder=recorder,
+    ).run()
+    trace = recorder.trace(name=f"recorded-{args.policy}")
+    path = trace.save(args.out)
+    print(format_mapping(trace.describe(), title=f"Recorded trace -> {path}"))
+    return 0
+
+
+def _command_trace_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    specs = [
+        policy_spec_from_name(
+            name,
+            horizon=args.horizon,
+            max_seconds=args.budget,
+            max_iterations=args.iterations,
+            max_stagnant_iterations=args.stagnation,
+        )
+        for name in args.policies.split(",")
+        if name.strip()
+    ]
+    # Recorded traces carry their simulation parameters in the metadata
+    # header; honoring them by default keeps a replay faithful to the
+    # captured run (``--interval`` overrides).  --horizon only
+    # parameterizes the warm-cma-rolling contestant, so the rolling
+    # variant can be compared against its full-commit twin in one table.
+    interval = args.interval
+    if interval is None:
+        interval = float(trace.metadata.get("activation_interval") or 10.0)
+    recorded_horizon = trace.metadata.get("commit_horizon")
+    config = ArenaConfig(
+        activation_interval=interval,
+        commit_horizon=None if recorded_horizon is None else float(recorded_horizon),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    result = ReplayArena(trace, specs, config).run()
+    print(arena_table(result))
+    return 0
+
+
+_TRACE_COMMANDS = {
+    "generate": _command_trace_generate,
+    "record": _command_trace_record,
+    "replay": _command_trace_replay,
+}
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    return _TRACE_COMMANDS[args.trace_command](args)
+
+
 _COMMANDS = {
     "solve": _command_solve,
     "heuristics": _command_heuristics,
@@ -474,6 +649,7 @@ _COMMANDS = {
     "table": _command_table,
     "islands": _command_islands,
     "simulate": _command_simulate,
+    "trace": _command_trace,
 }
 
 

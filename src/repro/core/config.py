@@ -23,16 +23,24 @@ from repro.core.sweep import list_sweeps
 from repro.core.termination import TerminationCriteria
 from repro.heuristics import list_heuristics
 from repro.model.fitness import DEFAULT_LAMBDA
-from repro.utils.validation import check_integer, check_probability
+from repro.utils.validation import (
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
 
 __all__ = [
     "CMAConfig",
     "IslandConfig",
     "WarmStartConfig",
+    "TraceConfig",
+    "ArenaConfig",
     "ISLAND_TOPOLOGIES",
     "MIGRATION_INTERVAL_UNITS",
     "EMIGRANT_SELECTIONS",
     "WARM_START_MODES",
+    "TRACE_FAMILIES",
 ]
 
 #: Migration-graph names understood by :mod:`repro.islands.topology`.  The
@@ -49,6 +57,12 @@ EMIGRANT_SELECTIONS = ("best_k", "random_k")
 
 #: How :class:`WarmStartConfig` seeds each scheduler activation.
 WARM_START_MODES = ("previous_plan", "off")
+
+#: Scenario families understood by :mod:`repro.traces.generators`.  Like the
+#: island topologies above, the registry lives up in the traces layer; the
+#: names are mirrored here so the config layer can validate without importing
+#: upward (pinned in sync by ``tests/traces/test_generators.py``).
+TRACE_FAMILIES = ("calm", "bursty", "diurnal", "heavy_tail", "flash_crowd")
 
 
 def _check_choice(name: str, value: str, available) -> str:
@@ -504,5 +518,176 @@ class IslandConfig:
             "nb emigrants": self.nb_emigrants,
             "emigrant selection": self.emigrant_selection,
             "immigrant replacement": self.immigrant_replacement,
+            "workers": self.workers,
+        }
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Parameters of one synthetic arrival-trace scenario.
+
+    The trace subsystem (:mod:`repro.traces`) turns dynamic workloads into
+    first-class, seedable artifacts; this config describes one scenario
+    *family* and its scale knobs.  The family registry lives in
+    :mod:`repro.traces.generators`; the names are mirrored in
+    :data:`TRACE_FAMILIES` so this layer validates without importing upward.
+
+    Attributes
+    ----------
+    family:
+        Scenario-family name: ``"calm"`` (homogeneous Poisson arrivals),
+        ``"bursty"`` (two-state MMPP), ``"diurnal"`` (sinusoidally modulated
+        rate), ``"heavy_tail"`` (Poisson arrivals with Pareto job sizes) or
+        ``"flash_crowd"`` (calm background plus arrival spikes and machine
+        churn).
+    duration:
+        Length of the submission window in simulated seconds (the
+        simulation itself runs until the last job completes).
+    rate:
+        Mean job arrivals per simulated second (the bursty/diurnal/flash
+        families modulate around this mean).
+    nb_machines:
+        Size of the machine park.
+    job_heterogeneity, machine_heterogeneity:
+        ``"hi"`` or ``"lo"``, following the ETC benchmark's task/machine
+        heterogeneity ranges.
+    affinity_spread:
+        Per-machine log-normal execution-time noise (the *inconsistent*
+        scenarios); 0 keeps machines perfectly consistent.
+    churn_fraction:
+        Fraction of machines with a finite membership window (join late /
+        leave early); the ``flash_crowd`` family is typically run with a
+        positive value so the spikes land on a shrinking park.
+    extra:
+        Family-specific knobs (e.g. ``burst_factor`` for ``bursty``,
+        ``wave_depth`` for ``diurnal``); unknown keys are rejected by the
+        generator, not here.
+    """
+
+    family: str = "calm"
+    duration: float = 100.0
+    rate: float = 1.0
+    nb_machines: int = 16
+    job_heterogeneity: str = "hi"
+    machine_heterogeneity: str = "hi"
+    affinity_spread: float = 0.0
+    churn_fraction: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "family", _check_choice("family", self.family, TRACE_FAMILIES)
+        )
+        check_positive("duration", self.duration)
+        check_positive("rate", self.rate)
+        check_integer("nb_machines", self.nb_machines, minimum=1)
+        for name in ("job_heterogeneity", "machine_heterogeneity"):
+            value = str(getattr(self, name)).lower()
+            if value not in ("hi", "lo"):
+                raise ValueError(f"{name} must be 'hi' or 'lo', got {value!r}")
+            object.__setattr__(self, name, value)
+        check_non_negative("affinity_spread", self.affinity_spread)
+        check_probability("churn_fraction", self.churn_fraction)
+
+    def evolve(self, **changes: Any) -> "TraceConfig":
+        """Return a copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly description of the scenario."""
+        return {
+            "family": self.family,
+            "duration": self.duration,
+            "rate": self.rate,
+            "nb machines": self.nb_machines,
+            "job heterogeneity": self.job_heterogeneity,
+            "machine heterogeneity": self.machine_heterogeneity,
+            "affinity spread": self.affinity_spread,
+            "churn fraction": self.churn_fraction,
+            **{f"extra.{key}": value for key, value in sorted(self.extra.items())},
+        }
+
+
+@dataclass(frozen=True)
+class ArenaConfig:
+    """Configuration of the policy-replay arena.
+
+    The arena (:mod:`repro.traces.replay`) replays one trace against N
+    scheduling policies under identical simulation parameters and an equal
+    per-activation budget.  This config describes the shared simulation
+    parameters and the arena's execution mode; what each contestant *is* is
+    a policy spec with its own budget, built by the caller.
+
+    Attributes
+    ----------
+    activation_interval, commit_horizon, max_activations:
+        Shared :class:`~repro.grid.simulator.SimulationConfig` parameters
+        applied to every policy (a policy spec may override the commit
+        horizon — the rolling-horizon variants exist precisely to study
+        that knob).
+    repetitions:
+        Independent replays per policy; each repetition derives its own
+        seed stream from ``seed`` through the stable
+        :func:`~repro.utils.rng.substream_seed_sequence` path.
+    seed:
+        Root seed of the arena; per-(policy, repetition) streams are
+        derived from it, so adding a policy never perturbs the others.
+    workers:
+        ``0`` replays every policy sequentially in-process (deterministic
+        reference mode); ``nb_policies`` spawns one worker process per
+        policy.  Both modes produce identical per-policy metrics (pinned by
+        test).  No other value is accepted; the policy count is only known
+        to the arena, so the cross-check happens there.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` picks ``"fork"`` where available and
+        ``"spawn"`` otherwise.
+    worker_timeout:
+        Seconds the parent waits for a worker result before it terminates
+        the pool and raises — the guard against deadlocked queues.
+    """
+
+    activation_interval: float = 10.0
+    commit_horizon: float | None = None
+    max_activations: int = 10_000
+    repetitions: int = 1
+    seed: int = 2007
+    workers: int = 0
+    start_method: str | None = None
+    worker_timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        check_positive("activation_interval", self.activation_interval)
+        if self.commit_horizon is not None:
+            check_positive("commit_horizon", self.commit_horizon)
+        check_integer("max_activations", self.max_activations, minimum=1)
+        check_integer("repetitions", self.repetitions, minimum=1)
+        check_integer("seed", self.seed, minimum=0)
+        check_integer("workers", self.workers, minimum=0)
+        if self.start_method is not None:
+            object.__setattr__(
+                self,
+                "start_method",
+                _check_choice(
+                    "start_method", self.start_method, ("fork", "spawn", "forkserver")
+                ),
+            )
+        if self.worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {self.worker_timeout}"
+            )
+
+    def evolve(self, **changes: Any) -> "ArenaConfig":
+        """Return a copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly description of the arena."""
+        return {
+            "activation interval": self.activation_interval,
+            "commit horizon": self.commit_horizon,
+            "max activations": self.max_activations,
+            "repetitions": self.repetitions,
+            "seed": self.seed,
             "workers": self.workers,
         }

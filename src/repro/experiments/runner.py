@@ -62,6 +62,7 @@ __all__ = [
     "heuristic_spec",
     "islands_spec",
     "default_algorithm_specs",
+    "dynamic_policy_specs",
     "repeat_run",
     "ComparisonCell",
     "compare_algorithms",
@@ -422,6 +423,44 @@ def default_algorithm_specs() -> dict[str, AlgorithmSpec]:
             heuristic_spec("ljfr_sjfr"),
         )
     }
+
+
+def dynamic_policy_specs(
+    *,
+    horizon: float = 10.0,
+    max_seconds: float = 0.25,
+    max_iterations: int | None = 50,
+    max_stagnant_iterations: int | None = None,
+):
+    """The default replay-arena roster, keyed by policy name.
+
+    The dynamic counterpart of :func:`default_algorithm_specs`: Min-Min
+    (the conventional grid scheduler), the cold cMA batch policy, the warm
+    engine-resident service, and the warm service under a per-policy
+    rolling commit *horizon* — all metaheuristics at the same
+    per-activation budget, so arena gaps are attributable to the policies
+    rather than their budgets.
+    """
+    from repro.traces.replay import (
+        cold_cma_policy_spec,
+        heuristic_policy_spec as policy_heuristic_spec,
+        warm_cma_policy_spec,
+    )
+
+    budget = dict(
+        max_seconds=max_seconds,
+        max_iterations=max_iterations,
+        max_stagnant_iterations=max_stagnant_iterations,
+    )
+    specs = (
+        policy_heuristic_spec("min_min"),
+        cold_cma_policy_spec(**budget),
+        warm_cma_policy_spec(**budget),
+        warm_cma_policy_spec(
+            name="warm-cma-rolling", commit_horizon=horizon, **budget
+        ),
+    )
+    return {spec.name: spec for spec in specs}
 
 
 # --------------------------------------------------------------------------- #

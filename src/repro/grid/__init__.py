@@ -10,7 +10,7 @@ in for the external grid-simulator packages the paper defers to future work
 
 from repro.grid.job import GridJob, JobRecord, JobState
 from repro.grid.machine import GridMachine, MachineState, execution_times_matrix
-from repro.grid.metrics import ActivationRecord, SimulationMetrics
+from repro.grid.metrics import ActivationRecord, MachineEvent, SimulationMetrics
 from repro.grid.scheduler import (
     BatchSchedulingPolicy,
     CMABatchPolicy,
@@ -36,6 +36,7 @@ __all__ = [
     "MachineState",
     "execution_times_matrix",
     "ActivationRecord",
+    "MachineEvent",
     "SimulationMetrics",
     "BatchSchedulingPolicy",
     "HeuristicBatchPolicy",

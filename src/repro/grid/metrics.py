@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ActivationRecord", "SimulationMetrics"]
+__all__ = ["ActivationRecord", "MachineEvent", "SimulationMetrics"]
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,30 @@ class ActivationRecord:
     scheduled_jobs: int
     batch_makespan: float
     scheduler_wall_seconds: float
+
+
+@dataclass(frozen=True)
+class MachineEvent:
+    """One machine joining or leaving the grid during a simulation.
+
+    The simulator emits these as an explicit, chronologically ordered log
+    (joins before leaves at equal times, ties broken by machine id) — the
+    machine-churn counterpart of the per-job completion records, and the
+    event stream the trace recorder (:mod:`repro.traces`) captures.
+    """
+
+    time: float
+    machine_id: int
+    event: str  # "join" | "leave"
+
+    def __post_init__(self) -> None:
+        if self.event not in ("join", "leave"):
+            raise ValueError(f"event must be 'join' or 'leave', got {self.event!r}")
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        """Chronological order: time, joins before leaves, then machine id."""
+        return (self.time, 0 if self.event == "join" else 1, self.machine_id)
 
 
 @dataclass
@@ -54,6 +78,8 @@ class SimulationMetrics:
     p50_scheduler_seconds: float = 0.0
     p95_scheduler_seconds: float = 0.0
     activations: list[ActivationRecord] = field(default_factory=list)
+    #: Ordered machine join/leave log of the run (see :class:`MachineEvent`).
+    machine_events: list[MachineEvent] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -95,6 +121,7 @@ class SimulationMetrics:
         nb_machines: int,
         rescheduled_jobs: int,
         activations: list[ActivationRecord],
+        machine_events: list[MachineEvent] | None = None,
     ) -> "SimulationMetrics":
         """Assemble the metrics object from raw per-job / per-machine arrays."""
         completed = int(completion_times.size)
@@ -119,4 +146,8 @@ class SimulationMetrics:
             p50_scheduler_seconds=scheduler_p50,
             p95_scheduler_seconds=scheduler_p95,
             activations=list(activations),
+            machine_events=sorted(
+                machine_events if machine_events is not None else [],
+                key=lambda event: event.sort_key,
+            ),
         )

@@ -139,6 +139,20 @@ class DynamicSchedulerService:
         """The last remembered plan (``job_id → machine_id``, a copy)."""
         return dict(self._plan)
 
+    def reset(self) -> None:
+        """Forget all cross-simulation state (plan, resident buffers, stats).
+
+        A service carries knowledge *across activations of one simulation*;
+        reusing the same service object for a second, unrelated simulation
+        (a new trace replay, another repetition) would leak the first run's
+        plan into the second's warm starts and skew any comparison.  Call
+        ``reset()`` between runs — or build a fresh policy per run, which is
+        what the replay arena's policy specs do.
+        """
+        self._plan = {}
+        self._batch = None
+        self.stats = ServiceStats()
+
     # ------------------------------------------------------------------ #
     # Warm-start construction
     # ------------------------------------------------------------------ #

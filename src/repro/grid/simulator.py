@@ -44,7 +44,7 @@ import numpy as np
 
 from repro.grid.job import GridJob, JobRecord, JobState
 from repro.grid.machine import GridMachine, MachineState, execution_times_matrix
-from repro.grid.metrics import ActivationRecord, SimulationMetrics
+from repro.grid.metrics import ActivationRecord, MachineEvent, SimulationMetrics
 from repro.grid.scheduler import BatchSchedulingPolicy
 from repro.model.instance import SchedulingInstance
 from repro.utils.rng import RNGLike, as_generator
@@ -105,6 +105,7 @@ class GridSimulator:
         policy: BatchSchedulingPolicy,
         config: SimulationConfig | None = None,
         rng: RNGLike = None,
+        recorder: object | None = None,
     ) -> None:
         if not machines:
             raise ValueError("the grid needs at least one machine")
@@ -113,6 +114,11 @@ class GridSimulator:
         self.policy = policy
         self.config = config if config is not None else SimulationConfig()
         self.rng = as_generator(rng)
+        # Duck-typed capture hook (the TraceRecorder of repro.traces — the
+        # grid layer never imports upward): it sees the workload and machine
+        # park on entry and the finished metrics (with the machine event
+        # log) on exit, which is everything a replayable trace needs.
+        self.recorder = recorder
 
         self.records: dict[int, JobRecord] = {
             job.job_id: JobRecord(job=job) for job in self.jobs
@@ -138,6 +144,43 @@ class GridSimulator:
         }
         self._arrival_cursor = 0
         self._pending_positions: set[int] = set()
+        # Explicit machine join/leave event log (chronological in the final
+        # metrics): joins are noticed at the first activation at or after
+        # the join time, leaves when the departure is processed — both are
+        # timestamped with the event's own simulated time, not the
+        # activation that observed it.
+        self.machine_events: list[MachineEvent] = []
+        self._joined: set[int] = set()
+        if self.recorder is not None:
+            self.recorder.on_simulation_start(self.jobs, self.machines, self.config)
+
+    # ------------------------------------------------------------------ #
+    # Trace-driven construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trace(
+        cls,
+        trace,
+        policy: BatchSchedulingPolicy,
+        config: SimulationConfig | None = None,
+        rng: RNGLike = None,
+        recorder: object | None = None,
+    ) -> "GridSimulator":
+        """A simulator whose arrival source is a recorded or synthetic trace.
+
+        *trace* is any object exposing ``to_jobs()`` / ``to_machines()``
+        (the :class:`~repro.traces.format.Trace` artifact).  Replaying a
+        recorded trace with the same policy and seed reproduces the live
+        simulation's stream makespan and flowtime bit-exactly.
+        """
+        return cls(
+            trace.to_jobs(),
+            trace.to_machines(),
+            policy,
+            config=config,
+            rng=rng,
+            recorder=recorder,
+        )
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -148,17 +191,33 @@ class GridSimulator:
         now = 0.0
         activation = 0
         while activation < self.config.max_activations:
+            self._notice_joins(now)
             self._process_departures(now)
             self._activate_scheduler(now)
             if self._finished(now):
                 break
             activation += 1
             now = activation * interval
-        return self._collect_metrics()
+        metrics = self._collect_metrics()
+        if self.recorder is not None:
+            self.recorder.on_simulation_end(metrics)
+        return metrics
 
     # ------------------------------------------------------------------ #
     # Stages
     # ------------------------------------------------------------------ #
+    def _notice_joins(self, now: float) -> None:
+        """Log machines whose join time has passed (at their join time)."""
+        for machine in self.machines:
+            if machine.machine_id in self._joined or machine.join_time > now:
+                continue
+            self._joined.add(machine.machine_id)
+            self.machine_events.append(
+                MachineEvent(
+                    time=machine.join_time, machine_id=machine.machine_id, event="join"
+                )
+            )
+
     def _process_departures(self, now: float) -> None:
         """Handle machines whose leave time has passed; resubmit their jobs."""
         for machine in self.machines:
@@ -168,6 +227,9 @@ class GridSimulator:
                 continue
             self._departed.add(machine.machine_id)
             leave = machine.leave_time
+            self.machine_events.append(
+                MachineEvent(time=leave, machine_id=machine.machine_id, event="leave")
+            )
             state = self.machine_states[machine.machine_id]
             surviving: list[_QueueEntry] = []
             for entry in self._queues[machine.machine_id]:
@@ -403,4 +465,5 @@ class GridSimulator:
             nb_machines=len(self.machines),
             rescheduled_jobs=rescheduled,
             activations=self.activations,
+            machine_events=self.machine_events,
         )

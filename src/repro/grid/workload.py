@@ -24,6 +24,10 @@ from repro.utils.rng import RNGLike, as_generator
 from repro.utils.validation import check_integer, check_positive, check_probability
 
 __all__ = [
+    "TASK_SIZE_HIGH",
+    "MACHINE_MIPS_HIGH",
+    "sample_workloads",
+    "sample_mips",
     "ArrivalModel",
     "PoissonArrivalModel",
     "BurstyArrivalModel",
@@ -44,11 +48,27 @@ class ArrivalModel(abc.ABC):
         """Produce the full list of jobs for one simulation, sorted by arrival."""
 
 
-def _sample_workloads(
+#: Upper bound of the uniform job-size draw (x1e3 MI) per hi/lo task
+#: heterogeneity — the single source of the ETC benchmark's size ranges,
+#: shared with the synthetic trace generators.
+TASK_SIZE_HIGH = {"hi": 3000.0, "lo": 100.0}
+
+#: Upper bound of the uniform capacity draw (x10 MIPS) per hi/lo machine
+#: heterogeneity.
+MACHINE_MIPS_HIGH = {"hi": 1000.0, "lo": 10.0}
+
+
+def sample_workloads(
     count: int, heterogeneity: str, rng: np.random.Generator
 ) -> np.ndarray:
-    """Job sizes following the hi/lo task-heterogeneity ranges of the benchmark."""
-    high = 3000.0 if heterogeneity == "hi" else 100.0
+    """Job sizes following the hi/lo task-heterogeneity ranges of the benchmark.
+
+    The single source of the ETC benchmark's job-size ranges: the arrival
+    models below and the synthetic trace generators
+    (:mod:`repro.traces.generators`) both draw through this helper, so
+    recorded and synthetic workloads stay distribution-compatible.
+    """
+    high = TASK_SIZE_HIGH[heterogeneity]
     return rng.uniform(1.0, high, size=count) * 1e3  # millions of instructions
 
 
@@ -87,7 +107,7 @@ class PoissonArrivalModel(ArrivalModel):
             if time > self.duration:
                 break
             arrivals.append(time)
-        workloads = _sample_workloads(len(arrivals), self.heterogeneity, gen)
+        workloads = sample_workloads(len(arrivals), self.heterogeneity, gen)
         return [
             GridJob(job_id=i, workload=float(w), arrival_time=t)
             for i, (t, w) in enumerate(zip(arrivals, workloads))
@@ -133,7 +153,7 @@ class BurstyArrivalModel(ArrivalModel):
                 continue
             # Jobs inside a burst arrive within a one-second window.
             offsets = np.sort(gen.uniform(0.0, 1.0, size=size))
-            workloads = _sample_workloads(size, self.heterogeneity, gen)
+            workloads = sample_workloads(size, self.heterogeneity, gen)
             for offset, workload in zip(offsets, workloads):
                 jobs.append(
                     GridJob(
@@ -157,9 +177,13 @@ class ResourceModel(abc.ABC):
         """Produce the machines (with their join/leave times)."""
 
 
-def _sample_mips(count: int, heterogeneity: str, rng: np.random.Generator) -> np.ndarray:
-    """Machine capacities following the hi/lo machine-heterogeneity ranges."""
-    high = 1000.0 if heterogeneity == "hi" else 10.0
+def sample_mips(count: int, heterogeneity: str, rng: np.random.Generator) -> np.ndarray:
+    """Machine capacities following the hi/lo machine-heterogeneity ranges.
+
+    Shared by the resource models below and the synthetic trace generators
+    (see :func:`sample_workloads`).
+    """
+    high = MACHINE_MIPS_HIGH[heterogeneity]
     return rng.uniform(1.0, high, size=count) * 10.0  # MIPS
 
 
@@ -178,7 +202,7 @@ class StaticResourceModel(ResourceModel):
 
     def generate(self, rng: RNGLike = None) -> list[GridMachine]:
         gen = as_generator(rng)
-        mips = _sample_mips(self.nb_machines, self.heterogeneity, gen)
+        mips = sample_mips(self.nb_machines, self.heterogeneity, gen)
         return [
             GridMachine(
                 machine_id=i,
@@ -218,7 +242,7 @@ class ChurningResourceModel(ResourceModel):
 
     def generate(self, rng: RNGLike = None) -> list[GridMachine]:
         gen = as_generator(rng)
-        mips = _sample_mips(self.nb_machines, self.heterogeneity, gen)
+        mips = sample_mips(self.nb_machines, self.heterogeneity, gen)
         churny = gen.random(self.nb_machines) < self.churn_fraction
         machines: list[GridMachine] = []
         for i in range(self.nb_machines):

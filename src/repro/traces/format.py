@@ -1,0 +1,362 @@
+"""The versioned trace schema: dynamic workloads as first-class artifacts.
+
+A :class:`Trace` freezes everything a dynamic simulation consumes — the job
+arrival stream (ids, sizes, arrival times), the machine park (ids, MIPS,
+join/leave windows, ETC affinity spreads) and a JSON-friendly metadata
+header (scenario family, generator seed, format version) — into one
+structure-of-arrays record.  Replaying a trace with the same policy and
+seed reproduces the live simulation bit-exactly, because the simulator is a
+pure function of ``(jobs, machines, policy, config, rng)`` and a trace
+round-trips all of them except the policy.
+
+Persistence is a single compressed ``.npz`` file: the arrays are stored
+natively and the header travels as one JSON string under the ``header``
+key, so a trace can be inspected with nothing but numpy and ``json``.
+
+:class:`TraceRecorder` is the capture side: pass one as the ``recorder``
+argument of :class:`~repro.grid.simulator.GridSimulator` and any live
+simulation becomes a saved artifact, including the ordered machine
+join/leave event log the simulator emits in its metrics.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.grid.job import GridJob
+from repro.grid.machine import GridMachine
+from repro.grid.metrics import MachineEvent, SimulationMetrics
+
+__all__ = ["TRACE_FORMAT_VERSION", "Trace", "TraceRecorder", "load_trace", "save_trace"]
+
+#: Version of the on-disk schema; bumped on any incompatible layout change.
+TRACE_FORMAT_VERSION = 1
+
+#: Sentinel stored in ``machine_leave`` for machines that never leave.
+_NEVER = np.inf
+
+#: The array fields of one trace, in schema order (name -> dtype).
+_ARRAY_FIELDS = {
+    "job_ids": np.int64,
+    "job_workloads": np.float64,
+    "job_arrivals": np.float64,
+    "machine_ids": np.int64,
+    "machine_mips": np.float64,
+    "machine_joins": np.float64,
+    "machine_leaves": np.float64,
+    "machine_affinity_spreads": np.float64,
+}
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One dynamic workload: job arrivals plus the machine park, as arrays.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (stored in the header, reported in tables).
+    job_ids, job_workloads, job_arrivals:
+        Per-job stable id, size in millions of instructions, and arrival
+        time; rows are sorted by arrival time (ties keep id order), the
+        order the simulator consumes them in.
+    machine_ids, machine_mips, machine_joins, machine_leaves,
+    machine_affinity_spreads:
+        Per-machine stable id, capacity, membership window (``inf`` leave
+        time means the machine never leaves) and ETC affinity noise spread
+        — together with the stable ids this pins the deterministic
+        per-(job, machine) affinity factors of
+        :func:`repro.grid.machine.affinity_factors`, so the replayed ETC
+        matrices match the recorded ones bit-exactly.
+    metadata:
+        JSON-serializable provenance: scenario family and config for
+        synthetic traces, the recording policy for captured ones, the
+        generator seed, free-form notes.
+    """
+
+    name: str
+    job_ids: np.ndarray
+    job_workloads: np.ndarray
+    job_arrivals: np.ndarray
+    machine_ids: np.ndarray
+    machine_mips: np.ndarray
+    machine_joins: np.ndarray
+    machine_leaves: np.ndarray
+    machine_affinity_spreads: np.ndarray
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for field_name, dtype in _ARRAY_FIELDS.items():
+            value = np.ascontiguousarray(getattr(self, field_name), dtype=dtype)
+            if value.ndim != 1:
+                raise ValueError(f"{field_name} must be one-dimensional")
+            object.__setattr__(self, field_name, value)
+        jobs, machines = self.job_ids.size, self.machine_ids.size
+        for field_name in ("job_workloads", "job_arrivals"):
+            if getattr(self, field_name).size != jobs:
+                raise ValueError(f"{field_name} must have one entry per job")
+        for field_name in (
+            "machine_mips",
+            "machine_joins",
+            "machine_leaves",
+            "machine_affinity_spreads",
+        ):
+            if getattr(self, field_name).size != machines:
+                raise ValueError(f"{field_name} must have one entry per machine")
+        if machines == 0:
+            raise ValueError("a trace needs at least one machine")
+        if np.unique(self.job_ids).size != jobs:
+            raise ValueError("job ids must be unique")
+        if np.unique(self.machine_ids).size != machines:
+            raise ValueError("machine ids must be unique")
+        if jobs and (
+            np.any(self.job_workloads <= 0) or np.any(self.job_arrivals < 0)
+        ):
+            raise ValueError("job workloads must be positive, arrivals non-negative")
+        if np.any(np.diff(self.job_arrivals) < 0):
+            raise ValueError("jobs must be sorted by arrival time")
+        if np.any(self.machine_mips <= 0):
+            raise ValueError("machine mips must be positive")
+        if np.any(self.machine_joins < 0) or np.any(
+            self.machine_leaves <= self.machine_joins
+        ):
+            raise ValueError("machine membership windows must be valid")
+        if np.any(self.machine_affinity_spreads < 0):
+            raise ValueError("affinity spreads must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def nb_jobs(self) -> int:
+        return int(self.job_ids.size)
+
+    @property
+    def nb_machines(self) -> int:
+        return int(self.machine_ids.size)
+
+    @property
+    def duration(self) -> float:
+        """Arrival time of the last job (0 for an empty stream)."""
+        return float(self.job_arrivals[-1]) if self.nb_jobs else 0.0
+
+    def to_jobs(self) -> list[GridJob]:
+        """Materialize the arrival stream as simulator jobs (arrival order)."""
+        return [
+            GridJob(job_id=int(i), workload=float(w), arrival_time=float(t))
+            for i, w, t in zip(self.job_ids, self.job_workloads, self.job_arrivals)
+        ]
+
+    def to_machines(self) -> list[GridMachine]:
+        """Materialize the machine park in its recorded order."""
+        return [
+            GridMachine(
+                machine_id=int(i),
+                mips=float(m),
+                join_time=float(j),
+                leave_time=None if not np.isfinite(leave) else float(leave),
+                affinity_spread=float(spread),
+            )
+            for i, m, j, leave, spread in zip(
+                self.machine_ids,
+                self.machine_mips,
+                self.machine_joins,
+                self.machine_leaves,
+                self.machine_affinity_spreads,
+            )
+        ]
+
+    def machine_events(self) -> list[MachineEvent]:
+        """The full join/leave schedule of the park, chronologically ordered.
+
+        Every machine contributes a join event at its join time and, when
+        its membership window is finite, a leave event — the *schedule* a
+        simulation will realize (the simulator's own log only contains the
+        events that occurred before its stream drained).
+        """
+        events = [
+            MachineEvent(time=float(j), machine_id=int(i), event="join")
+            for i, j in zip(self.machine_ids, self.machine_joins)
+        ]
+        events += [
+            MachineEvent(time=float(leave), machine_id=int(i), event="leave")
+            for i, leave in zip(self.machine_ids, self.machine_leaves)
+            if np.isfinite(leave)
+        ]
+        return sorted(events, key=lambda event: event.sort_key)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_simulation(
+        cls,
+        jobs: Sequence[GridJob],
+        machines: Sequence[GridMachine],
+        name: str = "recorded",
+        metadata: dict[str, Any] | None = None,
+    ) -> "Trace":
+        """Freeze a simulator's workload and machine park into a trace."""
+        ordered = sorted(jobs, key=lambda job: (job.arrival_time, job.job_id))
+        return cls(
+            name=name,
+            job_ids=np.array([job.job_id for job in ordered], dtype=np.int64),
+            job_workloads=np.array([job.workload for job in ordered]),
+            job_arrivals=np.array([job.arrival_time for job in ordered]),
+            machine_ids=np.array(
+                [machine.machine_id for machine in machines], dtype=np.int64
+            ),
+            machine_mips=np.array([machine.mips for machine in machines]),
+            machine_joins=np.array([machine.join_time for machine in machines]),
+            machine_leaves=np.array(
+                [
+                    _NEVER if machine.leave_time is None else machine.leave_time
+                    for machine in machines
+                ]
+            ),
+            machine_affinity_spreads=np.array(
+                [machine.affinity_spread for machine in machines]
+            ),
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as one compressed ``.npz`` with a JSON header."""
+        return save_trace(self, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Load a trace written by :meth:`save` (version-checked)."""
+        return load_trace(path)
+
+    def describe(self) -> dict[str, Any]:
+        """Flat summary used by the CLI and the reporting helpers."""
+        finite = self.machine_leaves[np.isfinite(self.machine_leaves)]
+        return {
+            "name": self.name,
+            "jobs": self.nb_jobs,
+            "machines": self.nb_machines,
+            "duration": self.duration,
+            "total workload": float(self.job_workloads.sum()),
+            "churning machines": int(finite.size),
+            "family": str(self.metadata.get("family", "recorded")),
+        }
+
+
+def _header(trace: Trace) -> dict[str, Any]:
+    return {
+        "format": "repro-scheduler/trace",
+        "version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "metadata": trace.metadata,
+    }
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Persist *trace* to *path* (``.npz`` appended when missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: getattr(trace, name) for name in _ARRAY_FIELDS}
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer, header=np.array(json.dumps(_header(trace))), **arrays
+    )
+    path.write_bytes(buffer.getvalue())
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace artifact, validating its format version and schema."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if "header" not in archive:
+            raise ValueError(f"{path}: not a trace file (missing header)")
+        header = json.loads(str(archive["header"]))
+        if header.get("format") != "repro-scheduler/trace":
+            raise ValueError(f"{path}: not a trace file (bad format marker)")
+        version = header.get("version")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {version!r} "
+                f"(this build reads version {TRACE_FORMAT_VERSION})"
+            )
+        missing = sorted(set(_ARRAY_FIELDS) - set(archive.files))
+        if missing:
+            raise ValueError(f"{path}: trace file is missing arrays {missing}")
+        arrays = {name: archive[name] for name in _ARRAY_FIELDS}
+    return Trace(
+        name=str(header.get("name", "trace")),
+        metadata=dict(header.get("metadata", {})),
+        **arrays,
+    )
+
+
+class TraceRecorder:
+    """Captures a live :class:`~repro.grid.simulator.GridSimulator` run.
+
+    Pass an instance as the simulator's ``recorder`` argument; after
+    ``run()`` the recorder holds everything needed to rebuild the workload
+    (:meth:`trace`) plus the run's metrics — including the ordered machine
+    join/leave event log — for cross-checking a later replay.
+
+    >>> recorder = TraceRecorder()
+    >>> GridSimulator(jobs, machines, policy, recorder=recorder).run()
+    >>> recorder.trace(name="captured").save("captured.npz")
+    """
+
+    def __init__(self) -> None:
+        self.jobs: list[GridJob] | None = None
+        self.machines: list[GridMachine] | None = None
+        self.config = None
+        self.metrics: SimulationMetrics | None = None
+
+    # Hook protocol (called by the simulator) ---------------------------- #
+    def on_simulation_start(self, jobs, machines, config) -> None:
+        self.jobs = list(jobs)
+        self.machines = list(machines)
+        self.config = config
+
+    def on_simulation_end(self, metrics: SimulationMetrics) -> None:
+        self.metrics = metrics
+
+    # Capture ------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return self.jobs is not None
+
+    def trace(
+        self, name: str = "recorded", metadata: dict[str, Any] | None = None
+    ) -> Trace:
+        """The captured workload as a trace artifact.
+
+        Provenance (the recording policy and activation interval, plus the
+        finished run's makespan/flowtime when available) is folded into the
+        metadata so a replay can be cross-checked against the original.
+        """
+        if not self.started:
+            raise ValueError(
+                "nothing captured yet: attach the recorder to a GridSimulator "
+                "(recorder=...) and run it first"
+            )
+        provenance: dict[str, Any] = {"source": "recorded"}
+        if self.config is not None:
+            provenance["activation_interval"] = self.config.activation_interval
+            provenance["commit_horizon"] = self.config.commit_horizon
+        if self.metrics is not None:
+            provenance["policy"] = self.metrics.policy
+            provenance["stream_makespan"] = self.metrics.makespan
+            provenance["total_flowtime"] = self.metrics.total_flowtime
+        provenance.update(metadata or {})
+        return Trace.from_simulation(
+            self.jobs, self.machines, name=name, metadata=provenance
+        )

@@ -1,0 +1,405 @@
+"""The policy-replay arena: one trace, N policies, equal budgets.
+
+:class:`ReplayArena` replays one :class:`~repro.traces.format.Trace`
+against several batch scheduling policies under identical simulation
+parameters (activation interval, commit horizon) and whatever
+per-activation budget each :class:`PolicySpec` encodes — the online
+comparison harness the static ``compare_algorithms`` experiment is for
+batch instances.
+
+Two execution modes share all of the replay code and differ only in
+scheduling, mirroring the island model:
+
+* ``workers=0`` — every (policy, repetition) replay runs sequentially
+  in-process: the deterministic reference mode.
+* ``workers=nb_policies`` — one worker process per policy, results
+  collected through a timeout-guarded queue (a stuck policy fails fast
+  instead of wedging the arena).
+
+Replays never share state: each one gets a fresh policy built from its
+spec and a seed stream derived stably from the arena seed, the policy name
+and the repetition index (:func:`~repro.utils.rng.substream_seed_sequence`)
+— so both modes produce identical per-policy metrics (pinned by test), and
+adding a policy never perturbs the others' streams.
+
+Policy specs are picklable (frozen dataclass factories, never closures)
+because they cross process boundaries whole, exactly like the algorithm
+specs of :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.config import ArenaConfig, CMAConfig, WarmStartConfig
+from repro.grid.scheduler import (
+    BatchSchedulingPolicy,
+    CMABatchPolicy,
+    HeuristicBatchPolicy,
+)
+from repro.grid.service import WarmCMAPolicy
+from repro.grid.simulator import GridSimulator, SimulationConfig
+from repro.grid.metrics import SimulationMetrics
+from repro.heuristics import list_heuristics
+from repro.traces.format import Trace
+from repro.utils.rng import substream_seed_sequence
+from repro.utils.timer import Stopwatch
+
+__all__ = [
+    "PolicySpec",
+    "ReplayArena",
+    "ArenaResult",
+    "heuristic_policy_spec",
+    "cold_cma_policy_spec",
+    "warm_cma_policy_spec",
+    "policy_spec_from_name",
+]
+
+#: Spec value meaning "use the arena's commit horizon".
+INHERIT_HORIZON = "inherit"
+
+
+# --------------------------------------------------------------------------- #
+# Picklable policy factories
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _HeuristicPolicyFactory:
+    heuristic: str
+
+    def __call__(self) -> BatchSchedulingPolicy:
+        return HeuristicBatchPolicy(self.heuristic)
+
+
+@dataclass(frozen=True)
+class _ColdCMAPolicyFactory:
+    config: CMAConfig | None
+    max_seconds: float
+    max_iterations: int | None
+    max_stagnant_iterations: int | None
+
+    def __call__(self) -> BatchSchedulingPolicy:
+        return CMABatchPolicy(
+            config=self.config,
+            max_seconds=self.max_seconds,
+            max_iterations=self.max_iterations,
+            max_stagnant_iterations=self.max_stagnant_iterations,
+        )
+
+
+@dataclass(frozen=True)
+class _WarmCMAPolicyFactory:
+    config: CMAConfig | None
+    warm_start: WarmStartConfig | None
+    max_seconds: float
+    max_iterations: int | None
+    max_stagnant_iterations: int | None
+
+    def __call__(self) -> BatchSchedulingPolicy:
+        return WarmCMAPolicy(
+            self.config,
+            self.warm_start,
+            max_seconds=self.max_seconds,
+            max_iterations=self.max_iterations,
+            max_stagnant_iterations=self.max_stagnant_iterations,
+        )
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named, picklable policy factory for the replay arena.
+
+    Every replay builds a **fresh** policy from :attr:`factory`, so
+    stateful policies (the warm service) never leak knowledge between
+    repetitions or contestants, and the ``workers=0`` / ``workers=N``
+    modes see identical initial states.
+
+    ``commit_horizon`` is :data:`INHERIT_HORIZON` by default (use the
+    arena's); a float or ``None`` overrides it for this policy only —
+    which is how the rolling-horizon variant of a policy enters the same
+    arena as its full-commit twin.
+    """
+
+    name: str
+    factory: Any  # () -> BatchSchedulingPolicy, picklable
+    commit_horizon: float | None | str = INHERIT_HORIZON
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.commit_horizon, str) and self.commit_horizon != INHERIT_HORIZON:
+            raise ValueError(
+                f"commit_horizon must be a number, None, or {INHERIT_HORIZON!r}, "
+                f"got {self.commit_horizon!r}"
+            )
+        if isinstance(self.commit_horizon, (int, float)) and self.commit_horizon <= 0:
+            raise ValueError("commit_horizon override must be positive or None")
+
+    def build(self) -> BatchSchedulingPolicy:
+        """Instantiate a fresh policy for one replay."""
+        return self.factory()
+
+    def simulation_config(self, arena: ArenaConfig) -> SimulationConfig:
+        """The simulation parameters of this policy's replays."""
+        horizon = (
+            arena.commit_horizon
+            if self.commit_horizon == INHERIT_HORIZON
+            else self.commit_horizon
+        )
+        return SimulationConfig(
+            activation_interval=arena.activation_interval,
+            max_activations=arena.max_activations,
+            commit_horizon=horizon,
+        )
+
+
+def heuristic_policy_spec(heuristic: str, name: str | None = None) -> PolicySpec:
+    """A constructive heuristic (Min-Min, MCT, ...) as an arena contestant."""
+    return PolicySpec(
+        name=name if name is not None else heuristic,
+        factory=_HeuristicPolicyFactory(heuristic),
+        description=f"Constructive heuristic {heuristic} at every activation",
+    )
+
+
+def cold_cma_policy_spec(
+    config: CMAConfig | None = None,
+    *,
+    name: str = "cma",
+    max_seconds: float = 0.25,
+    max_iterations: int | None = 50,
+    max_stagnant_iterations: int | None = None,
+) -> PolicySpec:
+    """The cold-start cMA batch policy as an arena contestant."""
+    return PolicySpec(
+        name=name,
+        factory=_ColdCMAPolicyFactory(
+            config, max_seconds, max_iterations, max_stagnant_iterations
+        ),
+        description="Cold cMA (fresh engine and population per activation)",
+    )
+
+
+def warm_cma_policy_spec(
+    config: CMAConfig | None = None,
+    warm_start: WarmStartConfig | None = None,
+    *,
+    name: str = "warm-cma",
+    commit_horizon: float | None | str = INHERIT_HORIZON,
+    max_seconds: float = 0.25,
+    max_iterations: int | None = 50,
+    max_stagnant_iterations: int | None = None,
+) -> PolicySpec:
+    """The warm engine-resident scheduling service as an arena contestant.
+
+    Pass ``commit_horizon`` to make this entry a rolling-horizon variant
+    regardless of the arena-wide setting.
+    """
+    return PolicySpec(
+        name=name,
+        factory=_WarmCMAPolicyFactory(
+            config, warm_start, max_seconds, max_iterations, max_stagnant_iterations
+        ),
+        commit_horizon=commit_horizon,
+        description="Warm engine-resident cMA service",
+    )
+
+
+def policy_spec_from_name(
+    name: str,
+    *,
+    horizon: float | None = None,
+    max_seconds: float = 0.25,
+    max_iterations: int | None = 50,
+    max_stagnant_iterations: int | None = None,
+) -> PolicySpec:
+    """Resolve a CLI-style policy name into a spec.
+
+    ``"cma"`` is the cold policy, ``"warm-cma"`` the warm service,
+    ``"warm-cma-rolling"`` the warm service with a per-policy rolling
+    commit horizon (*horizon*, required), and any constructive heuristic
+    name is wrapped directly.
+    """
+    budget = dict(
+        max_seconds=max_seconds,
+        max_iterations=max_iterations,
+        max_stagnant_iterations=max_stagnant_iterations,
+    )
+    key = name.strip().lower().replace("_", "-")
+    if key == "cma":
+        return cold_cma_policy_spec(**budget)
+    if key == "warm-cma":
+        return warm_cma_policy_spec(**budget)
+    if key == "warm-cma-rolling":
+        if horizon is None:
+            raise ValueError(
+                "the warm-cma-rolling policy needs a commit horizon "
+                "(pass horizon=... / --horizon)"
+            )
+        return warm_cma_policy_spec(
+            name="warm-cma-rolling", commit_horizon=horizon, **budget
+        )
+    heuristic = name.strip().lower()
+    if heuristic in list_heuristics():
+        return heuristic_policy_spec(heuristic)
+    raise ValueError(
+        f"unknown policy {name!r}: expected 'cma', 'warm-cma', "
+        f"'warm-cma-rolling' or one of {sorted(list_heuristics())}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+@dataclass
+class ArenaResult:
+    """Outcome of one arena run: per-policy, per-repetition metrics."""
+
+    trace_name: str
+    config: ArenaConfig
+    #: Policy name -> one :class:`SimulationMetrics` per repetition.
+    policies: dict[str, list[SimulationMetrics]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def policy_names(self) -> list[str]:
+        return list(self.policies)
+
+    def metrics_of(self, policy: str) -> list[SimulationMetrics]:
+        return self.policies[policy]
+
+
+# --------------------------------------------------------------------------- #
+# The arena
+# --------------------------------------------------------------------------- #
+def _replay_policy(
+    trace: Trace, spec: PolicySpec, config: ArenaConfig
+) -> list[SimulationMetrics]:
+    """All repetitions of one policy (the shared core of both modes)."""
+    simulation = spec.simulation_config(config)
+    runs = []
+    for repetition in range(config.repetitions):
+        stream = substream_seed_sequence(config.seed, spec.name, repetition)
+        simulator = GridSimulator.from_trace(
+            trace, spec.build(), config=simulation, rng=stream
+        )
+        runs.append(simulator.run())
+    return runs
+
+
+def _arena_worker(
+    trace: Trace, spec: PolicySpec, config: ArenaConfig, results: Any
+) -> None:
+    """Process entry point: replay one policy, ship its metrics (or error)."""
+    try:
+        results.put((spec.name, "ok", _replay_policy(trace, spec, config)))
+    except BaseException:  # noqa: BLE001 - the parent re-raises
+        results.put((spec.name, "error", traceback.format_exc()))
+
+
+class ReplayArena:
+    """Replay one trace against N policies at equal per-activation budget.
+
+    Parameters
+    ----------
+    trace:
+        The workload artifact every policy replays.
+    specs:
+        The contestants; names must be unique (they key the results).
+    config:
+        The :class:`~repro.core.config.ArenaConfig`; ``workers`` must be
+        0 (sequential deterministic driver) or ``len(specs)`` (one process
+        per policy).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        specs: Sequence[PolicySpec],
+        config: ArenaConfig | None = None,
+    ) -> None:
+        if not specs:
+            raise ValueError("the arena needs at least one policy spec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"policy names must be unique, got {names}")
+        self.trace = trace
+        self.specs = list(specs)
+        self.config = config if config is not None else ArenaConfig()
+        if self.config.workers not in (0, len(self.specs)):
+            raise ValueError(
+                f"workers must be 0 (in-process) or the number of policies "
+                f"({len(self.specs)}, one process per policy), "
+                f"got {self.config.workers}"
+            )
+
+    def run(self) -> ArenaResult:
+        """Replay every policy and return the per-policy metrics."""
+        stopwatch = Stopwatch()
+        if self.config.workers == 0:
+            collected = {
+                spec.name: _replay_policy(self.trace, spec, self.config)
+                for spec in self.specs
+            }
+        else:
+            collected = self._run_workers()
+        return ArenaResult(
+            trace_name=self.trace.name,
+            config=self.config,
+            policies={spec.name: collected[spec.name] for spec in self.specs},
+            elapsed_seconds=stopwatch.elapsed,
+        )
+
+    def _run_workers(self) -> dict[str, list[SimulationMetrics]]:
+        """One worker process per policy (islands-style timeout guard)."""
+        cfg = self.config
+        method = cfg.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        context = multiprocessing.get_context(method)
+        results_queue = context.Queue()
+        processes = []
+        collected: dict[str, list[SimulationMetrics]] = {}
+        try:
+            for spec in self.specs:
+                process = context.Process(
+                    target=_arena_worker,
+                    args=(self.trace, spec, cfg, results_queue),
+                    name=f"arena-{spec.name}",
+                    daemon=True,
+                )
+                processes.append(process)
+                process.start()
+            while len(collected) < len(self.specs):
+                try:
+                    name, status, payload = results_queue.get(
+                        timeout=cfg.worker_timeout
+                    )
+                except queue_module.Empty:
+                    raise RuntimeError(
+                        f"arena workers timed out after {cfg.worker_timeout}s "
+                        f"({len(collected)}/{len(self.specs)} policies "
+                        f"finished); terminating the pool"
+                    ) from None
+                if status == "error":
+                    raise RuntimeError(f"policy {name!r} worker failed:\n{payload}")
+                collected[name] = payload
+            for process in processes:
+                process.join(timeout=cfg.worker_timeout)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=5.0)
+        return collected
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplayArena(trace={self.trace.name!r}, "
+            f"policies={[spec.name for spec in self.specs]}, "
+            f"workers={self.config.workers})"
+        )

@@ -1,0 +1,158 @@
+"""Cross-policy comparison reports for replay-arena results.
+
+One :class:`~repro.traces.replay.ArenaResult` holds per-policy,
+per-repetition :class:`~repro.grid.metrics.SimulationMetrics`; this module
+condenses them into the quantities the dynamic-scheduling story is about —
+stream makespan, total flowtime, machine utilization, and the p50/p95
+per-activation scheduler wall-clock the paper's "very short time" budget
+argument rests on — and tests whether the gaps are statistically
+meaningful (:func:`repro.utils.stats.welch_z_test` against the
+best-by-mean policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Sequence
+
+from repro.grid.metrics import SimulationMetrics
+from repro.traces.replay import ArenaResult
+from repro.utils.stats import RunStatistics, summarize, welch_z_test
+from repro.utils.tables import format_table
+
+__all__ = ["PolicyReport", "summarize_arena", "arena_table", "arena_rows"]
+
+
+@dataclass(frozen=True)
+class PolicyReport:
+    """Aggregated replays of one policy on one trace.
+
+    ``makespan`` / ``flowtime`` summarize the stream makespan and total
+    flowtime over the repetitions; the scheduler-seconds quantiles are
+    averaged across repetitions (each repetition already aggregates its
+    own activations).  ``p_value`` is the two-sided Welch test of this
+    policy's makespans against the best-by-mean policy of the same arena
+    (``None`` for the best policy itself).
+    """
+
+    policy: str
+    repetitions: int
+    makespan: RunStatistics
+    flowtime: RunStatistics
+    mean_utilization: float
+    mean_scheduler_seconds: float
+    p50_scheduler_seconds: float
+    p95_scheduler_seconds: float
+    completed_jobs: int
+    rescheduled_jobs: int
+    p_value: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat JSON-friendly view (what the benchmark dump records)."""
+        return {
+            "policy": self.policy,
+            "repetitions": self.repetitions,
+            "makespan_mean": self.makespan.mean,
+            "makespan_best": self.makespan.best,
+            "makespan_std": self.makespan.std,
+            "flowtime_mean": self.flowtime.mean,
+            "utilization": self.mean_utilization,
+            "scheduler_seconds_mean": self.mean_scheduler_seconds,
+            "scheduler_seconds_p50": self.p50_scheduler_seconds,
+            "scheduler_seconds_p95": self.p95_scheduler_seconds,
+            "completed_jobs": self.completed_jobs,
+            "rescheduled_jobs": self.rescheduled_jobs,
+            "p_value_vs_best": self.p_value,
+        }
+
+
+def _mean(values: Sequence[float]) -> float:
+    return float(sum(values) / len(values)) if values else 0.0
+
+
+def _report(policy: str, runs: Sequence[SimulationMetrics]) -> PolicyReport:
+    return PolicyReport(
+        policy=policy,
+        repetitions=len(runs),
+        makespan=summarize([m.makespan for m in runs]),
+        flowtime=summarize([m.total_flowtime for m in runs]),
+        mean_utilization=_mean([m.mean_utilization for m in runs]),
+        mean_scheduler_seconds=_mean([m.mean_scheduler_seconds for m in runs]),
+        p50_scheduler_seconds=_mean([m.p50_scheduler_seconds for m in runs]),
+        p95_scheduler_seconds=_mean([m.p95_scheduler_seconds for m in runs]),
+        completed_jobs=min(m.completed_jobs for m in runs),
+        rescheduled_jobs=max(m.rescheduled_jobs for m in runs),
+    )
+
+
+def summarize_arena(
+    result: ArenaResult | Mapping[str, Sequence[SimulationMetrics]],
+) -> list[PolicyReport]:
+    """One :class:`PolicyReport` per policy, in arena order.
+
+    Every non-best policy carries the Welch p-value of its makespans
+    against the best-by-mean policy; with a single repetition the test
+    degenerates to "equal means or not" (0.0 / 1.0), which the table
+    renders but a reader should weigh accordingly.
+    """
+    policies = result.policies if isinstance(result, ArenaResult) else result
+    if not policies:
+        raise ValueError("cannot summarize an empty arena result")
+    reports = [_report(name, runs) for name, runs in policies.items()]
+    best = min(reports, key=lambda report: report.makespan.mean)
+    best_makespans = [m.makespan for m in policies[best.policy]]
+    annotated = []
+    for report in reports:
+        if report.policy == best.policy:
+            annotated.append(report)
+            continue
+        _, p_value = welch_z_test(
+            [m.makespan for m in policies[report.policy]], best_makespans
+        )
+        annotated.append(replace(report, p_value=p_value))
+    return annotated
+
+
+def arena_rows(result: ArenaResult | Mapping[str, Sequence[SimulationMetrics]]):
+    """Table rows (list of value lists) matching :func:`arena_table` headers."""
+    rows = []
+    for report in summarize_arena(result):
+        rows.append(
+            [
+                report.policy,
+                report.makespan.mean,
+                report.flowtime.mean,
+                report.mean_utilization,
+                report.p50_scheduler_seconds,
+                report.p95_scheduler_seconds,
+                "best" if report.p_value is None else f"{report.p_value:.3f}",
+            ]
+        )
+    return rows
+
+
+_HEADERS = [
+    "policy",
+    "stream makespan",
+    "total flowtime",
+    "utilization",
+    "sched p50 s",
+    "sched p95 s",
+    "p vs best",
+]
+
+
+def arena_table(
+    result: ArenaResult | Mapping[str, Sequence[SimulationMetrics]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render the cross-policy comparison as an aligned text table."""
+    if title is None and isinstance(result, ArenaResult):
+        title = (
+            f"Replay arena on trace {result.trace_name!r} "
+            f"({result.config.repetitions} repetition(s), "
+            f"workers={result.config.workers})"
+        )
+    return format_table(_HEADERS, arena_rows(result), title=title, precision=precision)

@@ -20,6 +20,7 @@ __all__ = [
     "confidence_interval",
     "coefficient_of_variation",
     "relative_difference_percent",
+    "welch_z_test",
 ]
 
 
@@ -112,6 +113,36 @@ def relative_difference_percent(reference: float, value: float) -> float:
     if reference == 0:
         raise ValueError("reference value must be non-zero")
     return 100.0 * (reference - value) / abs(reference)
+
+
+def welch_z_test(
+    a: Sequence[float] | np.ndarray, b: Sequence[float] | np.ndarray
+) -> tuple[float, float]:
+    """Two-sided Welch test that the means of *a* and *b* differ.
+
+    Returns ``(z, p)``: the Welch statistic under a normal approximation
+    (consistent with :func:`confidence_interval`, which also uses z rather
+    than Student's t to stay dependency-free) and its two-sided p-value.
+    For the handful of repetitions the replay arena runs, the normal
+    approximation is conservative enough for the qualitative "is this
+    policy really better?" question the report answers.
+
+    Degenerate inputs are resolved by the sample means alone: when both
+    samples have zero variance (e.g. single repetitions), ``p`` is 0.0 for
+    different means and 1.0 for equal ones.
+    """
+    stats_a, stats_b = summarize(a), summarize(b)
+    standard_error = math.sqrt(
+        stats_a.std**2 / stats_a.count + stats_b.std**2 / stats_b.count
+    )
+    difference = stats_a.mean - stats_b.mean
+    if standard_error == 0.0:
+        if difference == 0.0:
+            return 0.0, 1.0
+        return math.copysign(math.inf, difference), 0.0
+    z = difference / standard_error
+    p = math.erfc(abs(z) / math.sqrt(2.0))
+    return z, p
 
 
 def _erfinv(x: float) -> float:

@@ -221,6 +221,66 @@ class TestMachineDepartures:
         assert metrics.rescheduled_jobs <= 3
 
 
+class TestMachineEventLog:
+    def test_static_park_logs_only_joins(self):
+        simulator = GridSimulator(
+            simple_jobs(6),
+            simple_machines(3),
+            HeuristicBatchPolicy("mct"),
+            SimulationConfig(activation_interval=5.0),
+            rng=1,
+        )
+        metrics = simulator.run()
+        assert [e.event for e in metrics.machine_events] == ["join"] * 3
+        assert [e.machine_id for e in metrics.machine_events] == [0, 1, 2]
+        assert all(e.time == 0.0 for e in metrics.machine_events)
+
+    def test_churn_log_is_explicit_and_ordered(self):
+        # Machine 1 joins late, machine 2 leaves mid-run: the log must
+        # carry both events at their own simulated times, chronologically
+        # ordered (joins before leaves at equal times).
+        jobs = [GridJob(i, 200.0, 2.0 * i) for i in range(8)]
+        machines = [
+            GridMachine(0, mips=10.0),
+            GridMachine(1, mips=10.0, join_time=6.0),
+            GridMachine(2, mips=10.0, leave_time=11.0),
+        ]
+        metrics = GridSimulator(
+            jobs,
+            machines,
+            HeuristicBatchPolicy("mct"),
+            SimulationConfig(activation_interval=5.0),
+            rng=1,
+        ).run()
+        events = [(e.time, e.event, e.machine_id) for e in metrics.machine_events]
+        assert events == [
+            (0.0, "join", 0),
+            (0.0, "join", 2),
+            (6.0, "join", 1),
+            (11.0, "leave", 2),
+        ]
+        keys = [e.sort_key for e in metrics.machine_events]
+        assert keys == sorted(keys)
+
+    def test_event_timestamps_not_activation_times(self):
+        # Join at t=3 and leave at t=7 are both noticed at the t=10
+        # activation but logged at their own times.
+        jobs = [GridJob(0, 50.0, 0.0), GridJob(1, 50.0, 9.0)]
+        machines = [
+            GridMachine(0, mips=10.0),
+            GridMachine(1, mips=10.0, join_time=3.0, leave_time=7.0),
+        ]
+        metrics = GridSimulator(
+            jobs,
+            machines,
+            HeuristicBatchPolicy("mct"),
+            SimulationConfig(activation_interval=10.0),
+            rng=1,
+        ).run()
+        churny = [e for e in metrics.machine_events if e.machine_id == 1]
+        assert [(e.time, e.event) for e in churny] == [(3.0, "join"), (7.0, "leave")]
+
+
 class TestEndToEndWithModels:
     def test_generated_workload_completes_with_cma_policy(self):
         jobs = PoissonArrivalModel(rate=0.8, duration=30.0, heterogeneity="lo").generate(rng=6)

@@ -333,3 +333,35 @@ class TestReseatEngine:
                 tiny_instance,
                 np.full((4, tiny_instance.nb_jobs), tiny_instance.nb_machines),
             )
+
+
+class TestServiceReset:
+    def test_reset_forgets_cross_simulation_state(self):
+        service = DynamicSchedulerService(
+            CMAConfig.fast_defaults(), max_seconds=30.0, max_iterations=2
+        )
+        instance = batch_instance([0, 1, 2, 3], [0, 1], rng_seed=9)
+        service.schedule(instance, rng=1)
+        assert service.plan
+        assert service.batch is not None
+        assert service.stats.activations == 1
+
+        service.reset()
+        assert service.plan == {}
+        assert service.batch is None
+        assert service.stats.activations == 0
+
+    def test_reset_service_replays_like_a_fresh_one(self):
+        """reset() is equivalent to building a new service (same seed, same plan)."""
+        config = CMAConfig.fast_defaults()
+        instance = batch_instance([0, 1, 2, 3, 4, 5], [0, 1, 2], rng_seed=11)
+        budget = dict(max_seconds=30.0, max_iterations=3)
+
+        reused = DynamicSchedulerService(config, **budget)
+        reused.schedule(instance, rng=np.random.default_rng(7))  # leaves state behind
+        reused.reset()
+        replayed = reused.schedule(instance, rng=np.random.default_rng(7))
+
+        fresh = DynamicSchedulerService(config, **budget)
+        reference = fresh.schedule(instance, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(replayed, reference)

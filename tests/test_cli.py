@@ -211,3 +211,198 @@ class TestSimulateCommand:
     def test_unknown_policy_reported(self, capsys):
         code = main(["simulate", "--policy", "nonsense", "--duration", "5"])
         assert code == 2
+
+
+class TestTraceCommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_unknown_family_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "generate", "--family", "tsunami", "--out", "x.npz"]
+            )
+
+    def test_generate_writes_a_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "calm.npz"
+        code = main(
+            [
+                "trace",
+                "generate",
+                "--family",
+                "calm",
+                "--duration",
+                "15",
+                "--rate",
+                "0.5",
+                "--machines",
+                "3",
+                "--seed",
+                "4",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "Generated trace" in capsys.readouterr().out
+        from repro.traces import load_trace
+
+        trace = load_trace(out)
+        assert trace.nb_machines == 3
+        assert trace.metadata["family"] == "calm"
+
+    def test_record_captures_a_live_simulation(self, tmp_path, capsys):
+        out = tmp_path / "recorded.npz"
+        code = main(
+            [
+                "trace",
+                "record",
+                "--policy",
+                "mct",
+                "--rate",
+                "0.5",
+                "--duration",
+                "15",
+                "--machines",
+                "3",
+                "--seed",
+                "4",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        from repro.traces import load_trace
+
+        trace = load_trace(out)
+        assert trace.metadata["policy"] == "mct"
+        assert trace.nb_jobs >= 1
+
+    def test_replay_prints_the_arena_table(self, tmp_path, capsys):
+        out = tmp_path / "arena.npz"
+        assert (
+            main(
+                [
+                    "trace",
+                    "generate",
+                    "--family",
+                    "bursty",
+                    "--duration",
+                    "15",
+                    "--rate",
+                    "0.8",
+                    "--machines",
+                    "3",
+                    "--seed",
+                    "6",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "trace",
+                "replay",
+                "--trace",
+                str(out),
+                "--policies",
+                "min_min,mct",
+                "--interval",
+                "5",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Replay arena" in output
+        assert "min_min" in output and "mct" in output
+        assert "stream makespan" in output
+
+    def test_replay_honors_recorded_interval(self, tmp_path, capsys):
+        """Replaying a recorded trace defaults to its recorded simulation
+        parameters, so a deterministic policy reproduces the captured
+        stream makespan exactly."""
+        out = tmp_path / "rec.npz"
+        main(
+            [
+                "trace",
+                "record",
+                "--policy",
+                "min_min",
+                "--rate",
+                "1",
+                "--duration",
+                "20",
+                "--machines",
+                "3",
+                "--interval",
+                "4",
+                "--seed",
+                "9",
+                "--out",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["trace", "replay", "--trace", str(out), "--policies", "min_min"])
+        output = capsys.readouterr().out
+        assert code == 0
+        from repro.traces import load_trace
+        from repro.utils.tables import format_number
+
+        recorded = load_trace(out).metadata["stream_makespan"]
+        assert format_number(recorded, precision=3) in output
+
+    def test_replay_missing_trace_reported(self, capsys):
+        code = main(["trace", "replay", "--trace", "/does/not/exist.npz"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_replay_unknown_policy_reported(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        main(
+            [
+                "trace",
+                "generate",
+                "--duration",
+                "10",
+                "--machines",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        code = main(["trace", "replay", "--trace", str(out), "--policies", "magic"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err.lower()
+
+    def test_replay_rolling_policy_needs_horizon(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        main(
+            [
+                "trace",
+                "generate",
+                "--duration",
+                "10",
+                "--machines",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        code = main(
+            [
+                "trace",
+                "replay",
+                "--trace",
+                str(out),
+                "--policies",
+                "warm-cma-rolling",
+            ]
+        )
+        assert code == 2
+        assert "horizon" in capsys.readouterr().err.lower()

@@ -1,0 +1,138 @@
+"""Tests for the deterministic scenario-family generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TRACE_FAMILIES, TraceConfig
+from repro.traces.generators import (
+    TRACE_GENERATORS,
+    generate_trace,
+    list_trace_families,
+)
+
+#: A fast configuration shared by the per-family checks.
+FAST = dict(duration=30.0, rate=1.0, nb_machines=4)
+
+
+def test_registry_matches_config_families():
+    """The config layer's mirrored family names stay in sync with the registry."""
+    assert set(list_trace_families()) == set(TRACE_FAMILIES)
+    assert set(TRACE_GENERATORS) == set(TRACE_FAMILIES)
+
+
+@pytest.mark.parametrize("family", TRACE_FAMILIES)
+class TestEveryFamily:
+    def test_deterministic_under_seed(self, family):
+        config = TraceConfig(family=family, churn_fraction=0.25, **FAST)
+        first = generate_trace(config, seed=11)
+        second = generate_trace(config, seed=11)
+        np.testing.assert_array_equal(first.job_arrivals, second.job_arrivals)
+        np.testing.assert_array_equal(first.job_workloads, second.job_workloads)
+        np.testing.assert_array_equal(first.machine_mips, second.machine_mips)
+        np.testing.assert_array_equal(first.machine_leaves, second.machine_leaves)
+
+    def test_different_seeds_differ(self, family):
+        config = TraceConfig(family=family, **FAST)
+        first = generate_trace(config, seed=11)
+        second = generate_trace(config, seed=12)
+        assert (
+            first.nb_jobs != second.nb_jobs
+            or not np.array_equal(first.job_arrivals, second.job_arrivals)
+        )
+
+    def test_trace_shape(self, family):
+        config = TraceConfig(family=family, affinity_spread=0.3, **FAST)
+        trace = generate_trace(config, seed=5)
+        assert trace.nb_machines == 4
+        assert np.all(np.diff(trace.job_arrivals) >= 0)
+        assert np.all(trace.job_arrivals <= config.duration)
+        assert np.all(trace.job_workloads > 0)
+        assert np.all(trace.machine_affinity_spreads == 0.3)
+        assert trace.metadata["family"] == family
+        assert trace.metadata["seed"] == 5
+
+    def test_simulation_consumes_trace(self, family):
+        from repro.grid import GridSimulator, HeuristicBatchPolicy, SimulationConfig
+
+        config = TraceConfig(family=family, churn_fraction=0.25, **FAST)
+        trace = generate_trace(config, seed=3)
+        metrics = GridSimulator.from_trace(
+            trace,
+            HeuristicBatchPolicy("mct"),
+            SimulationConfig(activation_interval=10.0),
+            rng=3,
+        ).run()
+        assert metrics.completed_jobs == trace.nb_jobs
+
+
+def test_churn_produces_leave_events():
+    config = TraceConfig(
+        family="flash_crowd", churn_fraction=0.9, nb_machines=8, duration=30.0, rate=1.0
+    )
+    trace = generate_trace(config, seed=2)
+    events = trace.machine_events()
+    assert any(event.event == "leave" for event in events)
+    # Machine 0 always stays (the grid must never be empty).
+    assert not np.isfinite(trace.machine_leaves[0])
+
+
+def test_heavy_tail_is_heavier_than_calm():
+    """Pareto sizes: the max/median workload ratio dwarfs the uniform family's."""
+    heavy = generate_trace(
+        TraceConfig(family="heavy_tail", duration=400.0, rate=1.0, nb_machines=2),
+        seed=13,
+    )
+    calm = generate_trace(
+        TraceConfig(family="calm", duration=400.0, rate=1.0, nb_machines=2), seed=13
+    )
+    ratio = lambda w: float(w.max() / np.median(w))  # noqa: E731
+    assert ratio(heavy.job_workloads) > 2.0 * ratio(calm.job_workloads)
+
+
+def test_bursty_rate_stays_budget_comparable():
+    """The MMPP's long-run arrival count is within 2x of the calm family's."""
+    config = dict(duration=2000.0, rate=1.0, nb_machines=2)
+    bursty = generate_trace(TraceConfig(family="bursty", **config), seed=7)
+    calm = generate_trace(TraceConfig(family="calm", **config), seed=7)
+    assert 0.5 < bursty.nb_jobs / calm.nb_jobs < 2.0
+
+
+def test_flash_crowd_spikes_cluster():
+    """Flash arrivals concentrate: the busiest window dwarfs the mean load."""
+    trace = generate_trace(
+        TraceConfig(
+            family="flash_crowd",
+            duration=100.0,
+            rate=0.5,
+            nb_machines=2,
+            extra={"nb_flashes": 1, "flash_size": 40, "flash_window": 2.0},
+        ),
+        seed=21,
+    )
+    counts, _ = np.histogram(trace.job_arrivals, bins=np.arange(0.0, 102.0, 2.0))
+    assert counts.max() >= 10 * max(1.0, counts.mean())
+
+
+def test_churn_can_strike_mid_stream():
+    """Some churn departures land inside the submission window, so spikes
+    (and arrivals generally) can meet a shrinking park."""
+    config = TraceConfig(
+        family="flash_crowd", churn_fraction=0.9, nb_machines=8, duration=30.0, rate=1.0
+    )
+    trace = generate_trace(config, seed=2)
+    finite = trace.machine_leaves[np.isfinite(trace.machine_leaves)]
+    assert finite.size
+    assert finite.min() <= config.duration
+
+
+@pytest.mark.parametrize("family", TRACE_FAMILIES)
+def test_unknown_extra_knob_rejected(family):
+    with pytest.raises(ValueError, match="unknown extra"):
+        generate_trace(
+            TraceConfig(family=family, extra={"burst_facto": 3.0}, **FAST), seed=1
+        )
+
+
+def test_unknown_family_rejected_by_config():
+    with pytest.raises(ValueError, match="family"):
+        TraceConfig(family="tsunami")
