@@ -32,6 +32,27 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 _SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop").lower()
 
 
+def bench_repetitions(default: int) -> int:
+    """Repetition count for a statistics-bearing benchmark.
+
+    ``REPRO_BENCH_REPS`` overrides the benchmark's scale-dependent default,
+    so paper-scale runs can record non-degenerate std / p-value columns
+    (repetitions >= 2) without changing what CI pays for.
+    """
+    raw = os.environ.get("REPRO_BENCH_REPS")
+    if raw is None:
+        return default
+    try:
+        repetitions = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_REPS must be an integer >= 1, got {raw!r}"
+        ) from None
+    if repetitions < 1:
+        raise ValueError(f"REPRO_BENCH_REPS must be an integer >= 1, got {raw!r}")
+    return repetitions
+
+
 def _table_settings() -> ExperimentSettings:
     """Settings used by the Table 2-5 benchmarks."""
     if _SCALE == "paper":

@@ -29,7 +29,14 @@ this table instead of adding ad-hoc timers (see
   plans carried between activations) at an identical per-activation budget:
   mean/p95 scheduler seconds per activation and the stream makespan.  Warm
   must be ≥ 1.3x faster per activation with the stream makespan tied within
-  1% (the PR-4 acceptance bar).
+  1% (the PR-4 acceptance bar);
+* **event core at scale** (PR 6) — the same calm 10⁵-job trace simulated
+  once under the periodic ``SCHEDULER_TICK`` driver and once under the
+  adaptive :class:`~repro.core.config.ActivationPolicy` (backlog trigger +
+  min/max-interval guard): wall-clock seconds, activation counts (total and
+  idle) and the stream makespan.  Adaptive must fire ≥ 5x fewer activations
+  and finish in less wall-clock at an equal (within 2%) stream makespan —
+  the PR-6 acceptance bar.
 
 Besides the rendered table, the numbers are dumped to
 ``benchmarks/output/BENCH_engine.json`` (section → rows) so future perf PRs
@@ -51,7 +58,7 @@ import time
 
 import numpy as np
 
-from repro.core.config import CMAConfig, IslandConfig
+from repro.core.config import ActivationPolicy, CMAConfig, IslandConfig, TraceConfig
 from repro.core.individual import Individual
 from repro.core.local_search import get_local_search
 from repro.core.termination import TerminationCriteria
@@ -65,8 +72,10 @@ from repro.grid import (
     StaticResourceModel,
     WarmCMAPolicy,
 )
+from repro.grid.scheduler import HeuristicBatchPolicy
 from repro.islands import IslandModel
 from repro.model.benchmark import generate_braun_like_instance
+from repro.traces import generate_trace
 from repro.model.fitness import FitnessEvaluator
 from repro.model.schedule import Schedule
 
@@ -88,6 +97,25 @@ DYNAMIC_MACHINES = 12
 DYNAMIC_INTERVAL = 15.0
 #: Identical per-activation budget for the cold policy and the warm service.
 DYNAMIC_BUDGET = dict(max_seconds=5.0, max_iterations=15, max_stagnant_iterations=4)
+
+#: Event-core scenario: a calm 10^5-job stream (10^6 at paper scale) on a
+#: static 16-machine park, scheduled by MCT so the measurement isolates the
+#: simulator core instead of the scheduling policy.
+_EVENT_SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop").lower()
+EVENT_TRACE = TraceConfig(
+    family="calm",
+    duration=50_000.0 if _EVENT_SCALE == "paper" else 10_000.0,
+    rate=20.0 if _EVENT_SCALE == "paper" else 10.0,
+    nb_machines=16,
+    job_heterogeneity="lo",
+)
+EVENT_SEED = 9
+EVENT_INTERVAL = 1.0
+#: Adaptive driver of the comparison: fire on a 256-job backlog (or a
+#: membership change), at most once per simulated second, at least every 60.
+EVENT_ADAPTIVE = ActivationPolicy.adaptive(
+    backlog_threshold=256, min_interval=1.0, max_interval=60.0
+)
 
 #: Grid-iteration configurations: (mesh label, cells, local search).
 GRID_CASES = [
@@ -208,6 +236,42 @@ def _time_dynamic_scheduling() -> dict[str, dict[str, float]]:
     return results
 
 
+def _time_event_core() -> dict[str, dict[str, float]]:
+    """Wall-clock and activation counts of the two activation drivers.
+
+    One calm high-volume trace, one cheap policy (MCT), one simulation per
+    driver.  The periodic driver ticks every ``EVENT_INTERVAL`` simulated
+    seconds whether or not anything arrived; the adaptive driver fires on a
+    pending backlog / membership change under a min-interval guard, with a
+    max-interval fallback.  The stream is work-dominated (utilization ~1),
+    so both drivers must land on near-identical stream makespans — the
+    activation count and the wall-clock are where they differ.
+    """
+    trace = generate_trace(EVENT_TRACE, seed=EVENT_SEED)
+    results: dict[str, dict[str, float]] = {}
+    for name, activation in (("periodic", None), ("adaptive", EVENT_ADAPTIVE)):
+        config = SimulationConfig(
+            activation_interval=EVENT_INTERVAL,
+            max_activations=10_000_000,
+            activation=activation,
+        )
+        simulator = GridSimulator.from_trace(
+            trace, HeuristicBatchPolicy("mct"), config, rng=EVENT_SEED
+        )
+        start = time.perf_counter()
+        metrics = simulator.run()
+        elapsed = time.perf_counter() - start
+        results[name] = {
+            "wall_seconds": elapsed,
+            "activations": float(metrics.nb_activations),
+            "idle_activations": float(metrics.nb_idle_activations),
+            "stream_makespan": metrics.makespan,
+            "completed_jobs": float(metrics.completed_jobs),
+        }
+    results["jobs"] = {"count": float(trace.nb_jobs)}
+    return results
+
+
 def test_engine_throughput(record_output, record_json):
     instance = generate_braun_like_instance(
         "u_i_hihi.0", rng=7, nb_jobs=NB_JOBS, nb_machines=NB_MACHINES
@@ -260,6 +324,24 @@ def test_engine_throughput(record_output, record_json):
         / dynamic["warm"]["mean_scheduler_seconds"]
     )
 
+    # --- event core at scale: periodic vs. adaptive activation ------------ #
+    event_core = _time_event_core()
+    activation_ratio = (
+        (
+            event_core["periodic"]["activations"]
+            + event_core["periodic"]["idle_activations"]
+        )
+        / max(
+            event_core["adaptive"]["activations"]
+            + event_core["adaptive"]["idle_activations"],
+            1.0,
+        )
+    )
+    event_wall_speedup = (
+        event_core["periodic"]["wall_seconds"]
+        / event_core["adaptive"]["wall_seconds"]
+    )
+
     moves = NB_JOBS * NB_MACHINES
     lines = [
         f"instance: {NB_JOBS} jobs x {NB_MACHINES} machines, population {POP}",
@@ -308,6 +390,25 @@ def test_engine_throughput(record_output, record_json):
             f"  ({row['activations']:.0f} activations)"
         )
     lines.append(f"  warm-vs-cold per-activation speedup: {warm_speedup:.2f}x")
+    lines += [
+        "",
+        f"event core at scale ({event_core['jobs']['count']:.0f}-job calm trace, "
+        f"{EVENT_TRACE.nb_machines} machines, MCT policy, "
+        f"periodic interval {EVENT_INTERVAL:.0f}s vs adaptive backlog "
+        f"{EVENT_ADAPTIVE.backlog_threshold}):",
+    ]
+    for name in ("periodic", "adaptive"):
+        row = event_core[name]
+        lines.append(
+            f"  {name:8s}: wall {row['wall_seconds']:7.2f}s"
+            f"  activations {row['activations']:8.0f}"
+            f"  (+{row['idle_activations']:.0f} idle)"
+            f"  stream makespan {row['stream_makespan']:14.1f}"
+        )
+    lines.append(
+        f"  adaptive fires {activation_ratio:.1f}x fewer activations, "
+        f"{event_wall_speedup:.2f}x less wall-clock"
+    )
     text = "\n".join(lines)
     record_output("engine_throughput", text)
     record_json(
@@ -350,6 +451,16 @@ def test_engine_throughput(record_output, record_json):
                     "cold": dynamic["cold"],
                     "warm": dynamic["warm"],
                     "speedup": warm_speedup,
+                },
+                "event_core": {
+                    "jobs": event_core["jobs"]["count"],
+                    "machines": EVENT_TRACE.nb_machines,
+                    "activation_interval": EVENT_INTERVAL,
+                    "backlog_threshold": EVENT_ADAPTIVE.backlog_threshold,
+                    "periodic": event_core["periodic"],
+                    "adaptive": event_core["adaptive"],
+                    "activation_ratio": activation_ratio,
+                    "wall_speedup": event_wall_speedup,
                 },
             },
             "cores": cores,
@@ -396,3 +507,19 @@ def test_engine_throughput(record_output, record_json):
     )
     # Both policies must finish the same stream.
     assert dynamic["warm"]["completed_jobs"] == dynamic["cold"]["completed_jobs"]
+    # Event core (PR-6 acceptance bar): both drivers complete the whole
+    # stream; adaptive fires >= 5x fewer activations and costs less
+    # wall-clock at an equal (within 2%) stream makespan.
+    assert (
+        event_core["periodic"]["completed_jobs"]
+        == event_core["adaptive"]["completed_jobs"]
+        == event_core["jobs"]["count"]
+    )
+    assert activation_ratio >= 5.0
+    assert (
+        event_core["adaptive"]["wall_seconds"]
+        < event_core["periodic"]["wall_seconds"]
+    )
+    assert event_core["adaptive"]["stream_makespan"] <= (
+        event_core["periodic"]["stream_makespan"] * 1.02
+    )

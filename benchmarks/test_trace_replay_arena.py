@@ -9,16 +9,26 @@ heavy-tailed job sizes, flash crowd + churn) × the default policy roster
 per-activation budget, and dumps the scenario × policy table both as text
 and into ``BENCH_engine.json`` (merged next to the engine/dynamic
 sections, so partial benchmark runs coexist).
+
+On the calm family the roster is doubled: each of Min-Min and the cold cMA
+also enters under the adaptive :class:`~repro.core.config.ActivationPolicy`
+(``*-adaptive`` twins), so one arena table shows both activation drivers on
+the same trace at the same budget.
+
+``REPRO_BENCH_REPS`` overrides the per-scale repetition count (see
+:func:`benchmarks.conftest.bench_repetitions`), so paper-scale runs can
+record non-degenerate std / p-value columns without changing CI cost.
 """
 
+import dataclasses
 import os
 
-from repro.core.config import ArenaConfig, TraceConfig
+from repro.core.config import ActivationPolicy, ArenaConfig, TraceConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import dynamic_policy_specs
 from repro.traces import ReplayArena, generate_trace, summarize_arena
 
-from .conftest import run_once
+from .conftest import bench_repetitions, run_once
 
 _SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop").lower()
 
@@ -26,9 +36,9 @@ _SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop").lower()
 #: few dozen activations; the paper scale stretches the submission windows
 #: and machine parks toward the protocol of the static tables.
 if _SCALE == "paper":
-    _DURATION, _MACHINES, _REPETITIONS = 300.0, 16, 3
+    _DURATION, _MACHINES, _REPETITIONS = 300.0, 16, bench_repetitions(3)
 else:
-    _DURATION, _MACHINES, _REPETITIONS = 50.0, 6, 1
+    _DURATION, _MACHINES, _REPETITIONS = 50.0, 6, bench_repetitions(1)
 
 SCENARIOS = {
     "calm": TraceConfig(
@@ -59,14 +69,29 @@ _BUDGET = dict(max_seconds=0.15, max_iterations=30, max_stagnant_iterations=5)
 
 _INTERVAL = 10.0
 
+#: Adaptive driver of the calm family's ``*-adaptive`` twins.
+_ADAPTIVE = ActivationPolicy.adaptive(
+    backlog_threshold=8, min_interval=1.0, max_interval=2 * _INTERVAL
+)
+#: The periodic contestants duplicated under the adaptive driver.
+_ADAPTIVE_TWINS = ("min_min", "cma")
+
 
 def _run_arenas(seed=2007):
     results = {}
     for scenario, config in SCENARIOS.items():
         trace = generate_trace(config, seed=seed, name=scenario)
-        specs = list(
-            dynamic_policy_specs(horizon=_INTERVAL, **_BUDGET).values()
-        )
+        roster = dynamic_policy_specs(horizon=_INTERVAL, **_BUDGET)
+        specs = list(roster.values())
+        if scenario == "calm":
+            # Both activation drivers on one trace, in one table: the twin
+            # replays the identical policy spec under the adaptive driver.
+            specs += [
+                dataclasses.replace(
+                    roster[name], name=f"{name}-adaptive", activation=_ADAPTIVE
+                )
+                for name in _ADAPTIVE_TWINS
+            ]
         arena = ReplayArena(
             trace,
             specs,
@@ -130,6 +155,14 @@ def test_trace_replay_arena(benchmark, record_output, record_json):
         for name in ("cma", "warm-cma", "warm-cma-rolling"):
             assert reports[name].makespan.mean <= baseline * 1.15, (scenario, name)
             assert reports[name].p95_scheduler_seconds < 1.0, (scenario, name)
+
+    # The adaptive twins of the calm family complete the same stream with a
+    # stream makespan in the same league as their periodic originals.
+    calm_reports = {r.policy: r for r in summarize_arena(results["calm"][1])}
+    for name in _ADAPTIVE_TWINS:
+        twin, original = calm_reports[f"{name}-adaptive"], calm_reports[name]
+        assert twin.completed_jobs == original.completed_jobs, name
+        assert twin.makespan.mean <= original.makespan.mean * 1.2, name
 
     print()
     print(text)

@@ -47,9 +47,11 @@ from repro.baselines import (
 )
 from repro.core import CellularMemeticAlgorithm, CMAConfig, IslandConfig, TerminationCriteria
 from repro.core.config import (
+    ACTIVATION_MODES,
     EMIGRANT_SELECTIONS,
     ISLAND_TOPOLOGIES,
     TRACE_FAMILIES,
+    ActivationPolicy,
     ArenaConfig,
     TraceConfig,
 )
@@ -137,6 +139,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(reproduction of Xhafa, Alba & Dorronsoro, IPPS 2007).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_activation_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--activation-policy", choices=ACTIVATION_MODES, default="periodic",
+            help="scheduler-activation driver: 'periodic' fires every "
+            "--interval seconds; 'adaptive' fires on a pending-job backlog "
+            "or a machine-membership change (with --interval as the "
+            "fallback cadence)",
+        )
+        sub.add_argument(
+            "--backlog", type=int, default=32,
+            help="adaptive driver only: pending-job count that triggers an "
+            "immediate activation (default 32)",
+        )
 
     def add_instance_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -247,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stagnation", type=int, default=None,
         help="optional per-activation early stop after N stagnant iterations",
     )
+    add_activation_arguments(simulate)
     simulate.add_argument("--seed", type=int, default=2007)
 
     trace = subparsers.add_parser(
@@ -318,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional per-activation early stop after N stagnant iterations",
     )
     replay.add_argument("--repetitions", type=int, default=1, help="independent replays per policy")
+    add_activation_arguments(replay)
     replay.add_argument("--seed", type=int, default=2007)
 
     return parser
@@ -530,6 +548,13 @@ def _command_islands(args: argparse.Namespace) -> int:
     return 0
 
 
+def _activation_policy(args: argparse.Namespace) -> ActivationPolicy | None:
+    """``--activation-policy``/``--backlog`` -> the simulator's driver."""
+    if args.activation_policy == "adaptive":
+        return ActivationPolicy.adaptive(backlog_threshold=args.backlog)
+    return None
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     jobs = PoissonArrivalModel(rate=args.rate, duration=args.duration).generate(rng=args.seed)
     machines = StaticResourceModel(nb_machines=args.machines).generate(rng=args.seed)
@@ -538,7 +563,9 @@ def _command_simulate(args: argparse.Namespace) -> int:
         jobs,
         machines,
         policy,
-        SimulationConfig(activation_interval=args.interval),
+        SimulationConfig(
+            activation_interval=args.interval, activation=_activation_policy(args)
+        ),
         rng=args.seed,
     )
     metrics = simulator.run()
@@ -622,6 +649,7 @@ def _command_trace_replay(args: argparse.Namespace) -> int:
     config = ArenaConfig(
         activation_interval=interval,
         commit_horizon=None if recorded_horizon is None else float(recorded_horizon),
+        activation=_activation_policy(args),
         repetitions=args.repetitions,
         seed=args.seed,
         workers=args.workers,

@@ -10,7 +10,7 @@ Figures 2-5 and the ablation benchmarks are plain data-driven loops.
 """
 
 from repro.core.cma import CellularMemeticAlgorithm, SchedulingResult
-from repro.core.config import CMAConfig, IslandConfig, WarmStartConfig
+from repro.core.config import ActivationPolicy, CMAConfig, IslandConfig, WarmStartConfig
 from repro.core.mo_cma import MOCMAConfig, MultiObjectiveCellularMA, MultiObjectiveResult
 from repro.core.pareto import ParetoArchive, ParetoPoint, dominates, hypervolume_2d
 from repro.core.crossover import (
@@ -87,6 +87,7 @@ __all__ = [
     "CMAConfig",
     "IslandConfig",
     "WarmStartConfig",
+    "ActivationPolicy",
     "MultiObjectiveCellularMA",
     "MOCMAConfig",
     "MultiObjectiveResult",

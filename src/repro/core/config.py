@@ -36,11 +36,13 @@ __all__ = [
     "WarmStartConfig",
     "TraceConfig",
     "ArenaConfig",
+    "ActivationPolicy",
     "ISLAND_TOPOLOGIES",
     "MIGRATION_INTERVAL_UNITS",
     "EMIGRANT_SELECTIONS",
     "WARM_START_MODES",
     "TRACE_FAMILIES",
+    "ACTIVATION_MODES",
 ]
 
 #: Migration-graph names understood by :mod:`repro.islands.topology`.  The
@@ -63,6 +65,9 @@ WARM_START_MODES = ("previous_plan", "off")
 #: names are mirrored here so the config layer can validate without importing
 #: upward (pinned in sync by ``tests/traces/test_generators.py``).
 TRACE_FAMILIES = ("calm", "bursty", "diurnal", "heavy_tail", "flash_crowd")
+
+#: How :class:`ActivationPolicy` drives the simulator's scheduler ticks.
+ACTIVATION_MODES = ("periodic", "adaptive")
 
 
 def _check_choice(name: str, value: str, available) -> str:
@@ -609,6 +614,108 @@ class TraceConfig:
 
 
 @dataclass(frozen=True)
+class ActivationPolicy:
+    """When the event-driven grid simulator activates the batch scheduler.
+
+    The simulator (:mod:`repro.grid.simulator`) runs on one typed event
+    queue; scheduler activations are ``SCHEDULER_TICK`` events whose
+    placement this policy controls.
+
+    Attributes
+    ----------
+    mode:
+        ``"periodic"`` (default) chains ticks at the simulation's
+        ``activation_interval`` — the classic fixed-cadence driver, and the
+        bit-exact replacement of the pre-event-queue loop.  ``"adaptive"``
+        schedules ticks on demand: as soon as the pending backlog reaches
+        ``backlog_threshold`` or the machine membership changes under
+        pending work (subject to the ``min_interval`` guard), and at
+        ``max_interval`` at the latest while work is pending — so a calm
+        stream pays a handful of activations instead of thousands of empty
+        ticks.
+    backlog_threshold:
+        Pending-job count that triggers an early activation in adaptive
+        mode.
+    min_interval:
+        Guard between consecutive activations even when triggers fire;
+        ``None`` means no guard (0 — but never two activations at the same
+        simulated instant).
+    max_interval:
+        Latest re-activation distance while jobs are pending; ``None``
+        inherits the simulation's ``activation_interval``.
+    on_machine_change:
+        Whether a join/leave that affects pending work (a join with a
+        non-empty backlog, a leave that revokes placements) counts as a
+        trigger.
+    """
+
+    mode: str = "periodic"
+    backlog_threshold: int = 32
+    min_interval: float | None = None
+    max_interval: float | None = None
+    on_machine_change: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", _check_choice("mode", self.mode, ACTIVATION_MODES))
+        check_integer("backlog_threshold", self.backlog_threshold, minimum=1)
+        if self.min_interval is not None:
+            check_non_negative("min_interval", self.min_interval)
+        if self.max_interval is not None:
+            check_positive("max_interval", self.max_interval)
+        if (
+            self.min_interval is not None
+            and self.max_interval is not None
+            and self.min_interval > self.max_interval
+        ):
+            raise ValueError(
+                f"min_interval ({self.min_interval}) must not exceed "
+                f"max_interval ({self.max_interval})"
+            )
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether this policy schedules ticks on demand."""
+        return self.mode == "adaptive"
+
+    @classmethod
+    def periodic(cls) -> "ActivationPolicy":
+        """The fixed-cadence driver (ticks at ``activation_interval``)."""
+        return cls(mode="periodic")
+
+    @classmethod
+    def adaptive(
+        cls,
+        backlog_threshold: int = 32,
+        *,
+        min_interval: float | None = None,
+        max_interval: float | None = None,
+        on_machine_change: bool = True,
+    ) -> "ActivationPolicy":
+        """The on-demand driver (backlog / membership triggers + fallback)."""
+        return cls(
+            mode="adaptive",
+            backlog_threshold=backlog_threshold,
+            min_interval=min_interval,
+            max_interval=max_interval,
+            on_machine_change=on_machine_change,
+        )
+
+    def evolve(self, **changes: Any) -> "ActivationPolicy":
+        """Return a copy of the policy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly description of the activation policy."""
+        return {
+            "mode": self.mode,
+            "backlog threshold": self.backlog_threshold,
+            "min interval": self.min_interval,
+            "max interval": self.max_interval,
+            "on machine change": self.on_machine_change,
+        }
+
+
+@dataclass(frozen=True)
 class ArenaConfig:
     """Configuration of the policy-replay arena.
 
@@ -625,6 +732,11 @@ class ArenaConfig:
         applied to every policy (a policy spec may override the commit
         horizon — the rolling-horizon variants exist precisely to study
         that knob).
+    activation:
+        Shared :class:`ActivationPolicy` driving every replay's scheduler
+        ticks; ``None`` means the periodic driver.  A policy spec may
+        override it, which is how the adaptive-activation variant of a
+        policy enters the same arena as its periodic twin.
     repetitions:
         Independent replays per policy; each repetition derives its own
         seed stream from ``seed`` through the stable
@@ -650,6 +762,7 @@ class ArenaConfig:
     activation_interval: float = 10.0
     commit_horizon: float | None = None
     max_activations: int = 10_000
+    activation: ActivationPolicy | None = None
     repetitions: int = 1
     seed: int = 2007
     workers: int = 0
@@ -660,6 +773,10 @@ class ArenaConfig:
         check_positive("activation_interval", self.activation_interval)
         if self.commit_horizon is not None:
             check_positive("commit_horizon", self.commit_horizon)
+        if self.activation is not None and not isinstance(
+            self.activation, ActivationPolicy
+        ):
+            raise TypeError("activation must be an ActivationPolicy or None")
         check_integer("max_activations", self.max_activations, minimum=1)
         check_integer("repetitions", self.repetitions, minimum=1)
         check_integer("seed", self.seed, minimum=0)
@@ -687,6 +804,9 @@ class ArenaConfig:
             "activation interval": self.activation_interval,
             "commit horizon": self.commit_horizon,
             "max activations": self.max_activations,
+            "activation mode": (
+                "periodic" if self.activation is None else self.activation.mode
+            ),
             "repetitions": self.repetitions,
             "seed": self.seed,
             "workers": self.workers,

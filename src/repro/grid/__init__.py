@@ -8,6 +8,8 @@ in for the external grid-simulator packages the paper defers to future work
 (see DESIGN.md §4, substitution 4).
 """
 
+from repro.core.config import ActivationPolicy
+from repro.grid.events import Event, EventQueue, EventType
 from repro.grid.job import GridJob, JobRecord, JobState
 from repro.grid.machine import GridMachine, MachineState, execution_times_matrix
 from repro.grid.metrics import ActivationRecord, MachineEvent, SimulationMetrics
@@ -29,6 +31,10 @@ from repro.grid.workload import (
 )
 
 __all__ = [
+    "ActivationPolicy",
+    "Event",
+    "EventQueue",
+    "EventType",
     "GridJob",
     "JobRecord",
     "JobState",

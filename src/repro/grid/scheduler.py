@@ -3,10 +3,14 @@
 The paper's central usage claim (Sections 1 and 6) is that the cMA can serve
 as a *dynamic* scheduler by being run "in batch mode for a very short time to
 schedule jobs arriving to the system since the last activation".  The
-simulator therefore delegates every activation to a
+event-driven simulator therefore delegates every ``SCHEDULER_TICK`` — placed
+periodically or adaptively by its
+:class:`~repro.core.config.ActivationPolicy` — to a
 :class:`BatchSchedulingPolicy`, which receives a static ETC instance built
 from the currently pending jobs and the currently available machines and
-returns an assignment.
+returns an assignment.  A policy never sees *when* or *why* it was
+activated, only the batch; the same policy object works unchanged under
+either activation driver.
 
 Three families of policies are provided:
 

@@ -4,9 +4,14 @@
 scheduler activation — a fresh engine, a fresh heuristic seed, a fresh
 initial local-search pass over the whole mesh.  The paper's deployment claim
 (Sections 1 and 6) is that the cMA runs "in batch mode for a very short
-time" *periodically*; consecutive activations of a real grid overlap heavily
-(most pending jobs were pending one interval ago), so almost all of that
-cold-start work re-derives information the previous activation already had.
+time" whenever the simulator's activation driver fires a ``SCHEDULER_TICK``
+(periodically or adaptively — see
+:class:`~repro.core.config.ActivationPolicy`); consecutive activations of a
+real grid overlap heavily (most pending jobs were pending one activation
+ago), so almost all of that cold-start work re-derives information the
+previous activation already had.  Sparser adaptive activations only
+strengthen the case for keeping the engine warm: each activation's batch is
+larger, so the reseat high-water mark is hit sooner and amortized longer.
 
 :class:`DynamicSchedulerService` keeps exactly one cMA's worth of state
 alive across the whole simulation:

@@ -1,34 +1,45 @@
-"""Discrete-event simulation of a dynamic grid driven by a batch scheduler.
+"""Event-driven simulation of a dynamic grid driven by a batch scheduler.
 
 The simulation reproduces the operating mode the paper proposes for real
-grids: jobs arrive over time, machines may join or leave, and every
-``activation_interval`` simulated seconds the batch scheduler is invoked on
-the jobs that are currently pending, treating the busy time already committed
-on every machine as its *ready time* (exactly the role ``ready_m`` plays in
-the static ETC model).
+grids: jobs arrive over time, machines may join or leave, and the batch
+scheduler is activated on the jobs that are currently pending, treating the
+busy time already committed on every machine as its *ready time* (exactly
+the role ``ready_m`` plays in the static ETC model).
 
-The simulator advances activation by activation:
+Simulated time advances event to event over one typed
+:class:`~repro.grid.events.EventQueue` (see that module for the event
+vocabulary and the deterministic tie-breaking rules):
 
-1. Machine departures since the previous activation are processed first;
-   jobs queued or running on a departed machine are returned to the pending
-   pool (their earlier completion records are revoked and their reschedule
-   counter incremented) — this is the "unless it drops from the Grid" clause
-   of the problem description.
-2. Pending jobs that have already arrived are collected (a monotone arrival
-   cursor plus a pending-index set — jobs are arrival-sorted, so no rescan
-   of the whole stream) and a static
-   :class:`~repro.model.instance.SchedulingInstance` is built from them and
-   from the machines currently available in one vectorized
-   :func:`~repro.grid.machine.execution_times_matrix` call (ready times =
-   committed busy time).  The instance's metadata carries the stable job and
-   machine ids of the batch so stateful policies (the warm scheduling
-   service of :mod:`repro.grid.service`) can remap plans across activations.
-3. The configured :class:`~repro.grid.scheduler.BatchSchedulingPolicy`
-   produces an assignment; jobs are appended to their machines' queues in
-   shortest-processing-time order and their start / completion times are
-   committed.
-4. The loop ends when every job has completed and no further arrivals or
-   departures are possible.
+* ``TASK_SUBMIT`` — one job's arrival admits it to the pending pool;
+  arrivals are popped exactly once, never rescanned.
+* ``MACHINE_JOIN`` / ``MACHINE_LEAVE`` — membership changes are popped
+  exactly once at their own simulated times (the event log is timestamped
+  accordingly).  A leave revokes the placements still outstanding on the
+  departed machine: those jobs return to the pending pool with their
+  reschedule counter incremented — the "unless it drops from the Grid"
+  clause of the problem description — and the machine is credited only for
+  the work it actually ran.
+* ``TASK_END`` — a committed placement reaches its planned finish;
+  popping it garbage-collects the machine's outstanding-work queue, so
+  departure processing scans only genuinely in-flight placements.
+* ``SCHEDULER_TICK`` — one scheduler activation: pending jobs that have
+  arrived are assembled into a static
+  :class:`~repro.model.instance.SchedulingInstance` (one vectorized
+  :func:`~repro.grid.machine.execution_times_matrix` call; the metadata
+  carries stable job/machine ids for stateful policies), the configured
+  :class:`~repro.grid.scheduler.BatchSchedulingPolicy` produces an
+  assignment, and the jobs are committed to their machines' queues in
+  shortest-processing-time order.
+
+Who places the ticks is the :class:`~repro.core.config.ActivationPolicy` of
+the :class:`SimulationConfig`.  The default **periodic** driver chains
+ticks at ``activation_interval`` exactly like the classic fixed-cadence
+loop — same activation timestamps, same batches, same RNG stream — so
+recorded-trace replay stays bit-exact across the event-queue refactor.
+The **adaptive** driver schedules ticks on demand (pending-backlog
+threshold, membership changes, a max-interval fallback, all under a
+min-interval guard), which is what lets a calm 10^5-job trace run in a few
+hundred activations instead of thousands of empty ticks.
 
 Simulated time is completely decoupled from wall-clock time; the wall-clock
 cost of each scheduler activation is measured separately and reported in the
@@ -38,10 +49,14 @@ metrics (the paper's argument is precisely that a 90-second — here sub-second
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import ActivationPolicy
+from repro.grid.events import EventQueue, EventType
 from repro.grid.job import GridJob, JobRecord, JobState
 from repro.grid.machine import GridMachine, MachineState, execution_times_matrix
 from repro.grid.metrics import ActivationRecord, MachineEvent, SimulationMetrics
@@ -61,7 +76,8 @@ class SimulationConfig:
     Attributes
     ----------
     activation_interval:
-        Simulated seconds between scheduler activations.
+        Simulated seconds between scheduler activations under the periodic
+        driver (and the adaptive driver's default ``max_interval``).
     max_activations:
         Hard cap on the number of activations (a runaway guard).
     commit_horizon:
@@ -73,17 +89,25 @@ class SimulationConfig:
         pending and is re-optimized at the next activation (which is what
         lets a warm scheduling policy carry its plan forward, and lets any
         policy revise queued-but-not-started decisions as new jobs arrive).
+    activation:
+        The :class:`~repro.core.config.ActivationPolicy` placing the
+        scheduler ticks; ``None`` means the periodic driver.
     """
 
     activation_interval: float = 10.0
     max_activations: int = 10_000
     commit_horizon: float | None = None
+    activation: ActivationPolicy | None = None
 
     def __post_init__(self) -> None:
         check_positive("activation_interval", self.activation_interval)
         check_integer("max_activations", self.max_activations, minimum=1)
         if self.commit_horizon is not None:
             check_positive("commit_horizon", self.commit_horizon)
+        if self.activation is not None and not isinstance(
+            self.activation, ActivationPolicy
+        ):
+            raise TypeError("activation must be an ActivationPolicy or None")
 
 
 @dataclass
@@ -96,7 +120,7 @@ class _QueueEntry:
 
 
 class GridSimulator:
-    """Simulates a grid where a batch scheduler is activated periodically."""
+    """Simulates a grid whose batch scheduler is driven by typed events."""
 
     def __init__(
         self,
@@ -130,27 +154,52 @@ class GridSimulator:
         }
         if len(self.machine_states) != len(self.machines):
             raise ValueError("machine ids must be unique")
-        self._queues: dict[int, list[_QueueEntry]] = {
-            machine.machine_id: [] for machine in self.machines
+        # Outstanding committed work per machine, in nondecreasing
+        # start/finish order (per-machine queue bases never move backwards
+        # except at departure, where the queue is rebuilt anyway), so
+        # TASK_END events garbage-collect from the front in O(1) and a
+        # departure scans only genuinely in-flight placements.
+        self._queues: dict[int, deque[_QueueEntry]] = {
+            machine.machine_id: deque() for machine in self.machines
         }
         self._departed: set[int] = set()
         self.activations: list[ActivationRecord] = []
-        # Pending-job index: jobs are arrival-sorted, so a monotone cursor
-        # admits arrivals exactly once and the pending set is maintained
-        # incrementally (resubmissions re-add, commits remove) — no rescan
-        # of the whole job stream at every activation.
+        # Pending-job index: TASK_SUBMIT events admit arrivals exactly once;
+        # the pending set is maintained incrementally (resubmissions re-add,
+        # commits remove) — no rescan of the job stream, ever.
         self._job_position: dict[int, int] = {
             job.job_id: position for position, job in enumerate(self.jobs)
         }
-        self._arrival_cursor = 0
         self._pending_positions: set[int] = set()
+        self._submitted = 0
+        # Incremental stopping-rule state: jobs not yet COMPLETED, machines
+        # that ever received a commit (the departed-machine log must stay
+        # faithful: a leave on a machine that did work is always processed,
+        # one that never did may fall after the stream drains), and the
+        # not-yet-departed machines with a finite leave time.
+        self._unfinished = len(self.jobs)
+        self._has_commits: set[int] = set()
+        self._pending_leaves: set[int] = {
+            machine.machine_id
+            for machine in self.machines
+            if machine.leave_time is not None
+        }
+        # Park-position availability flags (joined and not departed),
+        # preserving the park order of ``self.machines`` in every batch.
+        self._active = [False] * len(self.machines)
         # Explicit machine join/leave event log (chronological in the final
-        # metrics): joins are noticed at the first activation at or after
-        # the join time, leaves when the departure is processed — both are
-        # timestamped with the event's own simulated time, not the
-        # activation that observed it.
+        # metrics): each membership event is popped — and logged — exactly
+        # once, at its own simulated time.
         self.machine_events: list[MachineEvent] = []
-        self._joined: set[int] = set()
+        # Adaptive-driver state: the time of the one live SCHEDULER_TICK
+        # (stale ticks are skipped by timestamp), the last fired activation,
+        # and whether membership changed under pending work since then.
+        self._next_tick: float | None = None
+        self._last_activation = -math.inf
+        self._membership_dirty = False
+        self._ticks_fired = 0
+        self._nb_idle_activations = 0
+        self._events: EventQueue | None = None
         if self.recorder is not None:
             self.recorder.on_simulation_start(self.jobs, self.machines, self.config)
 
@@ -187,96 +236,186 @@ class GridSimulator:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationMetrics:
         """Run the simulation to completion and return its metrics."""
+        queue = EventQueue()
+        self._events = queue
+        for position, job in enumerate(self.jobs):
+            queue.push(job.arrival_time, EventType.TASK_SUBMIT, position)
+        for position, machine in enumerate(self.machines):
+            queue.push(machine.join_time, EventType.MACHINE_JOIN, position)
+            if machine.leave_time is not None:
+                queue.push(machine.leave_time, EventType.MACHINE_LEAVE, position)
+
+        activation = self.config.activation
+        adaptive = activation is not None and activation.is_adaptive
+        if adaptive:
+            self._min_gap = (
+                0.0 if activation.min_interval is None else activation.min_interval
+            )
+            self._max_gap = (
+                self.config.activation_interval
+                if activation.max_interval is None
+                else activation.max_interval
+            )
+        else:
+            # The periodic driver seeds tick 0 at t=0 and chains the next
+            # tick after each one fires — identical activation timestamps
+            # (k * activation_interval, capped at max_activations) to the
+            # classic loop, hence identical batches and RNG stream.
+            queue.push(0.0, EventType.SCHEDULER_TICK, 0)
+
         interval = self.config.activation_interval
-        now = 0.0
-        activation = 0
-        while activation < self.config.max_activations:
-            self._notice_joins(now)
-            self._process_departures(now)
-            self._activate_scheduler(now)
-            if self._finished(now):
-                break
-            activation += 1
-            now = activation * interval
+        while queue:
+            event = queue.pop()
+            now = event.time
+            kind = event.kind
+            if kind is EventType.TASK_END:
+                self._handle_task_end(event.payload, now, adaptive)
+            elif kind is EventType.TASK_SUBMIT:
+                self._handle_submit(event.payload, now, adaptive)
+            elif kind is EventType.MACHINE_JOIN:
+                self._handle_join(event.payload, now, adaptive)
+            elif kind is EventType.MACHINE_LEAVE:
+                self._handle_leave(event.payload, now, adaptive)
+            elif not adaptive:
+                tick = event.payload
+                self._fire_scheduler(now)
+                if self._finished(now):
+                    break
+                if tick + 1 >= self.config.max_activations:
+                    break  # runaway guard, like the classic loop's cap
+                queue.push((tick + 1) * interval, EventType.SCHEDULER_TICK, tick + 1)
+            else:
+                if self._next_tick is None or now != self._next_tick:
+                    continue  # superseded by an earlier wakeup
+                self._next_tick = None
+                self._fire_scheduler(now)
+                self._last_activation = now
+                self._membership_dirty = False
+                self._ticks_fired += 1
+                if self._finished(now):
+                    break
+                if self._ticks_fired >= self.config.max_activations:
+                    break  # runaway guard
+                self._ensure_wakeup(now)
+
         metrics = self._collect_metrics()
         if self.recorder is not None:
             self.recorder.on_simulation_end(metrics)
         return metrics
 
     # ------------------------------------------------------------------ #
-    # Stages
+    # Event handlers
     # ------------------------------------------------------------------ #
-    def _notice_joins(self, now: float) -> None:
-        """Log machines whose join time has passed (at their join time)."""
-        for machine in self.machines:
-            if machine.machine_id in self._joined or machine.join_time > now:
-                continue
-            self._joined.add(machine.machine_id)
-            self.machine_events.append(
-                MachineEvent(
-                    time=machine.join_time, machine_id=machine.machine_id, event="join"
-                )
-            )
+    def _handle_submit(self, position: int, now: float, adaptive: bool) -> None:
+        """One job's arrival: admit it to the pending pool, exactly once."""
+        self._pending_positions.add(position)
+        self._submitted += 1
+        if adaptive:
+            self._ensure_wakeup(now)
 
-    def _process_departures(self, now: float) -> None:
-        """Handle machines whose leave time has passed; resubmit their jobs."""
-        for machine in self.machines:
-            if machine.machine_id in self._departed:
-                continue
-            if machine.leave_time is None or machine.leave_time > now:
-                continue
-            self._departed.add(machine.machine_id)
-            leave = machine.leave_time
-            self.machine_events.append(
-                MachineEvent(time=leave, machine_id=machine.machine_id, event="leave")
-            )
-            state = self.machine_states[machine.machine_id]
-            surviving: list[_QueueEntry] = []
-            for entry in self._queues[machine.machine_id]:
-                if entry.finish <= leave:
-                    surviving.append(entry)
-                    continue
-                # The job did not finish before the machine left: revoke it.
-                record = self.records[entry.job_id]
-                record.state = JobState.RESUBMITTED
-                record.machine_id = None
-                record.start_time = None
-                record.completion_time = None
-                record.reschedules += 1
-                record.note(f"resubmitted at t={leave:.2f} (machine departed)")
-                self._pending_positions.add(self._job_position[entry.job_id])
-                # Commit credited the full duration and one completion; the
-                # machine only processed the job up to its leave time (if it
-                # started at all), so give back the un-run remainder and the
-                # completion credit.
-                processed = max(0.0, min(entry.finish, leave) - entry.start)
-                state.busy_time -= (entry.finish - entry.start) - processed
-                state.completed_jobs -= 1
-            self._queues[machine.machine_id] = surviving
-            state.busy_until = min(state.busy_until, leave)
+    def _handle_join(self, position: int, now: float, adaptive: bool) -> None:
+        """One machine's join: activate it and log the event, exactly once."""
+        machine = self.machines[position]
+        self._active[position] = True
+        self.machine_events.append(
+            MachineEvent(time=now, machine_id=machine.machine_id, event="join")
+        )
+        if adaptive:
+            if self._pending_positions:
+                self._membership_dirty = True
+            self._ensure_wakeup(now)
 
-    def _available_machines(self, now: float) -> list[GridMachine]:
-        return [
-            machine
-            for machine in self.machines
-            if machine.machine_id not in self._departed and machine.is_available(now)
-        ]
+    def _handle_leave(self, position: int, now: float, adaptive: bool) -> None:
+        """One machine's departure: revoke its in-flight work, exactly once."""
+        machine = self.machines[position]
+        machine_id = machine.machine_id
+        self._active[position] = False
+        self._departed.add(machine_id)
+        self._pending_leaves.discard(machine_id)
+        self.machine_events.append(
+            MachineEvent(time=now, machine_id=machine_id, event="leave")
+        )
+        state = self.machine_states[machine_id]
+        queue = self._queues[machine_id]
+        surviving = [entry for entry in queue if entry.finish <= now]
+        for entry in queue:
+            if entry.finish <= now:
+                continue
+            # The job did not finish before the machine left: revoke it.
+            record = self.records[entry.job_id]
+            record.state = JobState.RESUBMITTED
+            record.machine_id = None
+            record.start_time = None
+            record.completion_time = None
+            record.reschedules += 1
+            record.note(f"resubmitted at t={now:.2f} (machine departed)")
+            self._pending_positions.add(self._job_position[entry.job_id])
+            self._unfinished += 1
+            # Commit credited the full duration and one completion; the
+            # machine only processed the job up to its leave time (if it
+            # started at all), so give back the un-run remainder and the
+            # completion credit.
+            processed = max(0.0, min(entry.finish, now) - entry.start)
+            state.busy_time -= (entry.finish - entry.start) - processed
+            state.completed_jobs -= 1
+        queue.clear()
+        queue.extend(surviving)
+        state.busy_until = min(state.busy_until, now)
+        if adaptive:
+            if self._pending_positions:
+                self._membership_dirty = True
+            self._ensure_wakeup(now)
 
-    def _pending_jobs(self, now: float) -> list[GridJob]:
-        """Jobs awaiting scheduling, in arrival order (cursor-maintained)."""
-        while (
-            self._arrival_cursor < len(self.jobs)
-            and self.jobs[self._arrival_cursor].arrival_time <= now
-        ):
-            self._pending_positions.add(self._arrival_cursor)
-            self._arrival_cursor += 1
+    def _handle_task_end(self, machine_id: int, now: float, adaptive: bool) -> None:
+        """A planned finish time passed: drop settled work from the queue."""
+        queue = self._queues[machine_id]
+        while queue and queue[0].finish <= now:
+            queue.popleft()
+        if adaptive:
+            self._ensure_wakeup(now)
+
+    def _ensure_wakeup(self, now: float) -> None:
+        """Adaptive driver: keep one live tick scheduled while work pends.
+
+        A triggered wakeup (backlog at threshold, membership change) fires
+        at ``last activation + min_interval``; otherwise the fallback fires
+        at ``last activation + max_interval``.  Only a strictly earlier
+        target replaces the live tick — the superseded tick is skipped by
+        timestamp when it pops.
+        """
+        if not self._pending_positions:
+            return
+        policy = self.config.activation
+        triggered = len(self._pending_positions) >= policy.backlog_threshold or (
+            self._membership_dirty and policy.on_machine_change
+        )
+        gap = self._min_gap if triggered else self._max_gap
+        target = max(now, self._last_activation + gap)
+        if self._next_tick is None or target < self._next_tick:
+            self._next_tick = target
+            self._events.push(target, EventType.SCHEDULER_TICK, None)
+
+    # ------------------------------------------------------------------ #
+    # Scheduler activation
+    # ------------------------------------------------------------------ #
+    def _pending_jobs(self) -> list[GridJob]:
+        """Jobs awaiting scheduling, in arrival order."""
         return [self.jobs[position] for position in sorted(self._pending_positions)]
 
-    def _activate_scheduler(self, now: float) -> None:
+    def _available_machines(self) -> list[GridMachine]:
+        """Machines currently in the park, in park order."""
+        return [
+            machine
+            for machine, active in zip(self.machines, self._active)
+            if active
+        ]
+
+    def _fire_scheduler(self, now: float) -> None:
         """One activation: build the batch instance, schedule it, commit it."""
-        pending = self._pending_jobs(now)
-        available = self._available_machines(now)
+        pending = self._pending_jobs()
+        available = self._available_machines() if pending else []
         if not pending or not available:
+            self._nb_idle_activations += 1
             return
 
         etc = execution_times_matrix(pending, available)
@@ -338,7 +477,8 @@ class GridSimulator:
         whole batch at once: one stable ``(machine, duration)`` key sort, one
         cumulative sum with per-machine segment resets.  ``etc`` is the
         activation's already-built execution-time matrix, so no execution
-        time is recomputed here.  Returns ``(batch makespan of the committed
+        time is recomputed here.  Every committed placement also schedules
+        its ``TASK_END`` event.  Returns ``(batch makespan of the committed
         work, number of committed jobs)`` — under a ``commit_horizon`` only
         the placements that start inside the horizon are committed.
         """
@@ -400,6 +540,9 @@ class GridSimulator:
                 _QueueEntry(job_id=job.job_id, start=start, finish=finish)
             )
             self._pending_positions.discard(self._job_position[job.job_id])
+            self._unfinished -= 1
+            self._has_commits.add(machine.machine_id)
+            self._events.push(finish, EventType.TASK_END, machine.machine_id)
 
         committed_machines = sorted_machines[commit]
         busy_totals = np.bincount(
@@ -421,22 +564,19 @@ class GridSimulator:
         return batch_finish - now, int(commit.sum())
 
     def _finished(self, now: float) -> bool:
-        """All jobs completed, no arrivals pending and no departures to come."""
-        if any(
-            record.state in (JobState.PENDING, JobState.RESUBMITTED, JobState.SCHEDULED)
-            for record in self.records.values()
-        ):
+        """All jobs completed, no arrivals pending and no departures to come.
+
+        O(1 + upcoming leaves) per check, against incremental counters: a
+        machine with a future leave keeps the simulation alive only if it
+        ever received a commit (its departure must be processed and logged).
+        """
+        if self._unfinished:
             return False
-        if self.jobs and self.jobs[-1].arrival_time > now:
+        if self._submitted < len(self.jobs):
             return False
-        upcoming_departures = any(
-            machine.leave_time is not None
-            and machine.machine_id not in self._departed
-            and machine.leave_time > now
-            and self._queues[machine.machine_id]
-            for machine in self.machines
+        return not any(
+            machine_id in self._has_commits for machine_id in self._pending_leaves
         )
-        return not upcoming_departures
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -466,4 +606,5 @@ class GridSimulator:
             rescheduled_jobs=rescheduled,
             activations=self.activations,
             machine_events=self.machine_events,
+            nb_idle_activations=self._nb_idle_activations,
         )

@@ -21,6 +21,8 @@ versioned, shared and replayed:
 from repro.traces.format import TRACE_FORMAT_VERSION, Trace, TraceRecorder, load_trace, save_trace
 from repro.traces.generators import TRACE_GENERATORS, generate_trace, list_trace_families
 from repro.traces.replay import (
+    INHERIT_ACTIVATION,
+    INHERIT_HORIZON,
     ArenaResult,
     PolicySpec,
     ReplayArena,
@@ -40,6 +42,8 @@ __all__ = [
     "TRACE_GENERATORS",
     "generate_trace",
     "list_trace_families",
+    "INHERIT_ACTIVATION",
+    "INHERIT_HORIZON",
     "ArenaResult",
     "PolicySpec",
     "ReplayArena",

@@ -35,7 +35,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.core.config import ArenaConfig, CMAConfig, WarmStartConfig
+from repro.core.config import ActivationPolicy, ArenaConfig, CMAConfig, WarmStartConfig
 from repro.grid.scheduler import (
     BatchSchedulingPolicy,
     CMABatchPolicy,
@@ -50,6 +50,8 @@ from repro.utils.rng import substream_seed_sequence
 from repro.utils.timer import Stopwatch
 
 __all__ = [
+    "INHERIT_ACTIVATION",
+    "INHERIT_HORIZON",
     "PolicySpec",
     "ReplayArena",
     "ArenaResult",
@@ -61,6 +63,9 @@ __all__ = [
 
 #: Spec value meaning "use the arena's commit horizon".
 INHERIT_HORIZON = "inherit"
+
+#: Spec value meaning "use the arena's activation policy".
+INHERIT_ACTIVATION = "inherit"
 
 
 # --------------------------------------------------------------------------- #
@@ -120,12 +125,18 @@ class PolicySpec:
     ``commit_horizon`` is :data:`INHERIT_HORIZON` by default (use the
     arena's); a float or ``None`` overrides it for this policy only —
     which is how the rolling-horizon variant of a policy enters the same
-    arena as its full-commit twin.
+    arena as its full-commit twin.  ``activation`` works the same way for
+    the scheduler-activation driver: :data:`INHERIT_ACTIVATION` uses the
+    arena-wide :class:`~repro.core.config.ActivationPolicy`, while an
+    explicit policy (or ``None`` for the periodic default) lets the same
+    scheduling policy enter the arena once per driver — the periodic vs
+    adaptive comparison runs on one trace, in one arena.
     """
 
     name: str
     factory: Any  # () -> BatchSchedulingPolicy, picklable
     commit_horizon: float | None | str = INHERIT_HORIZON
+    activation: ActivationPolicy | None | str = INHERIT_ACTIVATION
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -136,6 +147,19 @@ class PolicySpec:
             )
         if isinstance(self.commit_horizon, (int, float)) and self.commit_horizon <= 0:
             raise ValueError("commit_horizon override must be positive or None")
+        if isinstance(self.activation, str):
+            if self.activation != INHERIT_ACTIVATION:
+                raise ValueError(
+                    f"activation must be an ActivationPolicy, None, or "
+                    f"{INHERIT_ACTIVATION!r}, got {self.activation!r}"
+                )
+        elif self.activation is not None and not isinstance(
+            self.activation, ActivationPolicy
+        ):
+            raise TypeError(
+                f"activation must be an ActivationPolicy, None, or "
+                f"{INHERIT_ACTIVATION!r}, got {type(self.activation).__name__}"
+            )
 
     def build(self) -> BatchSchedulingPolicy:
         """Instantiate a fresh policy for one replay."""
@@ -148,18 +172,30 @@ class PolicySpec:
             if self.commit_horizon == INHERIT_HORIZON
             else self.commit_horizon
         )
+        activation = (
+            arena.activation
+            if isinstance(self.activation, str)
+            else self.activation
+        )
         return SimulationConfig(
             activation_interval=arena.activation_interval,
             max_activations=arena.max_activations,
             commit_horizon=horizon,
+            activation=activation,
         )
 
 
-def heuristic_policy_spec(heuristic: str, name: str | None = None) -> PolicySpec:
+def heuristic_policy_spec(
+    heuristic: str,
+    name: str | None = None,
+    *,
+    activation: ActivationPolicy | None | str = INHERIT_ACTIVATION,
+) -> PolicySpec:
     """A constructive heuristic (Min-Min, MCT, ...) as an arena contestant."""
     return PolicySpec(
         name=name if name is not None else heuristic,
         factory=_HeuristicPolicyFactory(heuristic),
+        activation=activation,
         description=f"Constructive heuristic {heuristic} at every activation",
     )
 
@@ -168,6 +204,7 @@ def cold_cma_policy_spec(
     config: CMAConfig | None = None,
     *,
     name: str = "cma",
+    activation: ActivationPolicy | None | str = INHERIT_ACTIVATION,
     max_seconds: float = 0.25,
     max_iterations: int | None = 50,
     max_stagnant_iterations: int | None = None,
@@ -178,6 +215,7 @@ def cold_cma_policy_spec(
         factory=_ColdCMAPolicyFactory(
             config, max_seconds, max_iterations, max_stagnant_iterations
         ),
+        activation=activation,
         description="Cold cMA (fresh engine and population per activation)",
     )
 
@@ -188,6 +226,7 @@ def warm_cma_policy_spec(
     *,
     name: str = "warm-cma",
     commit_horizon: float | None | str = INHERIT_HORIZON,
+    activation: ActivationPolicy | None | str = INHERIT_ACTIVATION,
     max_seconds: float = 0.25,
     max_iterations: int | None = 50,
     max_stagnant_iterations: int | None = None,
@@ -203,6 +242,7 @@ def warm_cma_policy_spec(
             config, warm_start, max_seconds, max_iterations, max_stagnant_iterations
         ),
         commit_horizon=commit_horizon,
+        activation=activation,
         description="Warm engine-resident cMA service",
     )
 
