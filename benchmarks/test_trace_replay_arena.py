@@ -145,6 +145,14 @@ def test_trace_replay_arena(benchmark, record_output, record_json):
         for report in summarize_arena(result):
             assert report.completed_jobs == trace.nb_jobs, (scenario, report.policy)
 
+    # Statistics hygiene: a Welch p-value is only ever printed with a real
+    # variance estimate behind it — any row carrying one must come from at
+    # least two repetitions (single-rep rows carry None and render "n/a").
+    for scenario, (trace, result) in results.items():
+        for report in summarize_arena(result):
+            if report.p_value is not None:
+                assert report.repetitions >= 2, (scenario, report.policy)
+
     # Qualitative shape: the metaheuristics stay competitive with Min-Min
     # on the stream makespan in every scenario (the paper's batch-mode
     # deployment claim, now across an order of magnitude more workload

@@ -24,6 +24,15 @@ be driven without writing Python:
     heavy-tailed / flash-crowd), and ``trace replay`` runs the policy
     arena — one trace against several policies at equal per-activation
     budget, optionally one worker process per policy.
+``repro-scheduler serve``
+    Stand the warm scheduler up as a live wall-clock service behind the
+    TCP/JSON line protocol, with a bounded submission queue and
+    shed/degrade overload handling.
+``repro-scheduler loadgen``
+    Replay a trace family open-loop against a live service (an in-process
+    one by default, or ``--connect host:port``) at a shaped rate
+    multiplier, and print the load report next to the service's final
+    metrics snapshot.
 
 Every subcommand prints plain-text tables (the same renderings the benchmark
 harness writes to ``benchmarks/output/``) and returns a conventional process
@@ -33,6 +42,7 @@ exit code, so the CLI can be scripted.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Sequence
 
@@ -50,9 +60,12 @@ from repro.core.config import (
     ACTIVATION_MODES,
     EMIGRANT_SELECTIONS,
     ISLAND_TOPOLOGIES,
+    LOAD_PROFILE_SHAPES,
     TRACE_FAMILIES,
     ActivationPolicy,
     ArenaConfig,
+    LoadProfile,
+    ServiceConfig,
     TraceConfig,
 )
 from repro.engine.service import EvaluationEngine
@@ -87,7 +100,9 @@ from repro.grid import (
     StaticResourceModel,
     WarmCMAPolicy,
 )
+from repro.grid.service import DynamicSchedulerService
 from repro.heuristics import build_schedule, list_heuristics
+from repro.service import LoadGenerator, SchedulerCore, SchedulerServer, ServiceClient
 from repro.model.benchmark import BRAUN_INSTANCE_NAMES, generate_braun_like_instance
 from repro.model.generator import ETCGeneratorConfig
 from repro.model.io import load_etc_file
@@ -98,6 +113,7 @@ from repro.traces import (
     generate_trace,
     load_trace,
     policy_spec_from_name,
+    rescale_trace,
 )
 
 __all__ = ["build_parser", "main"]
@@ -337,6 +353,88 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--repetitions", type=int, default=1, help="independent replays per policy")
     add_activation_arguments(replay)
     replay.add_argument("--seed", type=int, default=2007)
+
+    def add_service_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--machines", type=int, default=8, help="size of the machine park")
+        sub.add_argument(
+            "--capacity", type=int, default=4096,
+            help="submission-queue bound; arrivals beyond it are shed (default 4096)",
+        )
+        sub.add_argument(
+            "--degrade", type=int, default=None,
+            help="batch size that switches to the Min-Min degraded path "
+            "(default: half the capacity)",
+        )
+        sub.add_argument(
+            "--recover", type=int, default=None,
+            help="batch size that switches back to the cMA "
+            "(default: an eighth of the capacity)",
+        )
+        sub.add_argument(
+            "--interval", type=float, default=0.5,
+            help="fallback activation cadence in wall-clock seconds (default 0.5)",
+        )
+        sub.add_argument(
+            "--budget", type=float, default=0.1,
+            help="cMA wall-clock budget per activation (default 0.1)",
+        )
+        sub.add_argument(
+            "--backlog", type=int, default=32,
+            help="backlog that triggers an immediate activation (default 32)",
+        )
+        sub.add_argument("--seed", type=int, default=2007)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the scheduler as a live wall-clock TCP service"
+    )
+    add_service_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7077, help="0 picks a free port")
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="stop (drain + final snapshot) after this many seconds; "
+        "default: run until interrupted",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="replay a trace family open-loop against a live service",
+    )
+    add_service_arguments(loadgen)
+    loadgen.add_argument(
+        "--family", choices=TRACE_FAMILIES, default="calm",
+        help="scenario family to replay (default calm; ignored with --trace)",
+    )
+    loadgen.add_argument("--trace", default=None, help="replay a saved trace file instead")
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0,
+        help="trace submission window in seconds at 1x (default 10)",
+    )
+    loadgen.add_argument("--rate", type=float, default=20.0, help="mean submissions per second at 1x")
+    loadgen.add_argument(
+        "--shape", choices=LOAD_PROFILE_SHAPES, default="constant",
+        help="rate-multiplier shape over the run (default constant)",
+    )
+    loadgen.add_argument(
+        "--multiplier", type=float, default=1.0,
+        help="peak rate multiplier relative to the trace's recorded rate",
+    )
+    loadgen.add_argument(
+        "--base-multiplier", type=float, default=1.0,
+        help="starting multiplier of the step/ramp shapes",
+    )
+    loadgen.add_argument(
+        "--step-at", type=float, default=0.5,
+        help="fraction of the stream where the step shape jumps (default 0.5)",
+    )
+    loadgen.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="drive a remote 'serve' process instead of an in-process server",
+    )
+    loadgen.add_argument(
+        "--abort", action="store_true",
+        help="abort (shed the queue) instead of draining at the end",
+    )
 
     return parser
 
@@ -666,6 +764,103 @@ _TRACE_COMMANDS = {
 }
 
 
+def _service_core(args: argparse.Namespace) -> SchedulerCore:
+    """The shared ``serve``/``loadgen`` core: machine park + warm scheduler."""
+    config = ServiceConfig(
+        queue_capacity=args.capacity,
+        degrade_threshold=args.degrade,
+        recover_threshold=args.recover,
+        activation_interval=args.interval,
+        activation=ActivationPolicy.adaptive(
+            backlog_threshold=args.backlog,
+            min_interval=0.02,
+            max_interval=args.interval,
+        ),
+        max_seconds=args.budget,
+    )
+    machines = StaticResourceModel(nb_machines=args.machines).generate(rng=args.seed)
+    scheduler = DynamicSchedulerService(
+        max_seconds=config.max_seconds,
+        max_iterations=config.max_iterations,
+        max_stagnant_iterations=config.max_stagnant_iterations,
+    )
+    return SchedulerCore(machines, scheduler, config, rng=args.seed)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    async def run() -> None:
+        server = SchedulerServer(_service_core(args), host=args.host, port=args.port)
+        await server.start()
+        host, port = server.address
+        print(f"serving on {host}:{port} (JSON line protocol; Ctrl-C to stop)")
+        if args.duration is not None:
+            await asyncio.sleep(args.duration)
+        else:
+            await asyncio.Event().wait()  # until interrupted
+        snapshot = await server.stop(drain=True)
+        print(format_mapping(snapshot.as_dict(), title="final service snapshot"))
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        trace = generate_trace(
+            TraceConfig(
+                family=args.family,
+                duration=args.duration,
+                rate=args.rate,
+                nb_machines=args.machines,
+            ),
+            seed=args.seed,
+        )
+    profile = LoadProfile(
+        shape=args.shape,
+        multiplier=args.multiplier,
+        base_multiplier=args.base_multiplier,
+        step_at=args.step_at,
+    )
+    generator = LoadGenerator(trace, profile)
+
+    async def run_remote(host: str, port: int):
+        client = await ServiceClient.connect(host, port)
+        try:
+            report = await generator.run(client.submit)
+            snapshot = await client.metrics()
+        finally:
+            await client.close()
+        return report, snapshot
+
+    async def run_local():
+        server = SchedulerServer(_service_core(args))
+        await server.start()
+        report = await generator.run(server.submit)
+        snapshot = await server.stop(drain=not args.abort)
+        return report, snapshot.as_dict()
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        report, snapshot = asyncio.run(run_remote(host or "127.0.0.1", int(port)))
+    else:
+        report, snapshot = asyncio.run(run_local())
+    print(
+        format_mapping(
+            report.as_dict(),
+            title=f"open-loop load: {trace.name} ({profile.shape} "
+            f"x{profile.multiplier:g})",
+        )
+    )
+    print()
+    print(format_mapping(snapshot, title="service snapshot"))
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     return _TRACE_COMMANDS[args.trace_command](args)
 
@@ -678,6 +873,8 @@ _COMMANDS = {
     "islands": _command_islands,
     "simulate": _command_simulate,
     "trace": _command_trace,
+    "serve": _command_serve,
+    "loadgen": _command_loadgen,
 }
 
 
@@ -687,9 +884,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError, KeyError, FileNotFoundError, TypeError, RuntimeError) as error:
+    except (ValueError, KeyError, OSError, TypeError, RuntimeError) as error:
         # TypeError: e.g. a non-steppable --algorithm combined with
-        # migration; RuntimeError: island worker failures and timeouts.
+        # migration; RuntimeError: island worker failures and timeouts;
+        # OSError: missing files and refused/unreachable --connect targets.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

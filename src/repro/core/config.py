@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+import numpy as np
+
 from repro.core.crossover import list_crossovers
 from repro.core.local_search import list_local_searches
 from repro.core.mutation import list_mutations
@@ -37,12 +39,15 @@ __all__ = [
     "TraceConfig",
     "ArenaConfig",
     "ActivationPolicy",
+    "ServiceConfig",
+    "LoadProfile",
     "ISLAND_TOPOLOGIES",
     "MIGRATION_INTERVAL_UNITS",
     "EMIGRANT_SELECTIONS",
     "WARM_START_MODES",
     "TRACE_FAMILIES",
     "ACTIVATION_MODES",
+    "LOAD_PROFILE_SHAPES",
 ]
 
 #: Migration-graph names understood by :mod:`repro.islands.topology`.  The
@@ -68,6 +73,9 @@ TRACE_FAMILIES = ("calm", "bursty", "diurnal", "heavy_tail", "flash_crowd")
 
 #: How :class:`ActivationPolicy` drives the simulator's scheduler ticks.
 ACTIVATION_MODES = ("periodic", "adaptive")
+
+#: Rate-multiplier shapes understood by :class:`LoadProfile`.
+LOAD_PROFILE_SHAPES = ("constant", "step", "ramp")
 
 
 def _check_choice(name: str, value: str, available) -> str:
@@ -712,6 +720,229 @@ class ActivationPolicy:
             "min interval": self.min_interval,
             "max interval": self.max_interval,
             "on machine change": self.on_machine_change,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the live scheduler service (:mod:`repro.service`).
+
+    The live service runs the warm :class:`~repro.grid.service.
+    DynamicSchedulerService` on **wall-clock** time behind a bounded
+    submission queue.  This config describes the queue, the overload state
+    machine and the per-activation budget; the activation cadence itself is
+    an ordinary :class:`ActivationPolicy` re-read on wall-clock seconds.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Hard bound on the submission queue.  A submission arriving at a
+        full queue is *shed* (rejected with a counter) — the backpressure
+        signal of the open-loop story: the queue never grows without bound,
+        the shed counter does.
+    degrade_threshold:
+        Batch size at or above which an activation is solved by the Min-Min
+        degraded fallback instead of the cMA (``None`` defaults to half the
+        queue capacity).  Degrading trades schedule quality for bounded
+        per-activation latency exactly when the backlog says latency is the
+        binding constraint.
+    recover_threshold:
+        Batch size at or below which a degraded service returns to normal
+        cMA scheduling (``None`` defaults to an eighth of the queue
+        capacity).  Keeping ``recover < degrade`` gives the state machine
+        hysteresis: one borderline batch cannot flap the mode.
+    activation_interval:
+        Wall-clock seconds of the fallback activation cadence (the adaptive
+        policy's ``max_interval`` default, and the fixed cadence when a
+        periodic :class:`ActivationPolicy` is configured).
+    activation:
+        The :class:`ActivationPolicy` placing activations on wall-clock
+        time; ``None`` means an adaptive policy with a 32-job backlog
+        trigger, a 20 ms minimum gap and ``activation_interval`` as the
+        fallback.
+    max_seconds, max_iterations, max_stagnant_iterations:
+        Per-activation cMA budget, mirroring
+        :class:`~repro.grid.scheduler.CMABatchPolicy`.
+    latency_window:
+        How many of the most recent per-job scheduling latencies the
+        metrics snapshot aggregates (a rolling window, so a long-running
+        service reports recent tail latency with bounded memory).
+    drain_timeout:
+        Wall-clock bound on a graceful (draining) shutdown; whatever is
+        still queued when it expires is shed instead of scheduled.
+    """
+
+    queue_capacity: int = 4096
+    degrade_threshold: int | None = None
+    recover_threshold: int | None = None
+    activation_interval: float = 0.5
+    activation: ActivationPolicy | None = None
+    max_seconds: float = 0.1
+    max_iterations: int | None = 25
+    max_stagnant_iterations: int | None = 5
+    latency_window: int = 65536
+    drain_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        check_integer("queue_capacity", self.queue_capacity, minimum=1)
+        if self.degrade_threshold is not None:
+            check_integer("degrade_threshold", self.degrade_threshold, minimum=1)
+        if self.recover_threshold is not None:
+            check_integer("recover_threshold", self.recover_threshold, minimum=0)
+        degrade = self.effective_degrade_threshold
+        recover = self.effective_recover_threshold
+        if not recover < degrade <= self.queue_capacity:
+            raise ValueError(
+                f"thresholds must satisfy recover ({recover}) < degrade "
+                f"({degrade}) <= queue_capacity ({self.queue_capacity})"
+            )
+        check_positive("activation_interval", self.activation_interval)
+        if self.activation is not None and not isinstance(
+            self.activation, ActivationPolicy
+        ):
+            raise TypeError("activation must be an ActivationPolicy or None")
+        check_positive("max_seconds", self.max_seconds)
+        if self.max_iterations is not None:
+            check_integer("max_iterations", self.max_iterations, minimum=1)
+        if self.max_stagnant_iterations is not None:
+            check_integer(
+                "max_stagnant_iterations", self.max_stagnant_iterations, minimum=1
+            )
+        check_integer("latency_window", self.latency_window, minimum=1)
+        check_positive("drain_timeout", self.drain_timeout)
+
+    @property
+    def effective_degrade_threshold(self) -> int:
+        """The degrade threshold with its capacity-derived default applied."""
+        if self.degrade_threshold is not None:
+            return self.degrade_threshold
+        return max(1, self.queue_capacity // 2)
+
+    @property
+    def effective_recover_threshold(self) -> int:
+        """The recover threshold with its capacity-derived default applied."""
+        if self.recover_threshold is not None:
+            return self.recover_threshold
+        return max(0, min(self.queue_capacity // 8, self.effective_degrade_threshold - 1))
+
+    @property
+    def effective_activation(self) -> ActivationPolicy:
+        """The activation policy with the wall-clock defaults applied."""
+        if self.activation is not None:
+            return self.activation
+        return ActivationPolicy.adaptive(
+            backlog_threshold=32,
+            min_interval=0.02,
+            max_interval=self.activation_interval,
+        )
+
+    def evolve(self, **changes: Any) -> "ServiceConfig":
+        """Return a copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly description of the live service layer."""
+        return {
+            "queue capacity": self.queue_capacity,
+            "degrade threshold": self.effective_degrade_threshold,
+            "recover threshold": self.effective_recover_threshold,
+            "activation interval": self.activation_interval,
+            "activation mode": self.effective_activation.mode,
+            "max seconds": self.max_seconds,
+            "max iterations": self.max_iterations,
+            "max stagnant iterations": self.max_stagnant_iterations,
+            "latency window": self.latency_window,
+            "drain timeout": self.drain_timeout,
+        }
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """How an open-loop load generator scales a trace's arrival rate.
+
+    The generator replays a trace's recorded inter-arrival gaps divided by
+    a time-varying rate multiplier — submissions are placed on *planned*
+    wall-clock instants that never depend on how fast the scheduler
+    responds (the open-loop discipline; a closed-loop generator would slow
+    down exactly when the system under test is slow, hiding the tail
+    latency overload produces).
+
+    Attributes
+    ----------
+    shape:
+        ``"constant"`` holds ``multiplier`` for the whole stream;
+        ``"step"`` holds ``base_multiplier`` until ``step_at`` of the
+        stream has been replayed, then jumps to ``multiplier``; ``"ramp"``
+        interpolates linearly from ``base_multiplier`` to ``multiplier``
+        across the stream.
+    multiplier:
+        Peak rate multiplier relative to the trace's recorded rate
+        (``2.0`` replays the trace twice as fast).
+    base_multiplier:
+        Starting multiplier of the ``step`` and ``ramp`` shapes (ignored
+        by ``constant``).
+    step_at:
+        Fraction of the stream (by trace time) where the ``step`` lands.
+    """
+
+    shape: str = "constant"
+    multiplier: float = 1.0
+    base_multiplier: float = 1.0
+    step_at: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "shape", _check_choice("shape", self.shape, LOAD_PROFILE_SHAPES)
+        )
+        check_positive("multiplier", self.multiplier)
+        check_positive("base_multiplier", self.base_multiplier)
+        check_probability("step_at", self.step_at)
+
+    def multiplier_at(self, fraction: float) -> float:
+        """The rate multiplier at *fraction* (in ``[0, 1]``) of the stream."""
+        fraction = min(1.0, max(0.0, float(fraction)))
+        if self.shape == "constant":
+            return self.multiplier
+        if self.shape == "step":
+            return self.base_multiplier if fraction < self.step_at else self.multiplier
+        return self.base_multiplier + fraction * (self.multiplier - self.base_multiplier)
+
+    def wall_offsets(self, arrivals: "np.ndarray") -> "np.ndarray":
+        """Planned wall-clock submission offsets for sorted trace *arrivals*.
+
+        Each recorded inter-arrival gap is divided by the multiplier in
+        force at that point of the stream; the cumulative sum is the
+        open-loop submission schedule (seconds from the generator's start).
+        """
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.size == 0:
+            return arrivals
+        span = float(arrivals[-1])
+        fractions = arrivals / span if span > 0 else np.zeros_like(arrivals)
+        if self.shape == "constant":
+            multipliers = np.full(arrivals.size, self.multiplier)
+        elif self.shape == "step":
+            multipliers = np.where(
+                fractions < self.step_at, self.base_multiplier, self.multiplier
+            )
+        else:
+            multipliers = self.base_multiplier + fractions * (
+                self.multiplier - self.base_multiplier
+            )
+        gaps = np.diff(arrivals, prepend=0.0)
+        return np.cumsum(gaps / multipliers)
+
+    def evolve(self, **changes: Any) -> "LoadProfile":
+        """Return a copy of the profile with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly description of the load profile."""
+        return {
+            "shape": self.shape,
+            "multiplier": self.multiplier,
+            "base multiplier": self.base_multiplier,
+            "step at": self.step_at,
         }
 
 

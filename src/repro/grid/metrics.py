@@ -15,7 +15,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ActivationRecord", "MachineEvent", "SimulationMetrics"]
+__all__ = [
+    "ActivationRecord",
+    "MachineEvent",
+    "SimulationMetrics",
+    "latency_percentiles",
+]
+
+
+def latency_percentiles(values: np.ndarray) -> tuple[float, float, float]:
+    """``(p50, p95, p99)`` of a latency sample, zeros when it is empty.
+
+    Shared by the simulation metrics (per-activation scheduler wall-clock)
+    and the live service snapshot (per-job scheduling latency) so both
+    layers report tail latency through the same machinery.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return (0.0, 0.0, 0.0)
+    p50, p95, p99 = np.percentile(values, (50, 95, 99))
+    return (float(p50), float(p95), float(p99))
 
 
 @dataclass(frozen=True)
@@ -135,9 +154,9 @@ class SimulationMetrics:
         completed = int(completion_times.size)
         activation_seconds = np.array([a.scheduler_wall_seconds for a in activations])
         scheduler_seconds = float(activation_seconds.mean()) if activations else 0.0
-        scheduler_p50 = float(np.percentile(activation_seconds, 50)) if activations else 0.0
-        scheduler_p95 = float(np.percentile(activation_seconds, 95)) if activations else 0.0
-        scheduler_p99 = float(np.percentile(activation_seconds, 99)) if activations else 0.0
+        scheduler_p50, scheduler_p95, scheduler_p99 = latency_percentiles(
+            activation_seconds
+        )
         return SimulationMetrics(
             policy=policy,
             nb_jobs=nb_jobs,

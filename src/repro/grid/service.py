@@ -84,6 +84,12 @@ class ServiceStats:
     #: ``carried + filled + degenerate == Σ batch sizes`` over all
     #: warm-mode activations.
     degenerate_jobs: int = 0
+    #: Activations the live service solved through the degraded Min-Min
+    #: path (overload shed-to-heuristic, no cMA run — see
+    #: :meth:`DynamicSchedulerService.degraded_schedule`).
+    degraded_batches: int = 0
+    #: Jobs scheduled through the degraded Min-Min path.
+    degraded_jobs: int = 0
     #: Times the resident buffers had to grow (first allocation included).
     capacity_reallocations: int = 0
 
@@ -314,6 +320,32 @@ class DynamicSchedulerService:
             algorithm.step()
         result = algorithm.finish()
         assignment = np.array(result.best_schedule.assignment, dtype=np.int64)
+        self._remember(instance, assignment)
+        return assignment
+
+    def degraded_schedule(
+        self, instance: SchedulingInstance, rng: RNGLike = None
+    ) -> np.ndarray:
+        """Schedule one batch through the Min-Min fallback, skipping the cMA.
+
+        The live service (:mod:`repro.service`) calls this instead of
+        :meth:`schedule` while its overload state machine is degraded: under
+        a backlog spike, the constructive heuristic's bounded per-batch cost
+        beats the cMA's quality edge.  The outcome is still remembered as
+        the current plan, so the warm start stays coherent when the service
+        recovers and the cMA resumes from the degraded plan rather than from
+        scratch.
+        """
+        self.stats.activations += 1
+        self.stats.degraded_batches += 1
+        self.stats.degraded_jobs += instance.nb_jobs
+        gen = as_generator(rng)
+        fallback = degenerate_assignment(instance, self.config, gen)
+        if fallback is not None:
+            assignment = fallback
+        else:
+            schedule = build_schedule("min_min", instance, gen)
+            assignment = np.array(schedule.assignment, dtype=np.int64)
         self._remember(instance, assignment)
         return assignment
 

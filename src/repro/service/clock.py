@@ -1,0 +1,51 @@
+"""Injectable wall-clock abstraction for the live service layer.
+
+The simulator (:mod:`repro.grid.simulator`) runs on *virtual* time — events
+carry their own timestamps and the run finishes as fast as the CPU allows.
+The live service runs on *wall-clock* time, which is exactly what makes it
+hard to test: latency percentiles, shed decisions and activation cadence
+all depend on "now".  Every service component therefore takes a
+:class:`Clock` and never calls ``time`` directly, so the unit tests drive
+the whole overload state machine with a :class:`FakeClock` — deterministic,
+instantaneous, and able to reproduce any interleaving of submissions and
+activations — while production uses the monotonic :class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "WallClock", "FakeClock"]
+
+
+class Clock(Protocol):
+    """Anything with a monotonic ``now()`` in seconds."""
+
+    def now(self) -> float:
+        """Current time in seconds; must never go backwards."""
+        ...
+
+
+class WallClock:
+    """The real monotonic clock (``time.monotonic``)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds* (never backwards) and return it."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by a negative amount ({seconds})")
+        self._now += float(seconds)
+        return self._now

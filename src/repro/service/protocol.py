@@ -1,0 +1,137 @@
+"""Thin TCP/JSON line protocol for out-of-process service clients.
+
+One request per line, one JSON object per request; one JSON response per
+line.  The protocol is deliberately minimal — enough for a load generator
+or an operator's ``nc`` session, not an RPC framework:
+
+``{"op": "submit", "workload": 500.0}``
+    → ``{"ok": true, "job_id": 17}`` when accepted,
+    → ``{"ok": true, "job_id": null, "shed": true}`` when shed
+    (backpressure is a *normal* answer, not an error).
+``{"op": "metrics"}``
+    → ``{"ok": true, "snapshot": {...}}`` (see
+    :meth:`~repro.service.state.ServiceSnapshot.as_dict`).
+``{"op": "ping"}``
+    → ``{"ok": true}``.
+
+Malformed lines and unknown ops get ``{"ok": false, "error": ...}`` and
+the connection stays open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = ["serve_protocol", "ServiceClient"]
+
+#: Guard against unbounded request lines (also the asyncio reader limit).
+_MAX_LINE = 1 << 16
+
+
+def _handle_request(server: Any, request: dict[str, Any]) -> dict[str, Any]:
+    """Dispatch one decoded request against the server (synchronous ops)."""
+    op = request.get("op")
+    if op == "submit":
+        workload = request.get("workload")
+        if not isinstance(workload, (int, float)) or workload <= 0:
+            return {"ok": False, "error": "submit needs a positive workload"}
+        job_id = server.core.submit(float(workload))
+        if job_id is None:
+            return {"ok": True, "job_id": None, "shed": True}
+        if server.core.seconds_until_due() <= 0:
+            server._wake.set()
+        return {"ok": True, "job_id": job_id}
+    if op == "metrics":
+        return {"ok": True, "snapshot": server.snapshot().as_dict()}
+    if op == "ping":
+        return {"ok": True}
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def _handle_connection(
+    server: Any, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                response = _handle_request(server, request)
+            except (ValueError, json.JSONDecodeError) as error:
+                response = {"ok": False, "error": str(error)}
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def serve_protocol(server: Any, host: str, port: int) -> asyncio.base_events.Server:
+    """Start the TCP listener for *server* (``port=0`` picks a free port)."""
+
+    async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        await _handle_connection(server, reader, writer)
+
+    return await asyncio.start_server(handler, host, port, limit=_MAX_LINE)
+
+
+class ServiceClient:
+    """Minimal asyncio client speaking the line protocol.
+
+    Usage::
+
+        client = await ServiceClient.connect(host, port)
+        job_id = await client.submit(500.0)      # None => shed
+        snapshot = await client.metrics()
+        await client.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=_MAX_LINE)
+        return cls(reader, writer)
+
+    async def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RuntimeError(f"request failed: {response.get('error')}")
+        return response
+
+    async def submit(self, workload: float) -> int | None:
+        """Submit one job; returns its id, or ``None`` when shed."""
+        response = await self._request({"op": "submit", "workload": workload})
+        return response["job_id"]
+
+    async def metrics(self) -> dict[str, Any]:
+        """The server's current metrics snapshot, as a plain dict."""
+        response = await self._request({"op": "metrics"})
+        return response["snapshot"]
+
+    async def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool((await self._request({"op": "ping"}))["ok"])
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass

@@ -1,0 +1,404 @@
+"""The live scheduler's synchronous core: queue, overload machine, metrics.
+
+:class:`SchedulerCore` is the whole service minus the event loop — a plain,
+thread-safe state machine that accepts submissions into a bounded queue,
+turns the backlog into batch :class:`~repro.model.instance.
+SchedulingInstance`\\ s against a static machine park, runs the configured
+batch scheduler (normally the warm
+:class:`~repro.grid.service.DynamicSchedulerService`), commits the plan to
+per-machine busy-until tracks, and keeps the operational counters the
+metrics snapshot reports.  Keeping it synchronous and clock-injected is
+what makes the overload behaviour *testable*: the unit tests drive every
+interleaving of submissions and activations with a
+:class:`~repro.service.clock.FakeClock`, no sleeps, no flakiness — the
+asyncio :class:`~repro.service.server.SchedulerServer` is a thin shell on
+top.
+
+Overload is handled in two explicit stages, mirroring how production
+queueing systems degrade:
+
+1. **shed** — the submission queue is bounded (``ServiceConfig.
+   queue_capacity``); a submission arriving at a full queue is rejected and
+   counted, so under sustained overload the *shed counter* grows while the
+   queue does not (the backpressure signal an open-loop load test can
+   measure);
+2. **degrade** — when one activation's batch reaches
+   ``degrade_threshold``, the core switches to the scheduler's Min-Min
+   fallback (:meth:`~repro.grid.service.DynamicSchedulerService.
+   degraded_schedule`) whose cost is bounded per batch, and switches back
+   only when a batch falls to ``recover_threshold`` (hysteresis, so one
+   borderline batch cannot flap the mode).
+
+Every accepted submission is **exactly-once** accounted: it either appears
+in exactly one activation's ``scheduled_ids`` or is returned by
+:meth:`SchedulerCore.abort` as shed — the property test in
+``tests/service/test_exactly_once.py`` pins this under arbitrary
+interleavings.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.config import ServiceConfig
+from repro.grid.job import GridJob
+from repro.grid.machine import GridMachine, execution_times_matrix
+from repro.grid.metrics import latency_percentiles
+from repro.model.instance import SchedulingInstance
+from repro.utils.rng import RNGLike, as_generator
+from repro.utils.timer import Stopwatch
+
+__all__ = ["Submission", "ActivationOutcome", "ServiceSnapshot", "SchedulerCore"]
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One accepted job waiting in the submission queue."""
+
+    job: GridJob
+    #: Wall-clock instant (the core's clock) the submission was accepted.
+    submitted_at: float
+
+
+@dataclass(frozen=True)
+class ActivationOutcome:
+    """What one activation of the live scheduler did."""
+
+    time: float
+    batch_size: int
+    #: Stable job ids scheduled by this activation (empty when idle).
+    scheduled_ids: tuple[int, ...]
+    #: Overload mode the batch was solved under (``"normal"``/``"degraded"``).
+    mode: str
+    scheduler_seconds: float
+
+    @property
+    def idle(self) -> bool:
+        """Whether the activation found an empty queue."""
+        return self.batch_size == 0
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """One metrics snapshot of the live service (the ``metrics`` endpoint).
+
+    Latency quantiles are per-job *scheduling latency* — accepted to
+    planned, over the rolling ``latency_window`` — computed by the same
+    :func:`~repro.grid.metrics.latency_percentiles` machinery the
+    simulation metrics use for per-activation scheduler cost.
+    """
+
+    uptime_seconds: float
+    backlog: int
+    queue_capacity: int
+    mode: str
+    accepted: int
+    shed: int
+    scheduled: int
+    activations: int
+    idle_activations: int
+    degraded_batches: int
+    degraded_jobs: int
+    peak_backlog: int
+    throughput_per_min: float
+    utilization: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (what the TCP ``metrics`` op returns)."""
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "backlog": self.backlog,
+            "queue_capacity": self.queue_capacity,
+            "mode": self.mode,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "scheduled": self.scheduled,
+            "activations": self.activations,
+            "idle_activations": self.idle_activations,
+            "degraded_batches": self.degraded_batches,
+            "degraded_jobs": self.degraded_jobs,
+            "peak_backlog": self.peak_backlog,
+            "throughput_per_min": self.throughput_per_min,
+            "utilization": self.utilization,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
+        }
+
+
+class SchedulerCore:
+    """Thread-safe submission queue + overload state machine + metrics.
+
+    Parameters
+    ----------
+    machines:
+        The static machine park the service schedules onto (the live
+        service's analogue of the simulator's available set; churn stays a
+        simulator concern for now).
+    scheduler:
+        Any object with ``schedule(instance, rng)``; if it also exposes
+        ``degraded_schedule(instance, rng)`` (the warm
+        :class:`~repro.grid.service.DynamicSchedulerService` does), that is
+        used while the overload mode is degraded, otherwise the normal path
+        is used throughout and only shed protects the service.
+    config:
+        The :class:`~repro.core.config.ServiceConfig` (queue bound,
+        thresholds, activation cadence, latency window).
+    clock:
+        A :class:`~repro.service.clock.Clock`; defaults to the monotonic
+        wall clock.  Tests inject a fake.
+    rng:
+        Seed/generator for the scheduler's stochastic parts.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[GridMachine],
+        scheduler: Any,
+        config: ServiceConfig | None = None,
+        *,
+        clock: Any = None,
+        rng: RNGLike = None,
+    ) -> None:
+        if not machines:
+            raise ValueError("the live service needs at least one machine")
+        from repro.service.clock import WallClock  # local import: no cycle
+
+        self.machines = list(machines)
+        self.scheduler = scheduler
+        self.config = config if config is not None else ServiceConfig()
+        self.clock = clock if clock is not None else WallClock()
+        self.rng = as_generator(rng)
+        self._policy = self.config.effective_activation
+
+        self._lock = threading.Lock()
+        self._epoch = self.clock.now()
+        self._queue: list[Submission] = []
+        self._ids = itertools.count()
+        self._busy_until = np.zeros(len(self.machines))
+        self._busy_time = np.zeros(len(self.machines))
+        self._latencies: list[float] = []
+        self._last_activation = -float("inf")
+
+        self.mode = "normal"
+        self.accepted = 0
+        self.shed = 0
+        self.scheduled = 0
+        self.activations = 0
+        self.idle_activations = 0
+        self.peak_backlog = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission side
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        """Seconds since the core was built (so job arrival times are >= 0)."""
+        return self.clock.now() - self._epoch
+
+    @property
+    def backlog(self) -> int:
+        """Current submission-queue depth."""
+        with self._lock:
+            return len(self._queue)
+
+    def submit(self, workload: float) -> int | None:
+        """Accept one job into the queue, or shed it at capacity.
+
+        Returns the stable job id when accepted, ``None`` when shed — the
+        caller (server, load generator, property test) learns the fate of
+        every submission synchronously; nothing is silently dropped.
+        """
+        now = self._now()
+        with self._lock:
+            if len(self._queue) >= self.config.queue_capacity:
+                self.shed += 1
+                return None
+            job_id = next(self._ids)
+            self._queue.append(
+                Submission(
+                    job=GridJob(job_id=job_id, workload=workload, arrival_time=now),
+                    submitted_at=now,
+                )
+            )
+            self.accepted += 1
+            self.peak_backlog = max(self.peak_backlog, len(self._queue))
+            return job_id
+
+    def seconds_until_due(self) -> float:
+        """Wall-clock seconds until the next activation should fire.
+
+        The configured :class:`~repro.core.config.ActivationPolicy` re-read
+        on wall time: adaptive mode waits ``min_interval`` past the last
+        activation once the backlog reaches the threshold and
+        ``max_interval`` otherwise; periodic mode always waits the
+        ``activation_interval``.  Zero means "due now".
+        """
+        with self._lock:
+            backlog = len(self._queue)
+        if self._policy.is_adaptive:
+            triggered = backlog >= self._policy.backlog_threshold
+            if triggered:
+                gap = self._policy.min_interval or 0.0
+            else:
+                gap = (
+                    self._policy.max_interval
+                    if self._policy.max_interval is not None
+                    else self.config.activation_interval
+                )
+        else:
+            gap = self.config.activation_interval
+        return max(0.0, self._last_activation + gap - self._now())
+
+    # ------------------------------------------------------------------ #
+    # Activation side
+    # ------------------------------------------------------------------ #
+    def activate(self) -> ActivationOutcome:
+        """Drain the queue into one batch, schedule it, commit the plan.
+
+        The queue drain, mode transition and plan commit run under the
+        lock; the scheduler itself runs *outside* it, so submissions keep
+        flowing (and shedding) while a cMA activation crunches — which is
+        exactly the window where genuine overload happens.
+        """
+        with self._lock:
+            now = self._now()
+            self._last_activation = now
+            self.activations += 1
+            batch = self._queue
+            self._queue = []
+            if not batch:
+                self.idle_activations += 1
+                return ActivationOutcome(
+                    time=now,
+                    batch_size=0,
+                    scheduled_ids=(),
+                    mode=self.mode,
+                    scheduler_seconds=0.0,
+                )
+            # Hysteresis: degrade on a big batch, recover only on a small
+            # one, so a single borderline batch cannot flap the mode.
+            if self.mode == "normal" and len(batch) >= self.config.effective_degrade_threshold:
+                self.mode = "degraded"
+            elif self.mode == "degraded" and len(batch) <= self.config.effective_recover_threshold:
+                self.mode = "normal"
+            mode = self.mode
+            pending = [submission.job for submission in batch]
+            etc = execution_times_matrix(pending, self.machines)
+            ready = np.maximum(0.0, self._busy_until - now)
+            instance = SchedulingInstance(
+                etc=etc,
+                ready_times=ready,
+                name=f"live@t={now:.2f}",
+                metadata={
+                    "job_ids": np.array([job.job_id for job in pending], dtype=np.int64),
+                    "machine_ids": np.arange(len(self.machines), dtype=np.int64),
+                },
+            )
+
+        stopwatch = Stopwatch()
+        degraded = mode == "degraded" and hasattr(self.scheduler, "degraded_schedule")
+        if degraded:
+            assignment = self.scheduler.degraded_schedule(instance, self.rng)
+        else:
+            assignment = self.scheduler.schedule(instance, self.rng)
+        assignment = np.asarray(assignment, dtype=np.int64)
+        scheduler_seconds = stopwatch.elapsed
+        if assignment.shape != (len(pending),):
+            raise ValueError(
+                f"scheduler returned an assignment of shape {assignment.shape}, "
+                f"expected ({len(pending)},)"
+            )
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= len(self.machines)
+        ):
+            raise ValueError("scheduler returned machine indices outside the park")
+
+        durations = etc[np.arange(len(pending)), assignment]
+        with self._lock:
+            done = self._now()
+            load = np.bincount(
+                assignment, weights=durations, minlength=len(self.machines)
+            )
+            base = np.maximum(self._busy_until, done)
+            self._busy_until = np.where(load > 0, base + load, self._busy_until)
+            self._busy_time += load
+            self.scheduled += len(pending)
+            self._latencies.extend(done - submission.submitted_at for submission in batch)
+            overflow = len(self._latencies) - self.config.latency_window
+            if overflow > 0:
+                del self._latencies[:overflow]
+        return ActivationOutcome(
+            time=now,
+            batch_size=len(pending),
+            scheduled_ids=tuple(job.job_id for job in pending),
+            mode=mode,
+            scheduler_seconds=scheduler_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def drain(self) -> list[ActivationOutcome]:
+        """Graceful shutdown: schedule what is queued, bounded by the timeout.
+
+        Activates until the queue is empty or ``drain_timeout`` wall-clock
+        seconds have passed; whatever survives the timeout must be
+        :meth:`abort`\\ ed by the caller (the server does).  Returns the
+        activations performed.
+        """
+        started = self._now()
+        outcomes: list[ActivationOutcome] = []
+        while self.backlog > 0:
+            if self._now() - started > self.config.drain_timeout:
+                break
+            outcomes.append(self.activate())
+        return outcomes
+
+    def abort(self) -> tuple[int, ...]:
+        """Hard shutdown: shed everything still queued, return the job ids."""
+        with self._lock:
+            remainder = tuple(submission.job.job_id for submission in self._queue)
+            self._queue = []
+            self.shed += len(remainder)
+            return remainder
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> ServiceSnapshot:
+        """The current metrics snapshot (see :class:`ServiceSnapshot`)."""
+        stats = getattr(self.scheduler, "stats", None)
+        with self._lock:
+            uptime = self._now()
+            p50, p95, p99 = latency_percentiles(np.array(self._latencies))
+            horizon = uptime * len(self.machines)
+            busy = float(np.minimum(self._busy_time, uptime).sum())
+            return ServiceSnapshot(
+                uptime_seconds=uptime,
+                backlog=len(self._queue),
+                queue_capacity=self.config.queue_capacity,
+                mode=self.mode,
+                accepted=self.accepted,
+                shed=self.shed,
+                scheduled=self.scheduled,
+                activations=self.activations,
+                idle_activations=self.idle_activations,
+                degraded_batches=int(getattr(stats, "degraded_batches", 0)),
+                degraded_jobs=int(getattr(stats, "degraded_jobs", 0)),
+                peak_backlog=self.peak_backlog,
+                throughput_per_min=(
+                    60.0 * self.scheduled / uptime if uptime > 0 else 0.0
+                ),
+                utilization=min(1.0, busy / horizon) if horizon > 0 else 0.0,
+                p50_latency=p50,
+                p95_latency=p95,
+                p99_latency=p99,
+            )

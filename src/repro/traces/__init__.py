@@ -19,7 +19,12 @@ versioned, shared and replayed:
 """
 
 from repro.traces.format import TRACE_FORMAT_VERSION, Trace, TraceRecorder, load_trace, save_trace
-from repro.traces.generators import TRACE_GENERATORS, generate_trace, list_trace_families
+from repro.traces.generators import (
+    TRACE_GENERATORS,
+    generate_trace,
+    list_trace_families,
+    rescale_trace,
+)
 from repro.traces.replay import (
     INHERIT_ACTIVATION,
     INHERIT_HORIZON,
@@ -42,6 +47,7 @@ __all__ = [
     "TRACE_GENERATORS",
     "generate_trace",
     "list_trace_families",
+    "rescale_trace",
     "INHERIT_ACTIVATION",
     "INHERIT_HORIZON",
     "ArenaResult",

@@ -41,7 +41,12 @@ from repro.grid.workload import TASK_SIZE_HIGH, sample_mips, sample_workloads
 from repro.traces.format import Trace
 from repro.utils.rng import RNGLike, as_generator, spawn_seed_sequences
 
-__all__ = ["generate_trace", "list_trace_families", "TRACE_GENERATORS"]
+__all__ = [
+    "generate_trace",
+    "list_trace_families",
+    "rescale_trace",
+    "TRACE_GENERATORS",
+]
 
 
 def _extra(config: TraceConfig, allowed: dict[str, float]) -> dict[str, float]:
@@ -290,6 +295,47 @@ if set(TRACE_GENERATORS) != set(TRACE_FAMILIES):  # pragma: no cover - import gu
 def list_trace_families() -> tuple[str, ...]:
     """The registered scenario-family names (mirrors ``TRACE_FAMILIES``)."""
     return tuple(TRACE_GENERATORS)
+
+
+def rescale_trace(
+    trace: Trace, multiplier: float, name: str | None = None
+) -> Trace:
+    """*trace* replayed ``multiplier`` times faster, as a new trace.
+
+    Every timestamp — job arrivals and the finite machine join/leave
+    instants — is divided by *multiplier*, so the whole scenario (spikes,
+    churn windows, diurnal waves) compresses uniformly: the arrival *rate*
+    scales by ``multiplier`` while the arrival *pattern* and every job size
+    stay untouched.  This is the rate-scaling hook the open-loop load
+    generator (:class:`repro.service.LoadGenerator`) builds its 1x/2x
+    overload comparisons on; infinite leave times ("never leaves") are
+    preserved.
+    """
+    if multiplier <= 0:
+        raise ValueError(f"multiplier must be positive, got {multiplier}")
+    multiplier = float(multiplier)
+    leaves = np.where(
+        np.isfinite(trace.machine_leaves),
+        trace.machine_leaves / multiplier,
+        trace.machine_leaves,
+    )
+    return Trace(
+        name=name if name is not None else f"{trace.name}@{multiplier:g}x",
+        job_ids=trace.job_ids,
+        job_workloads=trace.job_workloads,
+        job_arrivals=trace.job_arrivals / multiplier,
+        machine_ids=trace.machine_ids,
+        machine_mips=trace.machine_mips,
+        machine_joins=trace.machine_joins / multiplier,
+        machine_leaves=leaves,
+        machine_affinity_spreads=trace.machine_affinity_spreads,
+        metadata={
+            **trace.metadata,
+            "rate_multiplier": multiplier * float(
+                trace.metadata.get("rate_multiplier", 1.0)
+            ),
+        },
+    )
 
 
 def generate_trace(

@@ -104,9 +104,11 @@ def summarize_arena(
     """One :class:`PolicyReport` per policy, in arena order.
 
     Every non-best policy carries the Welch p-value of its makespans
-    against the best-by-mean policy; with a single repetition the test
-    degenerates to "equal means or not" (0.0 / 1.0), which the table
-    renders but a reader should weigh accordingly.
+    against the best-by-mean policy — *provided both sides have at least
+    two repetitions*.  With a single repetition there is no variance
+    estimate and the "test" degenerates to "equal means or not" (0.0/1.0),
+    which used to be rendered as if it were a real significance level;
+    such rows now carry ``p_value=None`` and the table prints ``n/a``.
     """
     policies = result.policies if isinstance(result, ArenaResult) else result
     if not policies:
@@ -119,6 +121,9 @@ def summarize_arena(
         if report.policy == best.policy:
             annotated.append(report)
             continue
+        if report.repetitions < 2 or len(best_makespans) < 2:
+            annotated.append(report)  # no variance estimate -> no p-value
+            continue
         _, p_value = welch_z_test(
             [m.makespan for m in policies[report.policy]], best_makespans
         )
@@ -128,8 +133,18 @@ def summarize_arena(
 
 def arena_rows(result: ArenaResult | Mapping[str, Sequence[SimulationMetrics]]):
     """Table rows (list of value lists) matching :func:`arena_table` headers."""
+    reports = summarize_arena(result)
+    best = min(reports, key=lambda report: report.makespan.mean)
     rows = []
-    for report in summarize_arena(result):
+    for report in reports:
+        if report.p_value is not None:
+            p_column = f"{report.p_value:.3f}"
+        elif report.policy == best.policy:
+            p_column = "best"
+        else:
+            # Degenerate single-repetition comparison: no variance estimate,
+            # no significance claim (see summarize_arena).
+            p_column = "n/a"
         rows.append(
             [
                 report.policy,
@@ -141,7 +156,7 @@ def arena_rows(result: ArenaResult | Mapping[str, Sequence[SimulationMetrics]]):
                 report.p50_scheduler_seconds,
                 report.p95_scheduler_seconds,
                 report.p99_scheduler_seconds,
-                "best" if report.p_value is None else f"{report.p_value:.3f}",
+                p_column,
             ]
         )
     return rows

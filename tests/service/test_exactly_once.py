@@ -1,0 +1,83 @@
+"""Property test: every accepted submission is exactly-once accounted.
+
+Under *any* interleaving of submissions, clock advances and activations —
+including overload (tiny queue capacity), degraded batches and either
+shutdown flavour — each submission the core accepted must end up in
+exactly one activation's ``scheduled_ids`` or in the abort's shed set,
+and never in both.  This is the invariant that makes the shed counter a
+trustworthy backpressure signal: nothing is silently dropped, nothing is
+scheduled twice.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ServiceConfig
+from repro.grid.machine import GridMachine
+from repro.grid.scheduler import HeuristicBatchPolicy
+from repro.service import FakeClock, SchedulerCore
+
+MACHINES = [GridMachine(machine_id=i, mips=1000.0) for i in range(3)]
+
+# One step of the interleaving: accept-or-shed a job, let wall time pass,
+# or fire an activation (which may be idle).
+STEPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.floats(min_value=1.0, max_value=5000.0)),
+        st.tuples(st.just("advance"), st.floats(min_value=0.0, max_value=10.0)),
+        st.tuples(st.just("activate"), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=STEPS,
+    capacity=st.integers(min_value=2, max_value=8),
+    drain_at_end=st.booleans(),
+)
+def test_accepted_equals_scheduled_plus_shed(steps, capacity, drain_at_end):
+    clock = FakeClock()
+    core = SchedulerCore(
+        MACHINES,
+        HeuristicBatchPolicy("min_min"),
+        ServiceConfig(
+            queue_capacity=capacity,
+            degrade_threshold=max(2, capacity // 2),
+            recover_threshold=1,
+        ),
+        clock=clock,
+        rng=0,
+    )
+    accepted: list[int] = []
+    scheduled: list[int] = []
+    shed_on_submit = 0
+
+    for op, value in steps:
+        if op == "submit":
+            job_id = core.submit(value)
+            if job_id is None:
+                shed_on_submit += 1
+            else:
+                accepted.append(job_id)
+        elif op == "advance":
+            clock.advance(value)
+        else:
+            scheduled.extend(core.activate().scheduled_ids)
+
+    if drain_at_end:
+        for outcome in core.drain():
+            scheduled.extend(outcome.scheduled_ids)
+    shed_at_shutdown = list(core.abort())
+
+    # Exactly once: the scheduled ids and the shutdown-shed ids partition
+    # the accepted ids — no duplicates, no losses, no invented ids.
+    assert len(scheduled) == len(set(scheduled))
+    assert set(scheduled).isdisjoint(shed_at_shutdown)
+    assert sorted(scheduled + shed_at_shutdown) == sorted(accepted)
+    # And the counters agree with the observed fates.
+    assert core.accepted == len(accepted)
+    assert core.scheduled == len(scheduled)
+    assert core.shed == shed_on_submit + len(shed_at_shutdown)
+    assert core.backlog == 0

@@ -406,3 +406,82 @@ class TestTraceCommand:
         )
         assert code == 2
         assert "horizon" in capsys.readouterr().err.lower()
+
+
+class TestServiceParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 7077)
+        assert args.duration is None
+        assert (args.machines, args.capacity) == (8, 4096)
+        assert args.degrade is None and args.recover is None
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert (args.family, args.shape) == ("calm", "constant")
+        assert (args.multiplier, args.base_multiplier) == (1.0, 1.0)
+        assert args.connect is None and not args.abort
+
+    def test_loadgen_unknown_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--shape", "sawtooth"])
+
+    def test_loadgen_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--family", "tsunami"])
+
+
+class TestLoadgenCommand:
+    def test_in_process_run_prints_report_and_snapshot(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--duration", "0.5",
+                "--rate", "30",
+                "--multiplier", "2",
+                "--machines", "4",
+                "--interval", "0.05",
+                "--budget", "0.02",
+                "--seed", "9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop load" in out
+        assert "service snapshot" in out
+        # Every planned submission was accepted and scheduled on this tiny
+        # stream (no shed), and the drain left nothing behind.
+        assert "shed                 0" in out or "shed: 0" in out or "shed" in out
+        assert "backlog" in out
+
+    def test_replays_a_saved_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        main(
+            [
+                "trace", "generate",
+                "--duration", "1",
+                "--rate", "10",
+                "--machines", "2",
+                "--out", str(out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "loadgen",
+                "--trace", str(out),
+                "--machines", "2",
+                "--interval", "0.05",
+                "--budget", "0.02",
+                "--abort",
+            ]
+        )
+        assert code == 0
+        assert "open-loop load" in capsys.readouterr().out
+
+    def test_bad_connect_address_is_reported(self, capsys):
+        code = main(
+            ["loadgen", "--duration", "0.2", "--connect", "127.0.0.1:1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()

@@ -8,6 +8,7 @@ from repro.traces.generators import (
     TRACE_GENERATORS,
     generate_trace,
     list_trace_families,
+    rescale_trace,
 )
 
 #: A fast configuration shared by the per-family checks.
@@ -136,3 +137,45 @@ def test_unknown_extra_knob_rejected(family):
 def test_unknown_family_rejected_by_config():
     with pytest.raises(ValueError, match="family"):
         TraceConfig(family="tsunami")
+
+
+class TestRescaleTrace:
+    def make(self):
+        return generate_trace(
+            TraceConfig(family="calm", churn_fraction=0.5, **FAST), seed=5
+        )
+
+    def test_compresses_the_timeline(self):
+        trace = self.make()
+        fast = rescale_trace(trace, 4.0)
+        np.testing.assert_allclose(fast.job_arrivals, trace.job_arrivals / 4.0)
+        np.testing.assert_allclose(fast.machine_joins, trace.machine_joins / 4.0)
+        # Workloads are untouched: only *when*, never *how much*.
+        np.testing.assert_array_equal(fast.job_workloads, trace.job_workloads)
+        assert fast.name == f"{trace.name}@4x"
+
+    def test_preserves_infinite_leaves(self):
+        trace = self.make()
+        fast = rescale_trace(trace, 2.0)
+        stays = ~np.isfinite(trace.machine_leaves)
+        assert stays.any()  # churn leaves some machines forever
+        np.testing.assert_array_equal(~np.isfinite(fast.machine_leaves), stays)
+        np.testing.assert_allclose(
+            fast.machine_leaves[~stays], trace.machine_leaves[~stays] / 2.0
+        )
+
+    def test_rate_multiplier_metadata_compounds(self):
+        trace = self.make()
+        twice = rescale_trace(rescale_trace(trace, 2.0), 3.0)
+        assert twice.metadata["rate_multiplier"] == pytest.approx(6.0)
+
+    def test_slowdown_is_a_valid_multiplier(self):
+        trace = self.make()
+        slow = rescale_trace(trace, 0.5, name="slow")
+        np.testing.assert_allclose(slow.job_arrivals, trace.job_arrivals * 2.0)
+        assert slow.name == "slow"
+
+    @pytest.mark.parametrize("multiplier", [0.0, -1.0])
+    def test_nonpositive_multiplier_rejected(self, multiplier):
+        with pytest.raises(ValueError, match="multiplier"):
+            rescale_trace(self.make(), multiplier)

@@ -199,6 +199,18 @@ class TestReport:
         assert "stream makespan" in table
         assert "p vs best" in table
 
+    def test_single_repetition_has_no_p_value(self, trace):
+        """One repetition gives no variance estimate, hence no Welch test."""
+        from repro.traces.report import arena_rows
+
+        specs = [heuristic_policy_spec("min_min"), heuristic_policy_spec("mct")]
+        config = ArenaConfig(activation_interval=5.0, repetitions=1, seed=9)
+        result = ReplayArena(trace, specs, config).run()
+        reports = summarize_arena(result)
+        assert all(r.p_value is None for r in reports)
+        columns = {row[-1] for row in arena_rows(result)}
+        assert columns == {"best", "n/a"}
+
     def test_empty_result_rejected(self):
         with pytest.raises(ValueError):
             summarize_arena({})
