@@ -54,7 +54,6 @@ from __future__ import annotations
 
 import math
 import os
-import time
 
 import numpy as np
 
@@ -76,6 +75,7 @@ from repro.grid.scheduler import HeuristicBatchPolicy
 from repro.islands import IslandModel
 from repro.model.benchmark import generate_braun_like_instance
 from repro.traces import generate_trace
+from repro.utils.timer import Stopwatch
 from repro.model.fitness import FitnessEvaluator
 from repro.model.schedule import Schedule
 
@@ -131,10 +131,11 @@ GRID_CASES = [
 def _timed(function, *args, repeats: int = 3) -> float:
     """Best-of-``repeats`` wall-clock seconds for one call."""
     best = float("inf")
+    stopwatch = Stopwatch()
     for _ in range(repeats):
-        start = time.perf_counter()
+        stopwatch.restart()
         function(*args)
-        best = min(best, time.perf_counter() - start)
+        best = min(best, stopwatch.elapsed)
     return best
 
 
@@ -196,9 +197,9 @@ def _time_islands(instance, nb_islands: int) -> tuple[float, float, int]:
     model = IslandModel(
         instance, cma_spec(CMAConfig.paper_defaults()), config, termination, rng=2007
     )
-    start = time.perf_counter()
+    stopwatch = Stopwatch()
     result = model.run()
-    elapsed = time.perf_counter() - start
+    elapsed = stopwatch.elapsed
     return elapsed, float(result.best_fitness), int(result.evaluations)
 
 
@@ -258,9 +259,9 @@ def _time_event_core() -> dict[str, dict[str, float]]:
         simulator = GridSimulator.from_trace(
             trace, HeuristicBatchPolicy("mct"), config, rng=EVENT_SEED
         )
-        start = time.perf_counter()
+        stopwatch = Stopwatch()
         metrics = simulator.run()
-        elapsed = time.perf_counter() - start
+        elapsed = stopwatch.elapsed
         results[name] = {
             "wall_seconds": elapsed,
             "activations": float(metrics.nb_activations),

@@ -14,9 +14,17 @@ The trace is sized so the flashes fit the queue at 1x but mathematically
 exceed it at 2x (more arrivals between two activations than the queue
 holds), so "2x sheds more than 1x" is a property of the workload, not of
 the machine the benchmark happens to run on.
+
+A third run repeats the 1x load with the observability layer fully on
+(metrics registry + activation trace log) and records the
+instrumented-vs-off throughput ratio as the overhead row of the same
+section: instrumentation must cost at most 5% throughput.  The load is
+open-loop, so the offered rate — and with it the throughput — is a
+property of the workload, which keeps the ratio stable enough to assert.
 """
 
 import asyncio
+import io
 import os
 
 from repro.core.config import (
@@ -28,6 +36,7 @@ from repro.core.config import (
 from repro.experiments.reporting import format_table
 from repro.grid.service import DynamicSchedulerService
 from repro.grid.workload import StaticResourceModel
+from repro.obs import MetricsRegistry, TraceLog, parse_exposition
 from repro.service import LoadGenerator, SchedulerCore, SchedulerServer
 from repro.traces import generate_trace, rescale_trace
 
@@ -60,7 +69,7 @@ def _overload_trace(seed=2007):
     return rescale_trace(trace, _COMPRESSION)
 
 
-def _make_server(seed):
+def _make_server(seed, registry=None, trace_log=None):
     config = ServiceConfig(
         queue_capacity=_CAPACITY,
         degrade_threshold=48,
@@ -78,15 +87,21 @@ def _make_server(seed):
         max_seconds=config.max_seconds,
         max_iterations=config.max_iterations,
         max_stagnant_iterations=config.max_stagnant_iterations,
+        registry=registry,
     )
-    return SchedulerServer(SchedulerCore(machines, scheduler, config, rng=seed))
+    core = SchedulerCore(
+        machines, scheduler, config, rng=seed, registry=registry, trace_log=trace_log
+    )
+    return SchedulerServer(core)
 
 
-def _run_at(trace, multiplier, seed=2007):
+def _run_at(trace, multiplier, seed=2007, registry=None, trace_log=None):
     async def run():
-        server = _make_server(seed)
+        server = _make_server(seed, registry=registry, trace_log=trace_log)
         await server.start()
-        generator = LoadGenerator(trace, LoadProfile(multiplier=multiplier))
+        generator = LoadGenerator(
+            trace, LoadProfile(multiplier=multiplier), registry=registry
+        )
         report = await generator.run(server.submit)
         for _ in range(60):
             if server.snapshot().backlog == 0:
@@ -100,22 +115,35 @@ def _run_at(trace, multiplier, seed=2007):
 
 def _run_loads():
     trace = _overload_trace()
-    return {
+    results = {
         multiplier: _run_at(trace, multiplier) for multiplier in (1.0, 2.0)
     }
+    # The 1x load once more with the observability layer fully on: every
+    # layer reports through one registry and every activation writes a
+    # trace span.  The exposition text rides along so the overhead row can
+    # prove the instrumentation was actually live.
+    registry = MetricsRegistry()
+    trace_log = TraceLog(io.StringIO())
+    report, snapshot = _run_at(trace, 1.0, registry=registry, trace_log=trace_log)
+    results["instrumented"] = (report, snapshot)
+    exposition = registry.render()
+    events = trace_log.events_written
+    trace_log.close()
+    return results, exposition, events
 
 
 def test_service_load(benchmark, record_output, record_json):
-    results = run_once(benchmark, _run_loads)
+    results, exposition, trace_events = run_once(benchmark, _run_loads)
 
     rows = []
     json_rows = []
-    for multiplier, (report, snapshot) in results.items():
+    for key, (report, snapshot) in results.items():
+        label = "1x+obs" if key == "instrumented" else f"{key:g}x"
         offered = report.planned / report.duration_seconds * 60.0
         shed_rate = snapshot.shed / report.planned if report.planned else 0.0
         rows.append(
             [
-                f"{multiplier:g}x",
+                label,
                 offered,
                 snapshot.throughput_per_min,
                 snapshot.shed,
@@ -129,7 +157,8 @@ def test_service_load(benchmark, record_output, record_json):
         )
         json_rows.append(
             {
-                "multiplier": multiplier,
+                "multiplier": 1.0 if key == "instrumented" else key,
+                "instrumented": key == "instrumented",
                 "offered_per_min": offered,
                 "max_lag_seconds": report.max_lag_seconds,
                 **report.as_dict(),
@@ -150,13 +179,27 @@ def test_service_load(benchmark, record_output, record_json):
             "p99 s",
         ],
         rows,
-        title="Live service under open-loop flash-crowd load (1x vs 2x)",
+        title="Live service under open-loop flash-crowd load (1x, 2x, 1x instrumented)",
     )
-    record_output("service_load", text)
-    record_json("BENCH_engine", {"sections": {"service_load": json_rows}})
 
     report_1x, snap_1x = results[1.0]
     report_2x, snap_2x = results[2.0]
+    report_obs, snap_obs = results["instrumented"]
+
+    # Instrumented-vs-off overhead: the registry + trace log must cost at
+    # most 5% of the 1x throughput.  The load is open-loop, so throughput
+    # is workload-dominated and the ratio is stable.
+    overhead = {
+        "throughput_ratio": snap_obs.throughput_per_min / snap_1x.throughput_per_min,
+        "throughput_off_per_min": snap_1x.throughput_per_min,
+        "throughput_instrumented_per_min": snap_obs.throughput_per_min,
+        "trace_events": trace_events,
+    }
+    record_output("service_load", text)
+    record_json(
+        "BENCH_engine",
+        {"sections": {"service_load": {"rows": json_rows, "overhead": overhead}}},
+    )
 
     # The queue stayed bounded at both loads, and 2x turned the overload
     # into strictly more shed than 1x (the flashes exceed the queue between
@@ -176,6 +219,17 @@ def test_service_load(benchmark, record_output, record_json):
     # scheduled-per-minute rate (the ROADMAP target's lower band starts at
     # 10^4/min; laptop CI boxes stay within reach of it).
     assert snap_1x.throughput_per_min > 2000.0
+
+    # The instrumentation was live (exposition carries the scheduling
+    # latency histogram with real samples, the trace log real spans) and
+    # cost at most 5% throughput.
+    families = parse_exposition(exposition)
+    latency = families["repro_service_scheduler_seconds"]
+    assert latency.value(sample_name="repro_service_scheduler_seconds_count") > 0
+    assert families["repro_service_submissions_total"].value(outcome="accepted") > 0
+    assert trace_events > 0
+    assert snap_obs.scheduled == snap_obs.accepted
+    assert overhead["throughput_ratio"] >= 0.95
 
     print()
     print(text)

@@ -32,7 +32,12 @@ be driven without writing Python:
     Replay a trace family open-loop against a live service (an in-process
     one by default, or ``--connect host:port``) at a shaped rate
     multiplier, and print the load report next to the service's final
-    metrics snapshot.
+    metrics snapshot.  ``--soak`` replays a multi-minute ramp
+    (``REPRO_SOAK_SECONDS``); ``--metrics-port``/``--trace-out`` turn the
+    observability layer on.
+``repro-scheduler obs``
+    Observability utilities: ``obs summarize trace.jsonl`` renders the
+    per-activation account a ``--trace-out`` run recorded.
 
 Every subcommand prints plain-text tables (the same renderings the benchmark
 harness writes to ``benchmarks/output/``) and returns a conventional process
@@ -43,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 from typing import Sequence
 
@@ -102,6 +108,7 @@ from repro.grid import (
 )
 from repro.grid.service import DynamicSchedulerService
 from repro.heuristics import build_schedule, list_heuristics
+from repro.obs import MetricsRegistry, TraceLog, summarize_trace
 from repro.service import LoadGenerator, SchedulerCore, SchedulerServer, ServiceClient
 from repro.model.benchmark import BRAUN_INSTANCE_NAMES, generate_braun_like_instance
 from repro.model.generator import ETCGeneratorConfig
@@ -383,6 +390,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="backlog that triggers an immediate activation (default 32)",
         )
         sub.add_argument("--seed", type=int, default=2007)
+        sub.add_argument(
+            "--metrics-port", type=int, default=None,
+            help="also serve GET /metrics (Prometheus text format) on this "
+            "port (0 picks a free port; local server only)",
+        )
+        sub.add_argument(
+            "--trace-out", default=None, metavar="FILE",
+            help="append one JSON line per activation/transition to FILE "
+            "(inspect with 'obs summarize'; local server only)",
+        )
 
     serve = subparsers.add_parser(
         "serve", help="run the scheduler as a live wall-clock TCP service"
@@ -434,6 +451,27 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--abort", action="store_true",
         help="abort (shed the queue) instead of draining at the end",
+    )
+    loadgen.add_argument(
+        "--soak", action="store_true",
+        help="sustained soak: replay a REPRO_SOAK_SECONDS-long stream "
+        "(default 180) under the LoadProfile.soak() ramp, overriding "
+        "--duration/--shape/--multiplier/--base-multiplier",
+    )
+
+    obs = subparsers.add_parser(
+        "obs", help="observability utilities (trace summaries)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="render a trace JSONL (serve/loadgen --trace-out) as "
+        "per-activation tables",
+    )
+    summarize.add_argument("trace", help="trace JSONL file to summarize")
+    summarize.add_argument(
+        "--limit", type=int, default=None,
+        help="show only the last N activations (default: all)",
     )
 
     return parser
@@ -765,7 +803,14 @@ _TRACE_COMMANDS = {
 
 
 def _service_core(args: argparse.Namespace) -> SchedulerCore:
-    """The shared ``serve``/``loadgen`` core: machine park + warm scheduler."""
+    """The shared ``serve``/``loadgen`` core: machine park + warm scheduler.
+
+    ``--metrics-port``/``--trace-out`` turn observability on: one shared
+    :class:`~repro.obs.MetricsRegistry` is threaded through the warm
+    scheduler and the core (exposed as ``core.registry``; the server's
+    ``GET /metrics`` renders it), and the trace log rides on the core as
+    ``core.trace_log`` (the command closes it when the run ends).
+    """
     config = ServiceConfig(
         queue_capacity=args.capacity,
         degrade_threshold=args.degrade,
@@ -778,21 +823,39 @@ def _service_core(args: argparse.Namespace) -> SchedulerCore:
         ),
         max_seconds=args.budget,
     )
+    observed = args.metrics_port is not None or args.trace_out
+    registry = MetricsRegistry() if observed else None
+    trace_log = TraceLog(args.trace_out) if args.trace_out else None
     machines = StaticResourceModel(nb_machines=args.machines).generate(rng=args.seed)
     scheduler = DynamicSchedulerService(
         max_seconds=config.max_seconds,
         max_iterations=config.max_iterations,
         max_stagnant_iterations=config.max_stagnant_iterations,
+        registry=registry,
     )
-    return SchedulerCore(machines, scheduler, config, rng=args.seed)
+    return SchedulerCore(
+        machines,
+        scheduler,
+        config,
+        rng=args.seed,
+        registry=registry,
+        trace_log=trace_log,
+    )
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    core = _service_core(args)
+
     async def run() -> None:
-        server = SchedulerServer(_service_core(args), host=args.host, port=args.port)
+        server = SchedulerServer(
+            core, host=args.host, port=args.port, metrics_port=args.metrics_port
+        )
         await server.start()
         host, port = server.address
         print(f"serving on {host}:{port} (JSON line protocol; Ctrl-C to stop)")
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(f"metrics on http://{mhost}:{mport}/metrics")
         if args.duration is not None:
             await asyncio.sleep(args.duration)
         else:
@@ -804,10 +867,26 @@ def _command_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
+    finally:
+        if core.trace_log is not None:
+            core.trace_log.close()
     return 0
 
 
 def _command_loadgen(args: argparse.Namespace) -> int:
+    if args.soak:
+        # Sustained soak: a multi-minute stream (REPRO_SOAK_SECONDS, kept
+        # out of default CI) under the ramp-through-nominal soak profile.
+        args.duration = float(os.environ.get("REPRO_SOAK_SECONDS", "180"))
+        args.trace = None
+        profile = LoadProfile.soak()
+    else:
+        profile = LoadProfile(
+            shape=args.shape,
+            multiplier=args.multiplier,
+            base_multiplier=args.base_multiplier,
+            step_at=args.step_at,
+        )
     if args.trace:
         trace = load_trace(args.trace)
     else:
@@ -820,15 +899,9 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             ),
             seed=args.seed,
         )
-    profile = LoadProfile(
-        shape=args.shape,
-        multiplier=args.multiplier,
-        base_multiplier=args.base_multiplier,
-        step_at=args.step_at,
-    )
-    generator = LoadGenerator(trace, profile)
 
     async def run_remote(host: str, port: int):
+        generator = LoadGenerator(trace, profile)
         client = await ServiceClient.connect(host, port)
         try:
             report = await generator.run(client.submit)
@@ -838,10 +911,19 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         return report, snapshot
 
     async def run_local():
-        server = SchedulerServer(_service_core(args))
+        core = _service_core(args)
+        generator = LoadGenerator(trace, profile, registry=core.registry)
+        server = SchedulerServer(core, metrics_port=args.metrics_port)
         await server.start()
-        report = await generator.run(server.submit)
-        snapshot = await server.stop(drain=not args.abort)
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(f"metrics on http://{mhost}:{mport}/metrics")
+        try:
+            report = await generator.run(server.submit)
+            snapshot = await server.stop(drain=not args.abort)
+        finally:
+            if core.trace_log is not None:
+                core.trace_log.close()
         return report, snapshot.as_dict()
 
     if args.connect:
@@ -865,6 +947,13 @@ def _command_trace(args: argparse.Namespace) -> int:
     return _TRACE_COMMANDS[args.trace_command](args)
 
 
+def _command_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "summarize":
+        print(summarize_trace(args.trace, limit=args.limit))
+        return 0
+    raise ValueError(f"unknown obs command {args.obs_command!r}")
+
+
 _COMMANDS = {
     "solve": _command_solve,
     "heuristics": _command_heuristics,
@@ -875,6 +964,7 @@ _COMMANDS = {
     "trace": _command_trace,
     "serve": _command_serve,
     "loadgen": _command_loadgen,
+    "obs": _command_obs,
 }
 
 

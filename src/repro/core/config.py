@@ -936,6 +936,18 @@ class LoadProfile:
         """Return a copy of the profile with the given fields replaced."""
         return replace(self, **changes)
 
+    @classmethod
+    def soak(cls, multiplier: float = 1.2) -> "LoadProfile":
+        """The sustained-soak preset: a slow ramp through the design load.
+
+        Starts below the trace's recorded rate (0.8x) and ramps linearly to
+        *multiplier* (default 1.2x), so one multi-minute run crosses from
+        comfortable to past-nominal load — the shape the ``loadgen --soak``
+        runs replay (duration via the ``REPRO_SOAK_SECONDS`` env knob,
+        deliberately outside default CI).
+        """
+        return cls(shape="ramp", base_multiplier=0.8, multiplier=multiplier)
+
     def describe(self) -> dict[str, Any]:
         """A flat, JSON-friendly description of the load profile."""
         return {

@@ -20,20 +20,42 @@ __all__ = [
     "MachineEvent",
     "SimulationMetrics",
     "latency_percentiles",
+    "P95_MIN_SAMPLES",
+    "P99_MIN_SAMPLES",
 ]
 
+#: Minimum sample counts before a tail percentile is reported at all: with
+#: fewer than 1/(1-q) samples, ``np.percentile`` interpolates the extreme
+#: order statistics and "p99" is really "the maximum of a handful" — the
+#: same misleading-small-n trap the replay report's Welch gating closes.
+P95_MIN_SAMPLES = 20
+P99_MIN_SAMPLES = 100
 
-def latency_percentiles(values: np.ndarray) -> tuple[float, float, float]:
+
+def latency_percentiles(
+    values: np.ndarray, *, gated: bool = False
+) -> tuple[float, float, float]:
     """``(p50, p95, p99)`` of a latency sample, zeros when it is empty.
 
     Shared by the simulation metrics (per-activation scheduler wall-clock)
     and the live service snapshot (per-job scheduling latency) so both
     layers report tail latency through the same machinery.
+
+    With ``gated=True``, p95 and p99 are ``NaN`` unless the sample holds at
+    least :data:`P95_MIN_SAMPLES` / :data:`P99_MIN_SAMPLES` values (the
+    snapshot path renders those as ``n/a``); the ungated default keeps the
+    simulation metrics — whose activation counts are pinned by tests and
+    recorded traces — bit-identical.
     """
     values = np.asarray(values, dtype=float)
     if values.size == 0:
         return (0.0, 0.0, 0.0)
     p50, p95, p99 = np.percentile(values, (50, 95, 99))
+    if gated:
+        if values.size < P95_MIN_SAMPLES:
+            p95 = float("nan")
+        if values.size < P99_MIN_SAMPLES:
+            p99 = float("nan")
     return (float(p50), float(p95), float(p99))
 
 

@@ -63,6 +63,7 @@ from repro.grid.scheduler import (
 from repro.heuristics.base import build_schedule
 from repro.model.fitness import FitnessEvaluator
 from repro.model.instance import SchedulingInstance
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.utils.rng import RNGLike, as_generator
 
 __all__ = ["ServiceStats", "DynamicSchedulerService", "WarmCMAPolicy"]
@@ -92,6 +93,10 @@ class ServiceStats:
     degraded_jobs: int = 0
     #: Times the resident buffers had to grow (first allocation included).
     capacity_reallocations: int = 0
+    #: Cumulative engine evaluations charged by the warm cMA runs (the
+    #: shared evaluator's counter, mirrored here so snapshots and trace
+    #: spans can report per-activation evaluation deltas).
+    evaluations: int = 0
 
 
 class DynamicSchedulerService:
@@ -109,6 +114,10 @@ class DynamicSchedulerService:
         Per-activation budget, mirroring
         :class:`~repro.grid.scheduler.CMABatchPolicy` so cold and warm runs
         compare at equal budgets.
+    registry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` charged with the
+        warm-start reuse counters (carried/filled/degenerate/degraded jobs,
+        buffer reallocations); defaults to the no-op null registry.
     """
 
     def __init__(
@@ -119,6 +128,7 @@ class DynamicSchedulerService:
         max_seconds: float = 0.25,
         max_iterations: int | None = 50,
         max_stagnant_iterations: int | None = None,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         # The cold twin used when warm starting is off: sharing its exact
         # configuration *and* schedule() implementation keeps "off"
@@ -136,6 +146,29 @@ class DynamicSchedulerService:
         self._evaluator = FitnessEvaluator(self.config.fitness_weight)
         self._batch: BatchEvaluator | None = None
         self._plan: dict[int, int] = {}
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        jobs = self._registry.counter(
+            "repro_scheduler_jobs_total",
+            "Jobs planned by the warm scheduler, by placement path.",
+            labels=("path",),
+        )
+        self._m_jobs = {
+            path: jobs.labels(path=path)
+            for path in ("carried", "filled", "degenerate", "degraded")
+        }
+        batches = self._registry.counter(
+            "repro_scheduler_batches_total",
+            "Warm-scheduler activations, by solving path.",
+            labels=("path",),
+        )
+        self._m_batches = {
+            path: batches.labels(path=path)
+            for path in ("warm", "degenerate", "degraded", "cold")
+        }
+        self._m_reallocations = self._registry.counter(
+            "repro_scheduler_reallocations_total",
+            "Times the resident population buffers had to grow.",
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection (used by tests and the benchmarks)
@@ -271,6 +304,7 @@ class DynamicSchedulerService:
         if self._batch is None:
             self._batch = BatchEvaluator(instance, rows, weight=weight)
             self.stats.capacity_reallocations += 1
+            self._m_reallocations.inc()
             return self._batch
         reused = self._batch.reseat(
             instance,
@@ -279,6 +313,7 @@ class DynamicSchedulerService:
         )
         if not reused:
             self.stats.capacity_reallocations += 1
+            self._m_reallocations.inc()
         return self._batch
 
     # ------------------------------------------------------------------ #
@@ -289,18 +324,25 @@ class DynamicSchedulerService:
         self.stats.activations += 1
         gen = as_generator(rng)
         if not self.warm_start.enabled:
+            self._m_batches["cold"].inc()
             return self._cold.schedule(instance, gen)
 
         fallback = degenerate_assignment(instance, self.config, gen)
         if fallback is not None:
             self.stats.degenerate_batches += 1
             self.stats.degenerate_jobs += instance.nb_jobs
+            self._m_batches["degenerate"].inc()
+            self._m_jobs["degenerate"].inc(instance.nb_jobs)
             self._remember(instance, fallback)
             return fallback
 
         plan, carried = self.warm_assignment(instance, gen)
-        self.stats.carried_jobs += int(carried.sum())
-        self.stats.filled_jobs += int((~carried).sum())
+        nb_carried = int(carried.sum())
+        self.stats.carried_jobs += nb_carried
+        self.stats.filled_jobs += instance.nb_jobs - nb_carried
+        self._m_batches["warm"].inc()
+        self._m_jobs["carried"].inc(nb_carried)
+        self._m_jobs["filled"].inc(instance.nb_jobs - nb_carried)
 
         cfg = self.config
         batch = self._acquire_batch(instance, self._warm_population(instance, plan, gen))
@@ -311,7 +353,12 @@ class DynamicSchedulerService:
             self._evaluator,
             scratch_rows=max(cfg.nb_recombinations, cfg.nb_mutations),
         )
-        engine = EvaluationEngine(instance, cfg.fitness_weight, evaluator=self._evaluator)
+        engine = EvaluationEngine(
+            instance,
+            cfg.fitness_weight,
+            evaluator=self._evaluator,
+            registry=self._registry,
+        )
         algorithm = CellularMemeticAlgorithm(instance, cfg, rng=gen, engine=engine)
         algorithm.start(
             grid=grid, initial_local_search=self.warm_start.initial_local_search
@@ -319,6 +366,7 @@ class DynamicSchedulerService:
         while algorithm.should_continue():
             algorithm.step()
         result = algorithm.finish()
+        self.stats.evaluations = int(self._evaluator.evaluations)
         assignment = np.array(result.best_schedule.assignment, dtype=np.int64)
         self._remember(instance, assignment)
         return assignment
@@ -339,6 +387,8 @@ class DynamicSchedulerService:
         self.stats.activations += 1
         self.stats.degraded_batches += 1
         self.stats.degraded_jobs += instance.nb_jobs
+        self._m_batches["degraded"].inc()
+        self._m_jobs["degraded"].inc(instance.nb_jobs)
         gen = as_generator(rng)
         fallback = degenerate_assignment(instance, self.config, gen)
         if fallback is not None:

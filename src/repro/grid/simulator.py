@@ -62,6 +62,7 @@ from repro.grid.machine import GridMachine, MachineState, execution_times_matrix
 from repro.grid.metrics import ActivationRecord, MachineEvent, SimulationMetrics
 from repro.grid.scheduler import BatchSchedulingPolicy
 from repro.model.instance import SchedulingInstance
+from repro.obs.metrics import NULL_REGISTRY
 from repro.utils.rng import RNGLike, as_generator
 from repro.utils.timer import Stopwatch
 from repro.utils.validation import check_integer, check_positive
@@ -130,6 +131,8 @@ class GridSimulator:
         config: SimulationConfig | None = None,
         rng: RNGLike = None,
         recorder: object | None = None,
+        registry: object | None = None,
+        trace_log: object | None = None,
     ) -> None:
         if not machines:
             raise ValueError("the grid needs at least one machine")
@@ -200,6 +203,37 @@ class GridSimulator:
         self._ticks_fired = 0
         self._nb_idle_activations = 0
         self._events: EventQueue | None = None
+        # Observability: per-kind event counters and per-driver activation
+        # counters are resolved once here, so the event loop only touches
+        # pre-bound children (no-ops under the null registry).
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._trace_log = trace_log
+        events_total = reg.counter(
+            "repro_sim_events_total",
+            "Simulation events drained from the event queue, by kind.",
+            labels=("kind",),
+        )
+        self._m_events = {
+            kind: events_total.labels(kind=kind.name.lower()) for kind in EventType
+        }
+        driver = (
+            "adaptive"
+            if self.config.activation is not None and self.config.activation.is_adaptive
+            else "periodic"
+        )
+        activations = reg.counter(
+            "repro_sim_activations_total",
+            "Scheduler activations fired by the simulation driver.",
+            labels=("driver", "outcome"),
+        )
+        self._m_activation_scheduled = activations.labels(
+            driver=driver, outcome="scheduled"
+        )
+        self._m_activation_idle = activations.labels(driver=driver, outcome="idle")
+        self._m_scheduler_seconds = reg.histogram(
+            "repro_sim_scheduler_seconds",
+            "Wall-clock seconds one scheduler activation took.",
+        )
         if self.recorder is not None:
             self.recorder.on_simulation_start(self.jobs, self.machines, self.config)
 
@@ -214,6 +248,8 @@ class GridSimulator:
         config: SimulationConfig | None = None,
         rng: RNGLike = None,
         recorder: object | None = None,
+        registry: object | None = None,
+        trace_log: object | None = None,
     ) -> "GridSimulator":
         """A simulator whose arrival source is a recorded or synthetic trace.
 
@@ -229,6 +265,8 @@ class GridSimulator:
             config=config,
             rng=rng,
             recorder=recorder,
+            registry=registry,
+            trace_log=trace_log,
         )
 
     # ------------------------------------------------------------------ #
@@ -268,6 +306,7 @@ class GridSimulator:
             event = queue.pop()
             now = event.time
             kind = event.kind
+            self._m_events[kind].inc()
             if kind is EventType.TASK_END:
                 self._handle_task_end(event.payload, now, adaptive)
             elif kind is EventType.TASK_SUBMIT:
@@ -320,6 +359,13 @@ class GridSimulator:
         self.machine_events.append(
             MachineEvent(time=now, machine_id=machine.machine_id, event="join")
         )
+        if self._trace_log is not None:
+            self._trace_log.emit(
+                "machine_join",
+                source="simulator",
+                time=now,
+                machine_id=machine.machine_id,
+            )
         if adaptive:
             if self._pending_positions:
                 self._membership_dirty = True
@@ -335,6 +381,10 @@ class GridSimulator:
         self.machine_events.append(
             MachineEvent(time=now, machine_id=machine_id, event="leave")
         )
+        if self._trace_log is not None:
+            self._trace_log.emit(
+                "machine_leave", source="simulator", time=now, machine_id=machine_id
+            )
         state = self.machine_states[machine_id]
         queue = self._queues[machine_id]
         surviving = [entry for entry in queue if entry.finish <= now]
@@ -416,6 +466,7 @@ class GridSimulator:
         available = self._available_machines() if pending else []
         if not pending or not available:
             self._nb_idle_activations += 1
+            self._m_activation_idle.inc()
             return
 
         etc = execution_times_matrix(pending, available)
@@ -462,6 +513,21 @@ class GridSimulator:
                 scheduler_wall_seconds=scheduler_seconds,
             )
         )
+        self._m_activation_scheduled.inc()
+        self._m_scheduler_seconds.observe(scheduler_seconds)
+        if self._trace_log is not None:
+            self._trace_log.emit(
+                "activation",
+                source="simulator",
+                time=now,
+                backlog=len(pending),
+                batch_size=len(pending),
+                machines=len(available),
+                mode="normal",
+                scheduler_seconds=scheduler_seconds,
+                scheduled=committed,
+                batch_makespan=batch_makespan,
+            )
 
     def _commit_assignment(
         self,

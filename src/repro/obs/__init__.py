@@ -1,0 +1,49 @@
+"""Observability: metrics registry, Prometheus exposition, trace spans.
+
+The unified observability layer every subsystem hangs its counters on:
+
+* :class:`MetricsRegistry` — dependency-free Counter/Gauge/Histogram
+  families with labels, rendered in the Prometheus text exposition format
+  (:mod:`repro.obs.metrics`), validated back by the strict parser in
+  :mod:`repro.obs.exposition`;
+* :data:`NULL_REGISTRY` — the no-op default every instrumented constructor
+  takes, so hot paths stay allocation-free with observability off;
+* :class:`TraceLog` — structured JSON-lines tracing with a span API
+  (:mod:`repro.obs.tracelog`), summarized back into per-activation tables
+  by :mod:`repro.obs.summarize` (``repro-scheduler obs summarize``).
+"""
+
+from repro.obs.exposition import ParsedFamily, parse_exposition
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.summarize import (
+    activation_rows,
+    event_counts,
+    summarize_events,
+    summarize_trace,
+)
+from repro.obs.tracelog import TraceLog, TraceSpan, read_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "ParsedFamily",
+    "parse_exposition",
+    "TraceLog",
+    "TraceSpan",
+    "read_trace",
+    "activation_rows",
+    "event_counts",
+    "summarize_events",
+    "summarize_trace",
+]

@@ -1,0 +1,225 @@
+"""Strict parser/validator for the Prometheus text exposition format.
+
+The renderer in :mod:`repro.obs.metrics` writes the format; this module
+reads it back and *validates* it, so the conformance tests (and the CI
+observability smoke step) check the line grammar against an independent
+implementation instead of trusting the renderer about itself.  Checks
+enforced beyond plain parsing:
+
+* metric and label names match the Prometheus grammar;
+* ``# HELP`` / ``# TYPE`` precede their family's samples, at most once;
+* every sample belongs to the most recently typed family (suffix rules:
+  histograms expose ``_bucket``/``_sum``/``_count`` only);
+* label values round-trip the ``\\\\`` / ``\\"`` / ``\\n`` escapes;
+* histogram buckets are cumulative (non-decreasing with ``le``), end in
+  ``le="+Inf"``, and the ``+Inf`` bucket equals ``_count``.
+
+Raises :class:`ValueError` with the offending line on any violation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["ParsedFamily", "parse_exposition", "parse_sample_line"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+_KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+@dataclass
+class ParsedFamily:
+    """One metric family reconstructed from the exposition text."""
+
+    name: str
+    kind: str
+    help: str | None = None
+    #: ``(sample_name, labels) -> value`` for every sample line.
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+
+    def value(self, sample_name: str | None = None, **labels: str) -> float | None:
+        """The value of one sample (``sample_name`` defaults to the family)."""
+        key = (sample_name or self.name, tuple(sorted(labels.items())))
+        return self.samples.get(key)
+
+
+def _unescape_label_value(raw: str, line: str) -> str:
+    out: list[str] = []
+    position = 0
+    while position < len(raw):
+        char = raw[position]
+        if char == "\\":
+            if position + 1 >= len(raw):
+                raise ValueError(f"dangling escape in label value: {line!r}")
+            escape = raw[position + 1]
+            if escape == "\\":
+                out.append("\\")
+            elif escape == '"':
+                out.append('"')
+            elif escape == "n":
+                out.append("\n")
+            else:
+                raise ValueError(f"invalid escape \\{escape} in: {line!r}")
+            position += 2
+        else:
+            out.append(char)
+            position += 1
+    return "".join(out)
+
+
+def _parse_value(raw: str, line: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"invalid sample value {raw!r} in: {line!r}") from None
+
+
+def parse_sample_line(line: str) -> tuple[str, dict[str, str], float]:
+    """``(name, labels, value)`` of one sample line, strictly validated."""
+    rest = line
+    brace = rest.find("{")
+    labels: dict[str, str] = {}
+    if brace >= 0:
+        name = rest[:brace]
+        end = rest.rfind("}")
+        if end < brace:
+            raise ValueError(f"unbalanced braces in: {line!r}")
+        body = rest[brace + 1 : end]
+        value_part = rest[end + 1 :].strip()
+        # Split label pairs on commas outside quoted values.
+        pair_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)')
+        position = 0
+        while position < len(body):
+            match = pair_re.match(body, position)
+            if not match:
+                raise ValueError(f"malformed label pair in: {line!r}")
+            label_name, raw_value = match.group(1), match.group(2)
+            if not _LABEL_RE.match(label_name):
+                raise ValueError(f"invalid label name {label_name!r} in: {line!r}")
+            if label_name in labels:
+                raise ValueError(f"duplicate label {label_name!r} in: {line!r}")
+            labels[label_name] = _unescape_label_value(raw_value, line)
+            position = match.end()
+    else:
+        parts = rest.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"malformed sample line: {line!r}")
+        name, value_part = parts[0], parts[1].strip()
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r} in: {line!r}")
+    # A timestamp field would be a second token; the renderer never emits
+    # one, and the strict parser refuses it.
+    if " " in value_part or "\t" in value_part:
+        raise ValueError(f"unexpected trailing tokens in: {line!r}")
+    return name, labels, _parse_value(value_part, line)
+
+
+def _sample_family(sample_name: str, kind: str, family_name: str) -> bool:
+    """Whether *sample_name* is a legal sample of the typed family."""
+    if kind == "histogram":
+        return sample_name in (
+            family_name + "_bucket",
+            family_name + "_sum",
+            family_name + "_count",
+        )
+    return sample_name == family_name
+
+
+def parse_exposition(text: str) -> dict[str, ParsedFamily]:
+    """Parse and validate one exposition document; families by name."""
+    families: dict[str, ParsedFamily] = {}
+    current: ParsedFamily | None = None
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            type_match = _TYPE_RE.match(line)
+            if help_match:
+                name, help_text = help_match.group(1), help_match.group(2)
+                family = families.get(name)
+                if family is None:
+                    family = families[name] = ParsedFamily(name=name, kind="untyped")
+                elif family.help is not None:
+                    raise ValueError(f"second HELP for {name!r}")
+                if family.samples:
+                    raise ValueError(f"HELP after samples for {name!r}")
+                family.help = help_text.replace("\\n", "\n").replace("\\\\", "\\")
+                current = family
+            elif type_match:
+                name, kind = type_match.group(1), type_match.group(2)
+                if kind not in _KINDS:
+                    raise ValueError(f"unknown metric type {kind!r} in: {line!r}")
+                family = families.get(name)
+                if family is None:
+                    family = families[name] = ParsedFamily(name=name, kind=kind)
+                elif family.samples or family.kind != "untyped":
+                    raise ValueError(f"TYPE after samples or second TYPE for {name!r}")
+                else:
+                    family.kind = kind
+                current = family
+            elif line.startswith("# HELP") or line.startswith("# TYPE"):
+                raise ValueError(f"malformed comment line: {line!r}")
+            # Other comments are legal and ignored.
+            continue
+        sample_name, labels, value = parse_sample_line(line)
+        if current is None or not _sample_family(sample_name, current.kind, current.name):
+            raise ValueError(
+                f"sample {sample_name!r} outside its family block: {line!r}"
+            )
+        key = (sample_name, tuple(sorted(labels.items())))
+        if key in families[current.name].samples:
+            raise ValueError(f"duplicate sample in: {line!r}")
+        current.samples[key] = value
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: dict[str, ParsedFamily]) -> None:
+    for family in families.values():
+        if family.kind != "histogram":
+            continue
+        series: dict[tuple[tuple[str, str], ...], list[tuple[float, float]]] = {}
+        sums: dict[tuple[tuple[str, str], ...], float] = {}
+        counts: dict[tuple[tuple[str, str], ...], float] = {}
+        for (sample_name, labels), value in family.samples.items():
+            plain = tuple(pair for pair in labels if pair[0] != "le")
+            if sample_name == family.name + "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    raise ValueError(f"bucket without le label in {family.name!r}")
+                series.setdefault(plain, []).append(
+                    (_parse_value(le, le), value)
+                )
+            elif sample_name == family.name + "_sum":
+                sums[plain] = value
+            elif sample_name == family.name + "_count":
+                counts[plain] = value
+        for plain, buckets in series.items():
+            buckets.sort(key=lambda pair: pair[0])
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ValueError(f"{family.name!r} is missing its +Inf bucket")
+            values = [count for _, count in buckets]
+            if any(b > a for b, a in zip(values, values[1:])):
+                raise ValueError(f"{family.name!r} buckets are not cumulative")
+            if plain not in counts or plain not in sums:
+                raise ValueError(f"{family.name!r} is missing _sum or _count")
+            if values[-1] != counts[plain]:
+                raise ValueError(
+                    f"{family.name!r} +Inf bucket disagrees with _count"
+                )

@@ -1,0 +1,471 @@
+"""A dependency-free metrics registry with Prometheus text exposition.
+
+The repo's layers (engine, simulator, warm service, live service) each keep
+their own ad-hoc counters; operating the live service needs one place a
+scraper can read them all.  :class:`MetricsRegistry` provides the three
+standard instrument kinds — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram`, each with optional labels — and renders them in the
+Prometheus text exposition format (version 0.0.4), the lingua franca every
+scraper understands.  No client library is imported: the format is a small,
+stable line grammar, and the strict renderer here is pinned by a
+conformance test (see :mod:`repro.obs.exposition` for the matching parser).
+
+Two design points keep instrumentation cheap enough to leave in hot paths:
+
+* **null default** — every instrumented constructor defaults to
+  :data:`NULL_REGISTRY`, whose instruments are a single shared no-op
+  object.  With observability off, an instrumented call site costs one
+  attribute lookup and an empty call; nothing is allocated.
+* **get-or-create families** — asking a registry twice for the same metric
+  name returns the same family (kind and label names must match), so
+  per-activation objects like :class:`~repro.engine.service.
+  EvaluationEngine` can resolve their instruments at construction time
+  without double-registration errors.
+
+Instruments are thread-safe (the live service charges them from an executor
+thread while submissions flow on the event loop): one lock per family
+guards its children and their values.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, biased toward sub-second scheduling latencies
+#: (the live service's activation budget is tens of milliseconds).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(label_names: Sequence[str]) -> tuple[str, ...]:
+    names = tuple(label_names)
+    for label in names:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise ValueError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names in {names!r}")
+    return names
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _render_labels(label_names: tuple[str, ...], label_values: tuple[str, ...]) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(label_names, label_values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """One metric family: a name, a kind, and one child per label-value set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...]) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = label_names
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        # Unlabeled families act as their own single child.
+        if not label_names:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labels: str):
+        """The child instrument for one concrete label-value assignment."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+            return child
+
+    def _default_child(self):
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} has labels {self.label_names}; "
+                "call .labels(...) first"
+            )
+        return self._children[()]
+
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def render(self) -> Iterator[str]:
+        yield f"# HELP {self.name} {_escape_help(self.help)}"
+        yield f"# TYPE {self.name} {self.kind}"
+        for key, child in self._sorted_children():
+            yield from child.render_samples(self.name, self.label_names, key)
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render_samples(self, name, label_names, key) -> Iterator[str]:
+        yield f"{name}{_render_labels(label_names, key)} {_format_value(self._value)}"
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (events, jobs, evaluations)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render_samples(self, name, label_names, key) -> Iterator[str]:
+        yield f"{name}{_render_labels(label_names, key)} {_format_value(self._value)}"
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, current rate)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, buckets: tuple[float, ...]) -> None:
+        self._lock = lock
+        self._buckets = buckets
+        self._counts = [0] * len(buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for position, bound in enumerate(self._buckets):
+                if value <= bound:
+                    self._counts[position] += 1
+                    break
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def render_samples(self, name, label_names, key) -> Iterator[str]:
+        with self._lock:
+            counts = list(self._counts)
+            total, summed = self._count, self._sum
+        cumulative = 0
+        for bound, count in zip(self._buckets, counts):
+            cumulative += count
+            bound_text = "+Inf" if math.isinf(bound) else repr(float(bound))
+            labels = _render_labels(
+                label_names + ("le",), key + (bound_text,)
+            )
+            yield f"{name}_bucket{labels} {_format_value(cumulative)}"
+        plain = _render_labels(label_names, key)
+        yield f"{name}_sum{plain} {_format_value(summed)}"
+        yield f"{name}_count{plain} {_format_value(total)}"
+
+
+class Histogram(_Metric):
+    """A distribution observed into cumulative buckets (latencies, sizes)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        bounds = tuple(float(b) for b in (buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bucket bounds must be strictly increasing")
+        if not math.isinf(bounds[-1]):
+            bounds = bounds + (math.inf,)
+        self.buckets = bounds
+        super().__init__(name, help, label_names)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+
+class _NullMetric:
+    """Shared no-op instrument: every operation is an empty call.
+
+    One instance (:data:`_NULL_METRIC`) stands in for every counter, gauge
+    and histogram of :data:`NULL_REGISTRY`, so instrumenting a hot path
+    costs an attribute lookup and a call — no allocation, no branching at
+    the call sites.
+    """
+
+    __slots__ = ()
+
+    def labels(self, **labels: str) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """A process-local collection of metric families.
+
+    Families are created on first use and shared on every later request
+    for the same name (the kind and label names must match — asking for a
+    counter where a gauge is registered is a programming error worth
+    failing loudly on).  :meth:`render` produces the Prometheus text
+    exposition (families sorted by name, label sets sorted within each
+    family) that ``GET /metrics`` serves.
+    """
+
+    #: Distinguishes a live registry from :data:`NULL_REGISTRY`.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, label_names, **kwargs):
+        labels = _check_labels(label_names)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if not isinstance(family, cls) or type(family) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind}"
+                    )
+                if family.label_names != labels:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{family.label_names}, requested {labels}"
+                    )
+                return family
+            family = cls(name, help, labels, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str, labels: Sequence[str] = ()) -> Counter:
+        """Get or create a counter family."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge family."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        """Get or create a histogram family."""
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def render(self) -> str:
+        """The Prometheus text exposition (format version 0.0.4)."""
+        with self._lock:
+            families = sorted(self._families.items())
+        lines: list[str] = []
+        for _, family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def get_sample_value(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> float | None:
+        """One sample's current value, or ``None`` — a test convenience.
+
+        *name* may be a family name or a histogram sample name
+        (``..._sum`` / ``..._count`` / ``..._bucket`` with an ``le``
+        label); mirrors ``prometheus_client``'s helper of the same name.
+        """
+        labels = dict(labels or {})
+        for line in self.render().splitlines():
+            if line.startswith("#"):
+                continue
+            sample_name, sample_labels, value = _parse_sample_line(line)
+            if sample_name == name and sample_labels == labels:
+                return value
+        return None
+
+
+def _parse_sample_line(line: str) -> tuple[str, dict[str, str], float]:
+    """Split one rendered sample line (used by :meth:`get_sample_value`)."""
+    from repro.obs.exposition import parse_sample_line
+
+    return parse_sample_line(line)
+
+
+class _NullRegistry(MetricsRegistry):
+    """The do-nothing registry every instrumented constructor defaults to."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name, help, labels=()):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def gauge(self, name, help, labels=()):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def histogram(self, name, help, labels=(), buckets=None):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def render(self) -> str:
+        return ""
+
+
+#: The shared null registry: instruments resolve to one no-op object.
+NULL_REGISTRY = _NullRegistry()

@@ -1,0 +1,156 @@
+"""Structured JSON-lines tracing with a span API.
+
+Where the metrics registry answers "how much, in aggregate", a trace
+answers "what happened, in order": one JSON object per line, one line per
+event.  The instrumented layers emit two shapes:
+
+* **spans** (:meth:`TraceLog.span`) — one per scheduler activation, opened
+  before the batch is solved and closed after the plan is committed; the
+  span stamps its own ``duration_seconds`` from a
+  :class:`~repro.utils.timer.Stopwatch` and carries the activation's whole
+  account (backlog drained, batch size, mode, scheduling latency,
+  warm-start reuse, engine evaluation counts);
+* **point events** (:meth:`TraceLog.emit`) — shed/degrade/recover
+  transitions and machine join/leave, each a single timestamped line.
+
+The log is append-only, thread-safe (the live service writes from an
+executor thread), and flushed per line so a crash loses at most the event
+being written.  ``repro-scheduler obs summarize`` (see
+:mod:`repro.obs.summarize`) turns a trace file back into per-activation
+tables.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.utils.timer import Stopwatch
+
+__all__ = ["TraceLog", "TraceSpan", "read_trace"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Default encoder hook: numpy scalars/arrays degrade to plain Python."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+class TraceSpan:
+    """One in-flight span; closing it emits the merged event line.
+
+    Usable as a context manager or closed explicitly; extra fields can be
+    attached any time before close via :meth:`update`.  The span measures
+    its own wall-clock ``duration_seconds`` between construction and close.
+    """
+
+    def __init__(self, log: "TraceLog", event: str, fields: dict[str, Any]) -> None:
+        self._log = log
+        self._event = event
+        self._fields = fields
+        self._stopwatch = Stopwatch()
+        self._closed = False
+
+    def update(self, **fields: Any) -> "TraceSpan":
+        """Attach more fields to the span (last write per key wins)."""
+        self._fields.update(fields)
+        return self
+
+    def close(self) -> None:
+        """Emit the span's event line (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fields.setdefault("duration_seconds", self._stopwatch.elapsed)
+        self._log.emit(self._event, **self._fields)
+
+    def __enter__(self) -> "TraceSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._fields.setdefault("error", repr(exc))
+        self.close()
+
+
+class TraceLog:
+    """Append-only JSON-lines event log.
+
+    Parameters
+    ----------
+    target:
+        A path (opened for append; the log owns and closes the handle) or
+        any text file-like object (borrowed; the caller closes it).
+    """
+
+    def __init__(self, target: str | Path | io.TextIOBase | Any) -> None:
+        if isinstance(target, (str, Path)):
+            self._handle = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Events written since construction (a cheap health indicator).
+        self.events_written = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one point event as a single JSON line (thread-safe)."""
+        record = {"event": event, **fields}
+        line = json.dumps(record, default=_jsonable, allow_nan=False)
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.events_written += 1
+
+    def span(self, event: str, **fields: Any) -> TraceSpan:
+        """Open a span that emits one merged event line when closed."""
+        return TraceSpan(self, event, dict(fields))
+
+    def close(self) -> None:
+        """Stop accepting events; close the handle if the log opened it."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._owns_handle:
+                self._handle.close()
+
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Read a trace file back into its event dicts, in emission order."""
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: not valid JSON: {error}") from None
+            if not isinstance(record, dict) or "event" not in record:
+                raise ValueError(f"{path}:{number}: not a trace event object")
+            events.append(record)
+    return events

@@ -27,6 +27,7 @@ from typing import Any, Awaitable, Callable
 import numpy as np
 
 from repro.core.config import LoadProfile
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.traces.format import Trace
 
 __all__ = ["LoadReport", "LoadGenerator"]
@@ -71,11 +72,35 @@ class LoadGenerator:
         entries of the trace are ignored — the live service has its own).
     profile:
         The :class:`~repro.core.config.LoadProfile` shaping the rate.
+    registry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the generator reports
+        through: submissions by outcome and its own max lag (the
+        generator's health gauge — lag rivaling the inter-arrival gaps
+        means the offered rate was not met); defaults to the no-op null
+        registry.
     """
 
-    def __init__(self, trace: Trace, profile: LoadProfile | None = None) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        profile: LoadProfile | None = None,
+        *,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         self.trace = trace
         self.profile = profile if profile is not None else LoadProfile()
+        reg = registry if registry is not None else NULL_REGISTRY
+        submissions = reg.counter(
+            "repro_loadgen_submissions_total",
+            "Load-generator submissions by outcome.",
+            labels=("outcome",),
+        )
+        self._m_accepted = submissions.labels(outcome="accepted")
+        self._m_shed = submissions.labels(outcome="shed")
+        self._m_max_lag = reg.gauge(
+            "repro_loadgen_max_lag_seconds",
+            "Largest planned-vs-actual send lag of the open-loop generator.",
+        )
 
     def planned_offsets(self) -> np.ndarray:
         """The absolute submission instants (seconds from run start)."""
@@ -102,12 +127,15 @@ class LoadGenerator:
             delay = target - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
-            else:
-                max_lag = max(max_lag, -delay)
+            elif -delay > max_lag:
+                max_lag = -delay
+                self._m_max_lag.set(max_lag)
             if await submit(float(workload)) is None:
                 shed += 1
+                self._m_shed.inc()
             else:
                 accepted += 1
+                self._m_accepted.inc()
         return LoadReport(
             planned=int(offsets.size),
             accepted=accepted,

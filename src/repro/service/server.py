@@ -39,7 +39,11 @@ class SchedulerServer:
 
     Pass ``host``/``port`` to also accept out-of-process clients over the
     TCP/JSON line protocol (``port=0`` picks a free port, exposed as
-    :attr:`address` after :meth:`start`).
+    :attr:`address` after :meth:`start`).  Pass ``metrics_port`` to also
+    serve ``GET /metrics`` — the core's registry rendered in the
+    Prometheus text exposition format — over a minimal HTTP responder on
+    its own listener (``0`` picks a free port, exposed as
+    :attr:`metrics_address`).
     """
 
     def __init__(
@@ -48,15 +52,19 @@ class SchedulerServer:
         *,
         host: str | None = None,
         port: int | None = None,
+        metrics_port: int | None = None,
     ) -> None:
         self.core = core
         self._host = host
         self._port = port
+        self._metrics_port = metrics_port
         self._wake = asyncio.Event()
         self._stopping = False
         self._loop_task: asyncio.Task | None = None
         self._tcp_server: asyncio.base_events.Server | None = None
+        self._metrics_server: asyncio.base_events.Server | None = None
         self.address: tuple[str, int] | None = None
+        self.metrics_address: tuple[str, int] | None = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -75,6 +83,12 @@ class SchedulerServer:
             )
             sockname = self._tcp_server.sockets[0].getsockname()
             self.address = (sockname[0], sockname[1])
+        if self._metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._serve_metrics, self._host or "127.0.0.1", self._metrics_port
+            )
+            sockname = self._metrics_server.sockets[0].getsockname()
+            self.metrics_address = (sockname[0], sockname[1])
 
     async def stop(self, drain: bool = True) -> ServiceSnapshot:
         """Stop the server and return the final metrics snapshot.
@@ -94,6 +108,10 @@ class SchedulerServer:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
             self._tcp_server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         loop = asyncio.get_running_loop()
         if drain:
             await loop.run_in_executor(None, self.core.drain)
@@ -116,6 +134,49 @@ class SchedulerServer:
     def snapshot(self) -> ServiceSnapshot:
         """Current metrics snapshot (safe from any thread or task)."""
         return self.core.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # GET /metrics (Prometheus text exposition)
+    # ------------------------------------------------------------------ #
+    async def _serve_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One-shot HTTP responder: enough protocol for a scraper, no more.
+
+        Reads the request line, drains the headers, answers ``GET
+        /metrics`` with the rendered registry (content type version 0.0.4,
+        the Prometheus text format) and anything else with 404, then
+        closes — every scrape is its own connection.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1").split()
+            if len(parts) >= 2 and parts[0] == "GET" and parts[1] in ("/metrics", "/metrics/"):
+                body = self.core.registry.render().encode("utf-8")
+                status = b"200 OK"
+                content_type = b"text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = b"not found\n"
+                status = b"404 Not Found"
+                content_type = b"text/plain; charset=utf-8"
+            writer.write(
+                b"HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n"
+                b"Connection: close\r\n\r\n" % (status, content_type, len(body))
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
 
     # ------------------------------------------------------------------ #
     # Activation loop

@@ -50,6 +50,7 @@ from repro.grid.job import GridJob
 from repro.grid.machine import GridMachine, execution_times_matrix
 from repro.grid.metrics import latency_percentiles
 from repro.model.instance import SchedulingInstance
+from repro.obs.metrics import NULL_REGISTRY
 from repro.utils.rng import RNGLike, as_generator
 from repro.utils.timer import Stopwatch
 
@@ -112,7 +113,17 @@ class ServiceSnapshot:
     p99_latency: float
 
     def as_dict(self) -> dict[str, Any]:
-        """JSON-friendly form (what the TCP ``metrics`` op returns)."""
+        """JSON-friendly form (what the TCP ``metrics`` op returns).
+
+        Gated percentiles (``NaN`` on the snapshot — too few samples, see
+        :func:`~repro.grid.metrics.latency_percentiles`) become ``None``
+        here: ``NaN`` is not valid strict JSON, and ``null`` is what the
+        table renderers print as ``n/a``.
+        """
+
+        def _json(value: float) -> float | None:
+            return None if value != value else value
+
         return {
             "uptime_seconds": self.uptime_seconds,
             "backlog": self.backlog,
@@ -128,9 +139,9 @@ class ServiceSnapshot:
             "peak_backlog": self.peak_backlog,
             "throughput_per_min": self.throughput_per_min,
             "utilization": self.utilization,
-            "p50_latency": self.p50_latency,
-            "p95_latency": self.p95_latency,
-            "p99_latency": self.p99_latency,
+            "p50_latency": _json(self.p50_latency),
+            "p95_latency": _json(self.p95_latency),
+            "p99_latency": _json(self.p99_latency),
         }
 
 
@@ -157,6 +168,17 @@ class SchedulerCore:
         wall clock.  Tests inject a fake.
     rng:
         Seed/generator for the scheduler's stochastic parts.
+    registry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the core charges its
+        operational metrics into (submissions by outcome, queue depth,
+        mode transitions, scheduling-latency histograms); defaults to the
+        no-op null registry, so the submit/activate hot paths stay
+        allocation-free with observability off.  Exposed as
+        :attr:`registry` — the server's ``GET /metrics`` renders it.
+    trace_log:
+        A :class:`~repro.obs.tracelog.TraceLog` receiving one span per
+        activation and one point event per shed episode and
+        degrade/recover transition; ``None`` disables tracing.
     """
 
     def __init__(
@@ -167,6 +189,8 @@ class SchedulerCore:
         *,
         clock: Any = None,
         rng: RNGLike = None,
+        registry: Any = None,
+        trace_log: Any = None,
     ) -> None:
         if not machines:
             raise ValueError("the live service needs at least one machine")
@@ -196,6 +220,51 @@ class SchedulerCore:
         self.idle_activations = 0
         self.peak_backlog = 0
 
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.trace_log = trace_log
+        #: True while a shed episode is running (first shed emits a trace
+        #: event; the episode ends at the next accepted submission), so an
+        #: overload burst traces as one event, not thousands.
+        self._shedding = False
+        submissions = self.registry.counter(
+            "repro_service_submissions_total",
+            "Submissions by outcome (aborted = shed at shutdown).",
+            labels=("outcome",),
+        )
+        self._m_submissions = {
+            outcome: submissions.labels(outcome=outcome)
+            for outcome in ("accepted", "shed", "aborted")
+        }
+        self._m_queue_depth = self.registry.gauge(
+            "repro_service_queue_depth", "Current submission-queue depth."
+        )
+        transitions = self.registry.counter(
+            "repro_service_mode_transitions_total",
+            "Overload mode transitions of the degrade/recover hysteresis.",
+            labels=("transition",),
+        )
+        self._m_transitions = {
+            transition: transitions.labels(transition=transition)
+            for transition in ("degrade", "recover")
+        }
+        activations = self.registry.counter(
+            "repro_service_activations_total",
+            "Scheduler activations, by the mode the batch was solved under.",
+            labels=("mode",),
+        )
+        self._m_activations = {
+            mode: activations.labels(mode=mode)
+            for mode in ("normal", "degraded", "idle")
+        }
+        self._m_scheduler_seconds = self.registry.histogram(
+            "repro_service_scheduler_seconds",
+            "Wall-clock seconds one scheduler activation took (scheduling latency).",
+        )
+        self._m_job_latency = self.registry.histogram(
+            "repro_service_job_latency_seconds",
+            "Per-job scheduling latency: accepted to planned.",
+        )
+
     # ------------------------------------------------------------------ #
     # Submission side
     # ------------------------------------------------------------------ #
@@ -220,17 +289,36 @@ class SchedulerCore:
         with self._lock:
             if len(self._queue) >= self.config.queue_capacity:
                 self.shed += 1
-                return None
-            job_id = next(self._ids)
-            self._queue.append(
-                Submission(
-                    job=GridJob(job_id=job_id, workload=workload, arrival_time=now),
-                    submitted_at=now,
+                # First shed of an episode: trace it once, not per job.
+                episode_start = not self._shedding
+                self._shedding = True
+                depth = len(self._queue)
+                job_id = None
+            else:
+                job_id = next(self._ids)
+                self._queue.append(
+                    Submission(
+                        job=GridJob(job_id=job_id, workload=workload, arrival_time=now),
+                        submitted_at=now,
+                    )
                 )
-            )
-            self.accepted += 1
-            self.peak_backlog = max(self.peak_backlog, len(self._queue))
-            return job_id
+                self.accepted += 1
+                depth = len(self._queue)
+                self.peak_backlog = max(self.peak_backlog, depth)
+                episode_start = False
+                self._shedding = False
+        # Instrumentation happens outside the lock: metric children have
+        # their own lock, and a trace write must never block submitters.
+        self._m_queue_depth.set(depth)
+        if job_id is None:
+            self._m_submissions["shed"].inc()
+            if episode_start and self.trace_log is not None:
+                self.trace_log.emit(
+                    "shed", source="service", time=now, backlog=depth
+                )
+            return None
+        self._m_submissions["accepted"].inc()
+        return job_id
 
     def seconds_until_due(self) -> float:
         """Wall-clock seconds until the next activation should fire.
@@ -276,6 +364,7 @@ class SchedulerCore:
             self._queue = []
             if not batch:
                 self.idle_activations += 1
+                self._m_activations["idle"].inc()
                 return ActivationOutcome(
                     time=now,
                     batch_size=0,
@@ -285,10 +374,13 @@ class SchedulerCore:
                 )
             # Hysteresis: degrade on a big batch, recover only on a small
             # one, so a single borderline batch cannot flap the mode.
+            transition = None
             if self.mode == "normal" and len(batch) >= self.config.effective_degrade_threshold:
                 self.mode = "degraded"
+                transition = "degrade"
             elif self.mode == "degraded" and len(batch) <= self.config.effective_recover_threshold:
                 self.mode = "normal"
+                transition = "recover"
             mode = self.mode
             pending = [submission.job for submission in batch]
             etc = execution_times_matrix(pending, self.machines)
@@ -302,6 +394,41 @@ class SchedulerCore:
                     "machine_ids": np.arange(len(self.machines), dtype=np.int64),
                 },
             )
+
+        self._m_queue_depth.set(0)
+        if transition is not None:
+            self._m_transitions[transition].inc()
+            if self.trace_log is not None:
+                self.trace_log.emit(
+                    "degrade" if transition == "degrade" else "recover",
+                    source="service",
+                    time=now,
+                    backlog=len(batch),
+                )
+        # Warm-start reuse and evaluation counts come out of the scheduler
+        # stats as per-activation deltas (the warm service keeps cumulative
+        # counters); a stats-less scheduler just traces zeros.
+        stats = getattr(self.scheduler, "stats", None)
+        stats_before = (
+            (stats.carried_jobs, stats.filled_jobs, stats.evaluations)
+            if stats is not None
+            else (0, 0, 0)
+        )
+        # One span per activation: opened before the batch is solved,
+        # closed after the plan is committed (the span stamps its own
+        # duration; scheduler_seconds is the solve alone).
+        span = (
+            self.trace_log.span(
+                "activation",
+                source="service",
+                time=now,
+                backlog=len(batch),
+                batch_size=len(batch),
+                mode=mode,
+            )
+            if self.trace_log is not None
+            else None
+        )
 
         stopwatch = Stopwatch()
         degraded = mode == "degraded" and hasattr(self.scheduler, "degraded_schedule")
@@ -331,10 +458,30 @@ class SchedulerCore:
             self._busy_until = np.where(load > 0, base + load, self._busy_until)
             self._busy_time += load
             self.scheduled += len(pending)
-            self._latencies.extend(done - submission.submitted_at for submission in batch)
+            latencies = [done - submission.submitted_at for submission in batch]
+            self._latencies.extend(latencies)
             overflow = len(self._latencies) - self.config.latency_window
             if overflow > 0:
                 del self._latencies[:overflow]
+
+        self._m_activations[mode].inc()
+        self._m_scheduler_seconds.observe(scheduler_seconds)
+        for latency in latencies:
+            self._m_job_latency.observe(latency)
+        if span is not None:
+            stats_after = (
+                (stats.carried_jobs, stats.filled_jobs, stats.evaluations)
+                if stats is not None
+                else (0, 0, 0)
+            )
+            span.update(
+                scheduler_seconds=scheduler_seconds,
+                carried=stats_after[0] - stats_before[0],
+                filled=stats_after[1] - stats_before[1],
+                evaluations=stats_after[2] - stats_before[2],
+                scheduled=len(pending),
+            )
+            span.close()
         return ActivationOutcome(
             time=now,
             batch_size=len(pending),
@@ -368,7 +515,10 @@ class SchedulerCore:
             remainder = tuple(submission.job.job_id for submission in self._queue)
             self._queue = []
             self.shed += len(remainder)
-            return remainder
+        self._m_queue_depth.set(0)
+        if remainder:
+            self._m_submissions["aborted"].inc(len(remainder))
+        return remainder
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -378,7 +528,11 @@ class SchedulerCore:
         stats = getattr(self.scheduler, "stats", None)
         with self._lock:
             uptime = self._now()
-            p50, p95, p99 = latency_percentiles(np.array(self._latencies))
+            # Gated: p95/p99 are NaN until the rolling window holds enough
+            # samples to support them (rendered n/a, JSON null).
+            p50, p95, p99 = latency_percentiles(
+                np.array(self._latencies), gated=True
+            )
             horizon = uptime * len(self.machines)
             busy = float(np.minimum(self._busy_time, uptime).sum())
             return ServiceSnapshot(

@@ -22,15 +22,21 @@ __all__ = ["format_number", "format_table", "format_series", "format_mapping"]
 
 
 def format_number(value: object, *, precision: int = 3) -> str:
-    """Render a cell: floats get thousands grouping, everything else ``str``."""
-    if isinstance(value, bool) or value is None:
+    """Render a cell: floats get thousands grouping, everything else ``str``.
+
+    ``None`` and ``NaN`` both render as ``n/a`` — the shared "not enough
+    data" marker (gated percentiles, Welch tests without repetitions).
+    """
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
         return str(value)
     if isinstance(value, (int, np.integer)):
         return f"{int(value):,}"
     if isinstance(value, (float, np.floating)):
         number = float(value)
         if number != number:  # NaN
-            return "nan"
+            return "n/a"
         if abs(number) >= 1000:
             return f"{number:,.{precision}f}"
         return f"{number:.{precision}f}"

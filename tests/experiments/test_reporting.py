@@ -21,15 +21,17 @@ class TestFormatNumber:
     def test_large_float_grouping(self):
         assert format_number(1234.5678, precision=1) == "1,234.6"
 
-    def test_nan(self):
-        assert format_number(float("nan")) == "nan"
+    def test_nan_renders_as_not_available(self):
+        # NaN and None share the "not enough data" marker: gated
+        # percentiles (see repro.grid.metrics) reach tables both ways.
+        assert format_number(float("nan")) == "n/a"
 
     def test_string_passthrough(self):
         assert format_number("u_c_hihi.0") == "u_c_hihi.0"
 
     def test_bool_and_none(self):
         assert format_number(True) == "True"
-        assert format_number(None) == "None"
+        assert format_number(None) == "n/a"
 
 
 class TestFormatTable:

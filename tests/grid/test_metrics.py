@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.grid.metrics import ActivationRecord, SimulationMetrics
+from repro.grid.metrics import (
+    P95_MIN_SAMPLES,
+    P99_MIN_SAMPLES,
+    ActivationRecord,
+    SimulationMetrics,
+    latency_percentiles,
+)
 
 
 def make_metrics(**overrides):
@@ -108,3 +114,40 @@ class TestFromRecords:
             "throughput",
             "activations",
         }
+
+
+class TestLatencyPercentileGating:
+    """The shared percentile helper and its minimum-sample gates."""
+
+    def test_ungated_reports_all_three_at_any_size(self):
+        p50, p95, p99 = latency_percentiles(np.array([1.0, 3.0]))
+        assert p50 == pytest.approx(2.0)
+        assert p95 == pytest.approx(np.percentile([1.0, 3.0], 95))
+        assert p99 == pytest.approx(np.percentile([1.0, 3.0], 99))
+
+    def test_empty_sample_is_zeros_gated_or_not(self):
+        assert latency_percentiles(np.array([])) == (0.0, 0.0, 0.0)
+        assert latency_percentiles(np.array([]), gated=True) == (0.0, 0.0, 0.0)
+
+    def test_gates_open_exactly_at_the_minimum_sample_counts(self):
+        below_p95 = np.arange(P95_MIN_SAMPLES - 1, dtype=float)
+        p50, p95, p99 = latency_percentiles(below_p95, gated=True)
+        assert p50 >= 0.0
+        assert np.isnan(p95) and np.isnan(p99)
+
+        at_p95 = np.arange(P95_MIN_SAMPLES, dtype=float)
+        _, p95, p99 = latency_percentiles(at_p95, gated=True)
+        assert p95 == pytest.approx(np.percentile(at_p95, 95))
+        assert np.isnan(p99)
+
+        at_p99 = np.arange(P99_MIN_SAMPLES, dtype=float)
+        _, p95, p99 = latency_percentiles(at_p99, gated=True)
+        assert p95 == pytest.approx(np.percentile(at_p99, 95))
+        assert p99 == pytest.approx(np.percentile(at_p99, 99))
+
+    def test_simulation_metrics_stay_ungated(self):
+        # One activation -> one scheduler-seconds sample; the simulation
+        # path must keep reporting its (pinned, trace-recorded) tails.
+        metrics = make_metrics()
+        assert not np.isnan(metrics.p95_scheduler_seconds)
+        assert metrics.p95_scheduler_seconds > 0.0

@@ -1,0 +1,144 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, NULL_REGISTRY
+
+
+def test_counter_counts_and_rejects_decrease():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total", "A test counter.")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("repro_test_depth", "A test gauge.")
+    gauge.set(7.0)
+    gauge.inc(3.0)
+    gauge.dec()
+    assert gauge.value == 9.0
+    gauge.set(-2.0)
+    assert gauge.value == -2.0
+
+
+def test_histogram_buckets_sum_count():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_test_seconds", "A test histogram.", buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.sum == pytest.approx(55.55)
+    # The +Inf bound is appended automatically.
+    assert histogram.buckets == (0.1, 1.0, 10.0, math.inf)
+    assert registry.get_sample_value(
+        "repro_test_seconds_bucket", {"le": "1.0"}
+    ) == 2.0
+    assert registry.get_sample_value(
+        "repro_test_seconds_bucket", {"le": "+Inf"}
+    ) == 4.0
+
+
+def test_histogram_default_buckets_and_validation():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("repro_default_seconds", "Defaults.")
+    assert histogram.buckets[:-1] == DEFAULT_BUCKETS
+    assert math.isinf(histogram.buckets[-1])
+    with pytest.raises(ValueError):
+        registry.histogram("repro_bad_seconds", "Bad.", buckets=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        registry.histogram("repro_empty_seconds", "Bad.", buckets=())
+
+
+def test_labels_create_children_and_validate():
+    registry = MetricsRegistry()
+    family = registry.counter(
+        "repro_jobs_total", "Jobs by path.", labels=("path",)
+    )
+    family.labels(path="warm").inc(3)
+    family.labels(path="cold").inc()
+    assert registry.get_sample_value("repro_jobs_total", {"path": "warm"}) == 3.0
+    assert registry.get_sample_value("repro_jobs_total", {"path": "cold"}) == 1.0
+    # Same label set -> same child.
+    assert family.labels(path="warm") is family.labels(path="warm")
+    # Wrong label names are a programming error.
+    with pytest.raises(ValueError):
+        family.labels(mode="warm")
+    # Direct inc on a labeled family must go through .labels(...).
+    with pytest.raises(ValueError):
+        family.inc()
+
+
+def test_get_or_create_same_family_and_mismatch_errors():
+    registry = MetricsRegistry()
+    first = registry.counter("repro_twice_total", "Once.")
+    second = registry.counter("repro_twice_total", "Twice.")
+    assert first is second
+    with pytest.raises(ValueError):
+        registry.gauge("repro_twice_total", "Different kind.")
+    with pytest.raises(ValueError):
+        registry.counter("repro_twice_total", "Different labels.", labels=("x",))
+
+
+def test_invalid_names_rejected():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("0bad", "Starts with a digit.")
+    with pytest.raises(ValueError):
+        registry.counter("bad-name", "Dash is not allowed.")
+    with pytest.raises(ValueError):
+        registry.counter("repro_ok_total", "Bad label.", labels=("0bad",))
+    with pytest.raises(ValueError):
+        registry.counter("repro_ok_total", "Reserved label.", labels=("__x",))
+
+
+def test_null_registry_is_allocation_free_noop():
+    counter = NULL_REGISTRY.counter("repro_anything_total", "Ignored.")
+    gauge = NULL_REGISTRY.gauge("repro_anything", "Ignored.")
+    histogram = NULL_REGISTRY.histogram("repro_anything_seconds", "Ignored.")
+    # One shared no-op instrument, labels included.
+    assert counter is gauge is histogram
+    assert counter.labels(outcome="x") is counter
+    counter.inc()
+    gauge.set(3.0)
+    gauge.dec()
+    histogram.observe(0.5)
+    assert NULL_REGISTRY.render() == ""
+    assert NULL_REGISTRY.enabled is False
+    assert MetricsRegistry().enabled is True
+
+
+def test_thread_safety_under_concurrent_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_race_total", "Raced.", labels=("worker",))
+    histogram = registry.histogram(
+        "repro_race_seconds", "Raced.", buckets=(0.5, 1.0)
+    )
+    rounds = 2_000
+
+    def work(worker: int) -> None:
+        child = counter.labels(worker=str(worker))
+        for _ in range(rounds):
+            child.inc()
+            histogram.observe(0.25)
+
+    threads = [threading.Thread(target=work, args=(n,)) for n in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for worker in range(4):
+        assert counter.labels(worker=str(worker)).value == rounds
+    assert histogram.count == 4 * rounds
+    assert registry.get_sample_value(
+        "repro_race_seconds_bucket", {"le": "0.5"}
+    ) == 4 * rounds

@@ -1,0 +1,165 @@
+"""Unit tests for the JSON-lines trace log, spans, and the summarizer."""
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import TraceLog, read_trace, summarize_events, summarize_trace
+from repro.obs.summarize import activation_rows, event_counts
+
+
+def test_emit_writes_one_json_line_per_event(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    log = TraceLog(path)
+    log.emit("shed", time=1.5, backlog=64)
+    log.emit("machine_join", time=2.0, machine_id=3)
+    log.close()
+    events = read_trace(path)
+    assert [e["event"] for e in events] == ["shed", "machine_join"]
+    assert events[0]["backlog"] == 64
+    assert log.events_written == 2
+    # Closing twice is fine; writes after close are dropped, not errors.
+    log.close()
+    log.emit("late", time=3.0)
+    assert read_trace(path) == events
+
+
+def test_span_measures_duration_and_merges_updates():
+    buffer = io.StringIO()
+    log = TraceLog(buffer)
+    span = log.span("activation", source="test", backlog=5)
+    span.update(scheduled=4, mode="normal")
+    span.close()
+    span.close()  # idempotent
+    (line,) = buffer.getvalue().splitlines()
+    record = json.loads(line)
+    assert record["event"] == "activation"
+    assert record["backlog"] == 5
+    assert record["scheduled"] == 4
+    assert record["duration_seconds"] >= 0.0
+    assert log.events_written == 1
+
+
+def test_span_context_manager_records_errors():
+    buffer = io.StringIO()
+    log = TraceLog(buffer)
+    with pytest.raises(RuntimeError):
+        with log.span("activation", source="test"):
+            raise RuntimeError("boom")
+    record = json.loads(buffer.getvalue())
+    assert "boom" in record["error"]
+    assert record["duration_seconds"] >= 0.0
+
+
+def test_numpy_fields_serialize_and_nan_is_refused():
+    buffer = io.StringIO()
+    log = TraceLog(buffer)
+    log.emit(
+        "activation",
+        backlog=np.int64(7),
+        seconds=np.float64(0.25),
+        flag=np.bool_(True),
+        values=np.array([1.0, 2.0]),
+    )
+    record = json.loads(buffer.getvalue())
+    assert record["backlog"] == 7
+    assert record["seconds"] == 0.25
+    assert record["flag"] is True
+    assert record["values"] == [1.0, 2.0]
+    # NaN must never reach a trace field: JSON has no NaN literal.
+    with pytest.raises(ValueError):
+        log.emit("activation", seconds=float("nan"))
+
+
+def test_read_trace_rejects_non_event_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"event": "ok"}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        read_trace(path)
+    path.write_text('{"no_event_key": 1}\n')
+    with pytest.raises(ValueError, match="not a trace event"):
+        read_trace(path)
+
+
+def _sample_events():
+    return [
+        {
+            "event": "activation",
+            "time": 1.0,
+            "source": "service",
+            "backlog": 8,
+            "batch_size": 8,
+            "mode": "normal",
+            "scheduler_seconds": 0.02,
+            "carried": 3,
+            "filled": 5,
+            "evaluations": 120,
+            "scheduled": 8,
+        },
+        {"event": "shed", "time": 1.5, "backlog": 64},
+        {
+            "event": "activation",
+            "time": 2.0,
+            "source": "service",
+            "backlog": 4,
+            "batch_size": 4,
+            "mode": "degraded",
+            "scheduler_seconds": 0.001,
+            "scheduled": 4,
+        },
+        {"event": "mode_transition", "time": 2.1, "transition": "recover"},
+        {"event": "shed", "time": 3.0, "backlog": 64},
+    ]
+
+
+def test_activation_rows_and_event_counts():
+    events = _sample_events()
+    headers, rows = activation_rows(events)
+    assert headers[0] == "#"
+    assert len(rows) == 2
+    assert rows[0][0] == 0 and rows[1][0] == 1
+    mode_column = headers.index("mode")
+    assert [row[mode_column] for row in rows] == ["normal", "degraded"]
+    scheduled_column = headers.index("scheduled")
+    assert sum(row[scheduled_column] for row in rows) == 12
+    assert event_counts(events) == {"shed": 2, "mode_transition": 1}
+
+
+def test_summarize_trace_renders_tables(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceLog(path) as log:
+        for event in _sample_events():
+            log.emit(**event)
+    text = summarize_trace(path)
+    assert "Activations (2)" in text
+    assert "Point events" in text
+    assert "shed" in text and "mode_transition" in text
+    assert "degraded" in text
+
+    limited = summarize_trace(path, limit=1)
+    assert "Activations (1 of 2 shown)" in limited
+    # The summarizer also works straight from parsed events.
+    assert summarize_events(_sample_events()) == text
+
+
+def test_tracelog_is_thread_safe(tmp_path):
+    path = tmp_path / "race.jsonl"
+    log = TraceLog(path)
+    per_thread = 200
+
+    def work(worker: int) -> None:
+        for n in range(per_thread):
+            log.emit("activation", worker=worker, n=n)
+
+    threads = [threading.Thread(target=work, args=(w,)) for w in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    log.close()
+    events = read_trace(path)
+    assert len(events) == 4 * per_thread
+    assert log.events_written == 4 * per_thread

@@ -22,6 +22,9 @@ the ramp ends.
 """
 
 import asyncio
+import os
+
+import pytest
 
 from repro.core.config import (
     ActivationPolicy,
@@ -131,3 +134,50 @@ def test_soak_overload_shed_degrade_and_recover():
         assert final.scheduled + final.shed == report.planned + 3
 
     asyncio.run(run())
+
+
+@pytest.mark.skipif(
+    "REPRO_SOAK_SECONDS" not in os.environ,
+    reason="sustained soak runs only when REPRO_SOAK_SECONDS is set "
+    "(multi-minute wall-clock; deliberately outside default CI)",
+)
+def test_sustained_soak_ramp_through_nominal_load():
+    """The multi-minute soak: ``LoadProfile.soak()`` on the real stack.
+
+    Replays a Poisson stream of REPRO_SOAK_SECONDS simulated seconds under
+    the 0.8x -> 1.2x soak ramp — the run crosses from comfortable to
+    past-nominal load — and checks what sustained operation must show: a
+    bounded queue, a generator that kept its open-loop schedule, a clean
+    drain, and every accepted job scheduled.
+    """
+    seconds = float(os.environ["REPRO_SOAK_SECONDS"])
+
+    async def run():
+        server = make_server()
+        await server.start()
+        trace = generate_trace(
+            TraceConfig(
+                family="calm",
+                duration=seconds,
+                rate=12.0,
+                nb_machines=8,
+            ),
+            seed=20070325,
+        )
+        generator = LoadGenerator(trace, LoadProfile.soak())
+        report = await generator.run(server.submit)
+        for _ in range(200):
+            if server.snapshot().backlog == 0:
+                break
+            await asyncio.sleep(0.1)
+        snapshot = await server.stop(drain=True)
+        return report, snapshot
+
+    report, snapshot = asyncio.run(run())
+    assert report.planned == report.accepted + report.shed
+    # The generator's own health: it held the offered schedule (lag small
+    # next to the mean inter-arrival gap of the 12/s stream).
+    assert report.max_lag_seconds < 1.0
+    assert snapshot.peak_backlog <= CAPACITY
+    assert snapshot.scheduled == snapshot.accepted
+    assert snapshot.backlog == 0

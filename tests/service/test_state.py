@@ -129,12 +129,13 @@ class TestActivation:
         clock.advance(0.5)
         core.activate()
         snapshot = core.snapshot()
-        # Latencies are 2.5 and 0.5 seconds; percentiles come from
-        # the shared latency_percentiles machinery.
-        assert snapshot.p99_latency == pytest.approx(
-            float(np.percentile([2.5, 0.5], 99))
-        )
+        # Latencies are 2.5 and 0.5 seconds; percentiles come from the
+        # shared latency_percentiles machinery.  With only two samples the
+        # tail percentiles are gated to NaN (a 2-sample p99 would just be
+        # the max dressed up as a tail) while the median is reported.
         assert snapshot.p50_latency == pytest.approx(1.5)
+        assert np.isnan(snapshot.p95_latency)
+        assert np.isnan(snapshot.p99_latency)
 
     def test_latency_window_is_a_rolling_bound(self):
         clock = FakeClock()
@@ -286,7 +287,11 @@ class TestSnapshot:
         assert 0.0 <= snapshot.utilization <= 1.0
         payload = snapshot.as_dict()
         assert payload["queue_capacity"] == 16
-        assert payload["p99_latency"] >= payload["p50_latency"]
+        # Four samples are too few for a tail percentile: the snapshot
+        # gates p95/p99 and the JSON payload carries None, not a number.
+        assert payload["p50_latency"] >= 0.0
+        assert payload["p95_latency"] is None
+        assert payload["p99_latency"] is None
 
     def test_requires_at_least_one_machine(self):
         with pytest.raises(ValueError):

@@ -485,3 +485,71 @@ class TestLoadgenCommand:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err.lower()
+
+
+class TestObservabilityCli:
+    def test_observability_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--metrics-port", "0", "--trace-out", "t.jsonl"]
+        )
+        assert args.metrics_port == 0
+        assert args.trace_out == "t.jsonl"
+        args = build_parser().parse_args(["serve"])
+        assert args.metrics_port is None and args.trace_out is None
+        args = build_parser().parse_args(["loadgen", "--soak"])
+        assert args.soak
+        assert not build_parser().parse_args(["loadgen"]).soak
+
+    def test_loadgen_with_metrics_and_trace(self, tmp_path, capsys):
+        trace_out = tmp_path / "activations.jsonl"
+        code = main(
+            [
+                "loadgen",
+                "--duration", "0.5",
+                "--rate", "30",
+                "--machines", "4",
+                "--interval", "0.05",
+                "--budget", "0.02",
+                "--seed", "9",
+                "--metrics-port", "0",
+                "--trace-out", str(trace_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/metrics" in out
+        assert trace_out.exists()
+        from repro.obs import read_trace
+
+        events = read_trace(trace_out)
+        assert any(event["event"] == "activation" for event in events)
+
+    def test_obs_summarize_renders_the_trace(self, tmp_path, capsys):
+        trace_out = tmp_path / "activations.jsonl"
+        main(
+            [
+                "loadgen",
+                "--duration", "0.5",
+                "--rate", "30",
+                "--machines", "4",
+                "--interval", "0.05",
+                "--budget", "0.02",
+                "--seed", "9",
+                "--trace-out", str(trace_out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["obs", "summarize", str(trace_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Activations" in out
+        assert "batch" in out
+
+        code = main(["obs", "summarize", str(trace_out), "--limit", "1"])
+        assert code == 0
+        assert "shown" in capsys.readouterr().out
+
+    def test_obs_summarize_missing_trace_reported(self, capsys):
+        code = main(["obs", "summarize", "/nonexistent/trace.jsonl"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()
