@@ -4,7 +4,8 @@ The ROADMAP's "dynamic scheduling beyond one service" item asks for an
 online comparison harness that replays recorded arrival traces against
 multiple policies; this benchmark runs that harness over the trace
 subsystem's scenario families (calm Poisson, bursty MMPP, diurnal waves,
-heavy-tailed job sizes, flash crowd + churn) × the default policy roster
+heavy-tailed job sizes, flash crowd + churn, flaky breakdown/repair
+windows, deadline-carrying jobs) × the default policy roster
 (Min-Min, cold cMA, warm cMA, rolling-horizon warm cMA) at an equal
 per-activation budget, and dumps the scenario × policy table both as text
 and into ``BENCH_engine.json`` (merged next to the engine/dynamic
@@ -60,6 +61,14 @@ SCENARIOS = {
     "flash_crowd": TraceConfig(
         family="flash_crowd", duration=_DURATION, rate=0.6, nb_machines=_MACHINES,
         job_heterogeneity="lo", churn_fraction=0.25,
+    ),
+    "flaky": TraceConfig(
+        family="flaky", duration=_DURATION, rate=1.0, nb_machines=_MACHINES,
+        job_heterogeneity="lo",
+    ),
+    "deadline": TraceConfig(
+        family="deadline", duration=_DURATION, rate=1.0, nb_machines=_MACHINES,
+        job_heterogeneity="lo", extra={"tightness": 2.0},
     ),
 }
 
@@ -120,6 +129,12 @@ def test_trace_replay_arena(benchmark, record_output, record_json):
                     report.flowtime.mean,
                     report.mean_utilization,
                     report.p95_scheduler_seconds,
+                    report.rescheduled_jobs,
+                    (
+                        f"{report.missed_deadlines:g}/{report.jobs_with_deadlines}"
+                        if report.jobs_with_deadlines
+                        else "n/a"
+                    ),
                 ]
             )
             json_rows.append(
@@ -133,6 +148,8 @@ def test_trace_replay_arena(benchmark, record_output, record_json):
             "total flowtime",
             "utilization",
             "sched p95 s",
+            "rescheduled",
+            "missed due",
         ],
         rows,
         title="Replay arena: scenario families x policies (equal budget)",
@@ -171,6 +188,18 @@ def test_trace_replay_arena(benchmark, record_output, record_json):
         twin, original = calm_reports[f"{name}-adaptive"], calm_reports[name]
         assert twin.completed_jobs == original.completed_jobs, name
         assert twin.makespan.mean <= original.makespan.mean * 1.2, name
+
+    # The failure families carry their ingredients end to end: the flaky
+    # trace actually schedules breakdown windows (the legacy unlimited
+    # retry still completes the whole stream, per the assertion above),
+    # and every deadline job carries a due date the SLA columns account.
+    flaky_trace = results["flaky"][0]
+    assert flaky_trace.breakdown_times is not None
+    assert flaky_trace.breakdown_times.size > 0
+    deadline_trace, deadline_result = results["deadline"]
+    for report in summarize_arena(deadline_result):
+        assert report.jobs_with_deadlines == deadline_trace.nb_jobs, report.policy
+        assert report.missed_deadlines <= report.jobs_with_deadlines, report.policy
 
     print()
     print(text)

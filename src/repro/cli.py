@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import os
 import sys
 from typing import Sequence
@@ -71,6 +72,7 @@ from repro.core.config import (
     ActivationPolicy,
     ArenaConfig,
     LoadProfile,
+    RetryPolicy,
     ServiceConfig,
     TraceConfig,
 )
@@ -109,7 +111,13 @@ from repro.grid import (
 from repro.grid.service import DynamicSchedulerService
 from repro.heuristics import build_schedule, list_heuristics
 from repro.obs import MetricsRegistry, TraceLog, summarize_trace
-from repro.service import LoadGenerator, SchedulerCore, SchedulerServer, ServiceClient
+from repro.service import (
+    FaultInjector,
+    LoadGenerator,
+    SchedulerCore,
+    SchedulerServer,
+    ServiceClient,
+)
 from repro.model.benchmark import BRAUN_INSTANCE_NAMES, generate_braun_like_instance
 from repro.model.generator import ETCGeneratorConfig
 from repro.model.io import load_etc_file
@@ -358,6 +366,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional per-activation early stop after N stagnant iterations",
     )
     replay.add_argument("--repetitions", type=int, default=1, help="independent replays per policy")
+    replay.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="N",
+        help="cap revoked-work resubmissions at N attempts per job with "
+        "exponential backoff (see --retry-backoff); jobs past the cap are "
+        "dropped as failed.  Default: unlimited immediate resubmission",
+    )
+    replay.add_argument(
+        "--retry-backoff", type=float, default=1.0,
+        help="base backoff delay in simulated seconds, doubled per attempt "
+        "with deterministic jitter (only with --retry-attempts; default 1)",
+    )
     add_activation_arguments(replay)
     replay.add_argument("--seed", type=int, default=2007)
 
@@ -451,6 +470,23 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--abort", action="store_true",
         help="abort (shed the queue) instead of draining at the end",
+    )
+    loadgen.add_argument(
+        "--chaos", action="store_true",
+        help="inject seeded machine breakdowns/repairs while the load runs "
+        "(local in-process server only; the park is restored at the end)",
+    )
+    loadgen.add_argument(
+        "--chaos-mtbf", type=float, default=5.0,
+        help="chaos: mean seconds between failures per machine (default 5)",
+    )
+    loadgen.add_argument(
+        "--chaos-mttr", type=float, default=1.0,
+        help="chaos: mean seconds to repair (default 1)",
+    )
+    loadgen.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="chaos: seed of the deterministic fault plan (default 0)",
     )
     loadgen.add_argument(
         "--soak", action="store_true",
@@ -782,6 +818,15 @@ def _command_trace_replay(args: argparse.Namespace) -> int:
     if interval is None:
         interval = float(trace.metadata.get("activation_interval") or 10.0)
     recorded_horizon = trace.metadata.get("commit_horizon")
+    retry = (
+        RetryPolicy(
+            max_attempts=args.retry_attempts,
+            backoff_base=args.retry_backoff,
+            seed=args.seed,
+        )
+        if args.retry_attempts is not None
+        else None
+    )
     config = ArenaConfig(
         activation_interval=interval,
         commit_horizon=None if recorded_horizon is None else float(recorded_horizon),
@@ -789,6 +834,7 @@ def _command_trace_replay(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         workers=args.workers,
+        retry=retry,
     )
     result = ReplayArena(trace, specs, config).run()
     print(arena_table(result))
@@ -874,6 +920,11 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_loadgen(args: argparse.Namespace) -> int:
+    if args.chaos and args.connect:
+        # The injector flips core.break_machine/repair_machine directly;
+        # a remote server's core is out of reach by design (the protocol
+        # carries work, not faults).
+        raise ValueError("--chaos needs the local in-process server, not --connect")
     if args.soak:
         # Sustained soak: a multi-minute stream (REPRO_SOAK_SECONDS, kept
         # out of default CI) under the ramp-through-nominal soak profile.
@@ -918,19 +969,52 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         if server.metrics_address is not None:
             mhost, mport = server.metrics_address
             print(f"metrics on http://{mhost}:{mport}/metrics")
+        chaos_task = None
+        chaos_report = None
+        if args.chaos:
+            injector = FaultInjector(
+                core,
+                mtbf=args.chaos_mtbf,
+                mttr=args.chaos_mttr,
+                seed=args.chaos_seed,
+            )
+            offsets = generator.planned_offsets()
+            horizon = float(offsets[-1]) if offsets.size else 0.0
+            chaos_task = asyncio.get_running_loop().create_task(
+                injector.run(horizon)
+            )
         try:
             report = await generator.run(server.submit)
+            if chaos_task is not None:
+                chaos_report = await chaos_task
+                chaos_task = None
             snapshot = await server.stop(drain=not args.abort)
         finally:
+            if chaos_task is not None:
+                # Load run failed mid-stream: stop the injector; its own
+                # cleanup repairs whatever it left broken.
+                chaos_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await chaos_task
             if core.trace_log is not None:
                 core.trace_log.close()
-        return report, snapshot.as_dict()
+        return report, snapshot.as_dict(), chaos_report
 
     if args.connect:
         host, _, port = args.connect.rpartition(":")
         report, snapshot = asyncio.run(run_remote(host or "127.0.0.1", int(port)))
+        chaos_report = None
     else:
-        report, snapshot = asyncio.run(run_local())
+        report, snapshot, chaos_report = asyncio.run(run_local())
+    if chaos_report is not None:
+        print(
+            format_mapping(
+                chaos_report.as_dict(),
+                title=f"chaos: mtbf {args.chaos_mtbf:g}s, mttr "
+                f"{args.chaos_mttr:g}s, seed {args.chaos_seed}",
+            )
+        )
+        print()
     print(
         format_mapping(
             report.as_dict(),

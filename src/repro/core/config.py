@@ -39,6 +39,7 @@ __all__ = [
     "TraceConfig",
     "ArenaConfig",
     "ActivationPolicy",
+    "RetryPolicy",
     "ServiceConfig",
     "LoadProfile",
     "ISLAND_TOPOLOGIES",
@@ -69,7 +70,15 @@ WARM_START_MODES = ("previous_plan", "off")
 #: island topologies above, the registry lives up in the traces layer; the
 #: names are mirrored here so the config layer can validate without importing
 #: upward (pinned in sync by ``tests/traces/test_generators.py``).
-TRACE_FAMILIES = ("calm", "bursty", "diurnal", "heavy_tail", "flash_crowd")
+TRACE_FAMILIES = (
+    "calm",
+    "bursty",
+    "diurnal",
+    "heavy_tail",
+    "flash_crowd",
+    "flaky",
+    "deadline",
+)
 
 #: How :class:`ActivationPolicy` drives the simulator's scheduler ticks.
 ACTIVATION_MODES = ("periodic", "adaptive")
@@ -84,6 +93,103 @@ def _check_choice(name: str, value: str, available) -> str:
     if value not in options:
         raise ValueError(f"{name} must be one of {sorted(options)}, got {value!r}")
     return value
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _jitter_hash(key: int) -> float:
+    """SplitMix64 finalizer on *key*, mapped to a uniform in (0, 1).
+
+    Pure-python twin of the counter-based construction the grid layer uses
+    for affinity noise: the jitter of a retry is a pure function of
+    ``(seed, job_id, attempt)``, so replays are bit-exact without carrying
+    generator state.
+    """
+    z = (key + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z = z ^ (z >> 31)
+    return ((z >> 11) + 0.5) * 2.0**-53
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How revoked jobs (machine left or broke down) are re-admitted.
+
+    The simulator's legacy behaviour — no policy — resubmits a revoked job
+    to the pending pool immediately and retries forever.  A ``RetryPolicy``
+    bounds that: each revocation consumes one attempt, re-admission is
+    delayed by exponential backoff with deterministic jitter, and a job
+    revoked more than ``max_attempts`` times is dropped and counted as
+    *failed* instead of retried.
+
+    Attributes
+    ----------
+    max_attempts:
+        Revocations a job may survive; the ``max_attempts + 1``-th
+        revocation drops it as failed.
+    backoff_base:
+        Delay (simulated seconds) before re-admission after the first
+        revocation; ``0.0`` re-admits immediately (still bounded by
+        ``max_attempts``).
+    backoff_factor:
+        Multiplier applied to the delay per additional revocation
+        (``delay = backoff_base * backoff_factor ** (attempt - 1)``).
+    jitter:
+        Relative symmetric jitter on the delay, in ``[0, 1)``: the delay is
+        scaled by a factor in ``[1 - jitter, 1 + jitter)`` derived
+        deterministically from ``(seed, job_id, attempt)``.
+    seed:
+        Folded into the jitter hash so distinct experiments decorrelate
+        while each stays bit-reproducible.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_integer("max_attempts", self.max_attempts, minimum=1)
+        check_non_negative("backoff_base", self.backoff_base)
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        check_integer("seed", self.seed, minimum=0)
+
+    def delay(self, job_id: int, attempt: int) -> float:
+        """Backoff before re-admitting *job_id* after its *attempt*-th revocation."""
+        check_integer("attempt", attempt, minimum=1)
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if base <= 0.0:
+            return 0.0
+        if self.jitter == 0.0:
+            return base
+        key = (
+            (self.seed & _MASK64) * 0xD1342543DE82EF95
+            ^ (int(job_id) & _MASK64) * 0x2545F4914F6CDD1D
+            ^ int(attempt)
+        ) & _MASK64
+        return base * (1.0 + self.jitter * (2.0 * _jitter_hash(key) - 1.0))
+
+    def evolve(self, **changes: Any) -> "RetryPolicy":
+        """Return a copy of the policy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A flat, JSON-friendly description of the policy."""
+        return {
+            "max attempts": self.max_attempts,
+            "backoff base": self.backoff_base,
+            "backoff factor": self.backoff_factor,
+            "jitter": self.jitter,
+            "retry seed": self.seed,
+        }
 
 
 @dataclass(frozen=True)
@@ -980,6 +1086,9 @@ class ArenaConfig:
         ticks; ``None`` means the periodic driver.  A policy spec may
         override it, which is how the adaptive-activation variant of a
         policy enters the same arena as its periodic twin.
+    retry:
+        Shared :class:`RetryPolicy` applied to every replay's revocations;
+        ``None`` keeps the legacy unlimited-immediate-retry behaviour.
     repetitions:
         Independent replays per policy; each repetition derives its own
         seed stream from ``seed`` through the stable
@@ -1006,6 +1115,7 @@ class ArenaConfig:
     commit_horizon: float | None = None
     max_activations: int = 10_000
     activation: ActivationPolicy | None = None
+    retry: "RetryPolicy | None" = None
     repetitions: int = 1
     seed: int = 2007
     workers: int = 0
@@ -1020,6 +1130,8 @@ class ArenaConfig:
             self.activation, ActivationPolicy
         ):
             raise TypeError("activation must be an ActivationPolicy or None")
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise TypeError("retry must be a RetryPolicy or None")
         check_integer("max_activations", self.max_activations, minimum=1)
         check_integer("repetitions", self.repetitions, minimum=1)
         check_integer("seed", self.seed, minimum=0)
@@ -1050,6 +1162,7 @@ class ArenaConfig:
             "activation mode": (
                 "periodic" if self.activation is None else self.activation.mode
             ),
+            "retry": None if self.retry is None else self.retry.describe(),
             "repetitions": self.repetitions,
             "seed": self.seed,
             "workers": self.workers,

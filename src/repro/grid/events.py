@@ -9,8 +9,19 @@ event vocabulary covers everything that can change the state of the grid:
     A machine enters or drops from the park.  Each machine's membership
     events are pushed once at simulation start and popped exactly once, so
     churn costs O(events), not O(activations × machines).
+``MACHINE_BREAKDOWN`` / ``MACHINE_REPAIR``
+    A machine fails mid-stream and later comes back.  Unlike a leave, the
+    machine stays in the park: breakdown revokes its in-flight work (same
+    exactly-once credit discipline as a leave) and marks it unavailable;
+    repair makes it schedulable again.
 ``TASK_SUBMIT``
-    One job's arrival; popping it admits the job to the pending pool.
+    One job's arrival; popping it admits the job to the pending pool.  Also
+    used for the delayed re-admission of a revoked job when a
+    :class:`~repro.core.config.RetryPolicy` imposes a backoff.
+``TASK_CANCEL``
+    A user withdraws a job; popping it removes the job from wherever it
+    currently sits (pending pool, retry backoff, or an in-flight machine
+    queue) unless it already finished.
 ``TASK_END``
     A committed placement reaches its planned finish time; popping it
     garbage-collects the machine's outstanding-work queue.
@@ -24,11 +35,15 @@ simultaneous events always pop in the same order.  Events are totally
 ordered by ``(time, kind, seq)``:
 
 1. **time** — chronological, always;
-2. **kind** — at equal timestamps, joins before leaves before submissions
-   before task ends before scheduler ticks (the :class:`EventType` integer
-   values).  This reproduces the classic periodic loop's within-tick order
-   (membership first, then arrivals, then the activation) and guarantees
-   a tick at time *t* observes every event at *t*;
+2. **kind** — at equal timestamps, capacity-adding membership events
+   (joins, repairs) before capacity-removing ones (leaves, breakdowns)
+   before submissions before cancellations before task ends before
+   scheduler ticks (the :class:`EventType` integer values).  This
+   reproduces the classic periodic loop's within-tick order (membership
+   first, then arrivals, then the activation) and guarantees a tick at
+   time *t* observes every event at *t*.  The failure kinds slot into the
+   legacy order without permuting it, so traces that carry no failure
+   events drain exactly as they did before the failure model existed;
 3. **seq** — a monotonically increasing insertion counter breaking the
    remaining ties FIFO, independent of heap internals and payload types.
 """
@@ -47,10 +62,13 @@ class EventType(IntEnum):
     """Event kinds; the integer value is the tie-break priority at equal times."""
 
     MACHINE_JOIN = 0
-    MACHINE_LEAVE = 1
-    TASK_SUBMIT = 2
-    TASK_END = 3
-    SCHEDULER_TICK = 4
+    MACHINE_REPAIR = 1
+    MACHINE_LEAVE = 2
+    MACHINE_BREAKDOWN = 3
+    TASK_SUBMIT = 4
+    TASK_CANCEL = 5
+    TASK_END = 6
+    SCHEDULER_TICK = 7
 
 
 class Event(NamedTuple):

@@ -23,7 +23,9 @@ class JobState(enum.Enum):
     PENDING = "pending"        # arrived, waiting for the next scheduler activation
     SCHEDULED = "scheduled"    # assigned to a machine queue, not yet finished
     COMPLETED = "completed"    # finished successfully
-    RESUBMITTED = "resubmitted"  # its machine left the grid; back to pending
+    RESUBMITTED = "resubmitted"  # its machine left or broke down; back to pending
+    CANCELLED = "cancelled"    # withdrawn by its user before it finished
+    FAILED = "failed"          # revoked more times than the retry cap allows
 
 
 @dataclass(frozen=True)
@@ -38,15 +40,34 @@ class GridJob:
         Size of the job in millions of instructions (MI).
     arrival_time:
         Simulated time at which the job enters the system.
+    due_date:
+        Optional SLA deadline; a completion after it counts as a missed
+        deadline and accrues tardiness.  ``None`` means no deadline.
+    cancel_time:
+        Optional simulated time at which the submitting user withdraws the
+        job; must be strictly after the arrival.  ``None`` means the job is
+        never cancelled.
     """
 
     job_id: int
     workload: float
     arrival_time: float
+    due_date: float | None = None
+    cancel_time: float | None = None
 
     def __post_init__(self) -> None:
         check_positive("workload", self.workload)
         check_non_negative("arrival_time", self.arrival_time)
+        if self.due_date is not None and self.due_date < self.arrival_time:
+            raise ValueError(
+                f"due_date must be >= arrival_time, got {self.due_date} < "
+                f"{self.arrival_time}"
+            )
+        if self.cancel_time is not None and self.cancel_time <= self.arrival_time:
+            raise ValueError(
+                f"cancel_time must be > arrival_time, got {self.cancel_time} <= "
+                f"{self.arrival_time}"
+            )
 
 
 @dataclass
@@ -73,6 +94,21 @@ class JobRecord:
         if self.completion_time is None:
             raise ValueError(f"job {self.job.job_id} has not completed")
         return self.completion_time - self.job.arrival_time
+
+    @property
+    def tardiness(self) -> float:
+        """How late the job finished past its due date (0.0 when on time).
+
+        Raises
+        ------
+        ValueError
+            If the job has no due date or has not completed yet.
+        """
+        if self.job.due_date is None:
+            raise ValueError(f"job {self.job.job_id} has no due date")
+        if self.completion_time is None:
+            raise ValueError(f"job {self.job.job_id} has not completed")
+        return max(0.0, self.completion_time - self.job.due_date)
 
     @property
     def waiting_time(self) -> float:

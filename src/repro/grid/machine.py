@@ -114,6 +114,11 @@ class GridMachine:
         noise; 0 gives perfectly consistent behaviour, larger values model
         inconsistent grids where a nominally fast machine can be slow for
         particular jobs.
+    breakdowns:
+        Ordered, non-overlapping ``(breakdown_time, repair_time)`` windows
+        during which the machine is broken: it stays in the park but cannot
+        run work, and anything in flight at the breakdown instant is revoked.
+        Empty by default (the machine never fails).
     """
 
     machine_id: int
@@ -121,6 +126,7 @@ class GridMachine:
     join_time: float = 0.0
     leave_time: float | None = None
     affinity_spread: float = 0.0
+    breakdowns: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         check_positive("mips", self.mips)
@@ -128,6 +134,23 @@ class GridMachine:
         if self.leave_time is not None and self.leave_time <= self.join_time:
             raise ValueError("leave_time must be after join_time")
         check_non_negative("affinity_spread", self.affinity_spread)
+        object.__setattr__(
+            self,
+            "breakdowns",
+            tuple((float(down), float(up)) for down, up in self.breakdowns),
+        )
+        previous_up = self.join_time
+        for down, up in self.breakdowns:
+            if down < previous_up:
+                raise ValueError(
+                    f"breakdown windows must be ordered, non-overlapping and "
+                    f"after join_time, got breakdown at {down} before {previous_up}"
+                )
+            if up <= down:
+                raise ValueError(
+                    f"repair_time must be after breakdown_time, got {up} <= {down}"
+                )
+            previous_up = up
 
     def execution_time(self, job: GridJob, rng: RNGLike = None) -> float:
         """Expected execution time of *job* on this machine.
@@ -154,6 +177,9 @@ class GridMachine:
             return False
         if self.leave_time is not None and time >= self.leave_time:
             return False
+        for down, up in self.breakdowns:
+            if down <= time < up:
+                return False
         return True
 
 

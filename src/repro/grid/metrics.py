@@ -18,6 +18,7 @@ import numpy as np
 __all__ = [
     "ActivationRecord",
     "MachineEvent",
+    "MACHINE_EVENT_KINDS",
     "SimulationMetrics",
     "latency_percentiles",
     "P95_MIN_SAMPLES",
@@ -71,28 +72,37 @@ class ActivationRecord:
     scheduler_wall_seconds: float
 
 
+#: MachineEvent kinds, in within-timestamp order: capacity-adding events
+#: (join, repair) sort before capacity-removing ones (leave, breakdown),
+#: mirroring the event queue's :class:`~repro.grid.events.EventType` order.
+MACHINE_EVENT_KINDS = ("join", "repair", "leave", "breakdown")
+
+
 @dataclass(frozen=True)
 class MachineEvent:
-    """One machine joining or leaving the grid during a simulation.
+    """One machine joining, leaving, breaking down or being repaired.
 
     The simulator emits these as an explicit, chronologically ordered log
-    (joins before leaves at equal times, ties broken by machine id) — the
-    machine-churn counterpart of the per-job completion records, and the
-    event stream the trace recorder (:mod:`repro.traces`) captures.
+    (capacity-adding events before capacity-removing ones at equal times,
+    ties broken by machine id) — the machine-availability counterpart of the
+    per-job completion records, and the event stream the trace recorder
+    (:mod:`repro.traces`) captures.
     """
 
     time: float
     machine_id: int
-    event: str  # "join" | "leave"
+    event: str  # one of MACHINE_EVENT_KINDS
 
     def __post_init__(self) -> None:
-        if self.event not in ("join", "leave"):
-            raise ValueError(f"event must be 'join' or 'leave', got {self.event!r}")
+        if self.event not in MACHINE_EVENT_KINDS:
+            raise ValueError(
+                f"event must be one of {MACHINE_EVENT_KINDS}, got {self.event!r}"
+            )
 
     @property
     def sort_key(self) -> tuple[float, int, int]:
-        """Chronological order: time, joins before leaves, then machine id."""
-        return (self.time, 0 if self.event == "join" else 1, self.machine_id)
+        """Chronological order: time, capacity-adders first, then machine id."""
+        return (self.time, MACHINE_EVENT_KINDS.index(self.event), self.machine_id)
 
 
 @dataclass
@@ -123,8 +133,23 @@ class SimulationMetrics:
     #: available machine).  The periodic driver accumulates these on calm
     #: stretches; the adaptive driver's win is keeping this near zero.
     nb_idle_activations: int = 0
+    #: Jobs withdrawn by their user before finishing (``TASK_CANCEL``).
+    cancelled_jobs: int = 0
+    #: Jobs dropped after exhausting the :class:`~repro.core.config.RetryPolicy`
+    #: attempt cap — never completed, never cancelled.
+    failed_jobs: int = 0
+    #: SLA outcome over the jobs that carried a due date: completions past
+    #: their deadline plus failed jobs that had one.  Cancelled jobs are the
+    #: user's choice and do not count as misses.
+    missed_deadlines: int = 0
+    #: Sum over late completions of ``completion - due_date``.
+    total_tardiness: float = 0.0
+    #: Worst single-job lateness (0.0 when every deadline was met).
+    max_tardiness: float = 0.0
+    #: How many jobs carried a due date at all (the miss denominator).
+    jobs_with_deadlines: int = 0
     activations: list[ActivationRecord] = field(default_factory=list)
-    #: Ordered machine join/leave log of the run (see :class:`MachineEvent`).
+    #: Ordered machine join/leave/breakdown/repair log (see :class:`MachineEvent`).
     machine_events: list[MachineEvent] = field(default_factory=list)
 
     @property
@@ -155,6 +180,12 @@ class SimulationMetrics:
             "scheduler_seconds_p95": self.p95_scheduler_seconds,
             "scheduler_seconds_p99": self.p99_scheduler_seconds,
             "idle_activations": float(self.nb_idle_activations),
+            "cancelled": float(self.cancelled_jobs),
+            "failed": float(self.failed_jobs),
+            "missed_deadlines": float(self.missed_deadlines),
+            "total_tardiness": self.total_tardiness,
+            "max_tardiness": self.max_tardiness,
+            "jobs_with_deadlines": float(self.jobs_with_deadlines),
         }
 
     @staticmethod
@@ -171,6 +202,12 @@ class SimulationMetrics:
         activations: list[ActivationRecord],
         machine_events: list[MachineEvent] | None = None,
         nb_idle_activations: int = 0,
+        cancelled_jobs: int = 0,
+        failed_jobs: int = 0,
+        missed_deadlines: int = 0,
+        total_tardiness: float = 0.0,
+        max_tardiness: float = 0.0,
+        jobs_with_deadlines: int = 0,
     ) -> "SimulationMetrics":
         """Assemble the metrics object from raw per-job / per-machine arrays."""
         completed = int(completion_times.size)
@@ -197,6 +234,12 @@ class SimulationMetrics:
             p95_scheduler_seconds=scheduler_p95,
             p99_scheduler_seconds=scheduler_p99,
             nb_idle_activations=nb_idle_activations,
+            cancelled_jobs=cancelled_jobs,
+            failed_jobs=failed_jobs,
+            missed_deadlines=missed_deadlines,
+            total_tardiness=total_tardiness,
+            max_tardiness=max_tardiness,
+            jobs_with_deadlines=jobs_with_deadlines,
             activations=list(activations),
             machine_events=sorted(
                 machine_events if machine_events is not None else [],

@@ -19,6 +19,17 @@ vocabulary and the deterministic tie-breaking rules):
   reschedule counter incremented — the "unless it drops from the Grid"
   clause of the problem description — and the machine is credited only for
   the work it actually ran.
+* ``MACHINE_BREAKDOWN`` / ``MACHINE_REPAIR`` — the failure model's
+  membership events: a breakdown revokes the machine's in-flight work under
+  the *same* exactly-once credit discipline as a leave but keeps the
+  machine in the park, unavailable until its repair pops.  Revoked jobs are
+  re-admitted immediately (legacy behaviour) or through the configured
+  :class:`~repro.core.config.RetryPolicy` — bounded attempts, exponential
+  backoff with deterministic jitter, drop-after-cap counted as *failed*.
+* ``TASK_CANCEL`` — a user withdraws a job: it is removed from wherever it
+  sits (pending pool, retry backoff, or an in-flight machine queue, with
+  the machine credited only for the work it actually ran) unless it
+  already finished.
 * ``TASK_END`` — a committed placement reaches its planned finish;
   popping it garbage-collects the machine's outstanding-work queue, so
   departure processing scans only genuinely in-flight placements.
@@ -55,7 +66,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import ActivationPolicy
+from repro.core.config import ActivationPolicy, RetryPolicy
 from repro.grid.events import EventQueue, EventType
 from repro.grid.job import GridJob, JobRecord, JobState
 from repro.grid.machine import GridMachine, MachineState, execution_times_matrix
@@ -93,12 +104,20 @@ class SimulationConfig:
     activation:
         The :class:`~repro.core.config.ActivationPolicy` placing the
         scheduler ticks; ``None`` means the periodic driver.
+    retry:
+        How revoked jobs (machine left or broke down) are re-admitted.
+        ``None`` (default) keeps the legacy behaviour — immediate
+        resubmission, unlimited attempts; a
+        :class:`~repro.core.config.RetryPolicy` bounds the attempts,
+        delays re-admission by jittered exponential backoff, and drops
+        jobs past the cap as *failed*.
     """
 
     activation_interval: float = 10.0
     max_activations: int = 10_000
     commit_horizon: float | None = None
     activation: ActivationPolicy | None = None
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         check_positive("activation_interval", self.activation_interval)
@@ -109,6 +128,8 @@ class SimulationConfig:
             self.activation, ActivationPolicy
         ):
             raise TypeError("activation must be an ActivationPolicy or None")
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise TypeError("retry must be a RetryPolicy or None")
 
 
 @dataclass
@@ -174,6 +195,9 @@ class GridSimulator:
             job.job_id: position for position, job in enumerate(self.jobs)
         }
         self._pending_positions: set[int] = set()
+        # Positions whose revoked job awaits a RetryPolicy backoff: their
+        # delayed TASK_SUBMIT re-admission must not recount as an arrival.
+        self._retry_positions: set[int] = set()
         self._submitted = 0
         # Incremental stopping-rule state: jobs not yet COMPLETED, machines
         # that ever received a commit (the departed-machine log must stay
@@ -186,6 +210,22 @@ class GridSimulator:
             machine.machine_id
             for machine in self.machines
             if machine.leave_time is not None
+        }
+        # Unprocessed breakdown events per machine: like a pending leave,
+        # a future breakdown on a machine holding commits can still revoke
+        # them, so the stream is not done until those events drain.
+        self._pending_breakdowns: dict[int, int] = {
+            machine.machine_id: len(machine.breakdowns)
+            for machine in self.machines
+            if machine.breakdowns
+        }
+        # Unprocessed cancel events by job position: a cancel landing
+        # before its job's committed finish can still withdraw it, so the
+        # stream is not done until those events drain or are provably moot.
+        self._pending_cancels: dict[int, float] = {
+            position: job.cancel_time
+            for position, job in enumerate(self.jobs)
+            if job.cancel_time is not None
         }
         # Park-position availability flags (joined and not departed),
         # preserving the park order of ``self.machines`` in every batch.
@@ -234,6 +274,31 @@ class GridSimulator:
             "repro_sim_scheduler_seconds",
             "Wall-clock seconds one scheduler activation took.",
         )
+        # Failure-model counters: revocations by cause, retry outcomes,
+        # user cancellations and SLA misses.
+        revocations = reg.counter(
+            "repro_sim_revocations_total",
+            "In-flight placements revoked, by cause.",
+            labels=("cause",),
+        )
+        self._m_revoked = {
+            cause: revocations.labels(cause=cause) for cause in ("leave", "breakdown")
+        }
+        retries = reg.counter(
+            "repro_sim_retries_total",
+            "Retry decisions for revoked jobs, by outcome.",
+            labels=("outcome",),
+        )
+        self._m_retry_requeued = retries.labels(outcome="requeued")
+        self._m_retry_dropped = retries.labels(outcome="dropped")
+        self._m_cancelled = reg.counter(
+            "repro_sim_cancellations_total",
+            "Jobs withdrawn by their user before finishing.",
+        )
+        self._m_deadline_misses = reg.counter(
+            "repro_sim_deadline_misses_total",
+            "Jobs that finished past their due date or failed with one set.",
+        )
         if self.recorder is not None:
             self.recorder.on_simulation_start(self.jobs, self.machines, self.config)
 
@@ -278,10 +343,15 @@ class GridSimulator:
         self._events = queue
         for position, job in enumerate(self.jobs):
             queue.push(job.arrival_time, EventType.TASK_SUBMIT, position)
+            if job.cancel_time is not None:
+                queue.push(job.cancel_time, EventType.TASK_CANCEL, position)
         for position, machine in enumerate(self.machines):
             queue.push(machine.join_time, EventType.MACHINE_JOIN, position)
             if machine.leave_time is not None:
                 queue.push(machine.leave_time, EventType.MACHINE_LEAVE, position)
+            for down, up in machine.breakdowns:
+                queue.push(down, EventType.MACHINE_BREAKDOWN, position)
+                queue.push(up, EventType.MACHINE_REPAIR, position)
 
         activation = self.config.activation
         adaptive = activation is not None and activation.is_adaptive
@@ -315,6 +385,12 @@ class GridSimulator:
                 self._handle_join(event.payload, now, adaptive)
             elif kind is EventType.MACHINE_LEAVE:
                 self._handle_leave(event.payload, now, adaptive)
+            elif kind is EventType.MACHINE_BREAKDOWN:
+                self._handle_breakdown(event.payload, now, adaptive)
+            elif kind is EventType.MACHINE_REPAIR:
+                self._handle_repair(event.payload, now, adaptive)
+            elif kind is EventType.TASK_CANCEL:
+                self._handle_cancel(event.payload, now, adaptive)
             elif not adaptive:
                 tick = event.payload
                 self._fire_scheduler(now)
@@ -346,9 +422,21 @@ class GridSimulator:
     # Event handlers
     # ------------------------------------------------------------------ #
     def _handle_submit(self, position: int, now: float, adaptive: bool) -> None:
-        """One job's arrival: admit it to the pending pool, exactly once."""
-        self._pending_positions.add(position)
-        self._submitted += 1
+        """One job's arrival: admit it to the pending pool, exactly once.
+
+        Also the delayed re-admission path of the retry policy: a revoked
+        job coming off its backoff re-enters the pending pool here without
+        recounting as an arrival (and without resurrecting a job that was
+        cancelled while it waited).
+        """
+        if position in self._retry_positions:
+            self._retry_positions.discard(position)
+            self._pending_positions.add(position)
+        elif self.records[self.jobs[position].job_id].state is JobState.CANCELLED:
+            return
+        else:
+            self._pending_positions.add(position)
+            self._submitted += 1
         if adaptive:
             self._ensure_wakeup(now)
 
@@ -378,6 +466,9 @@ class GridSimulator:
         self._active[position] = False
         self._departed.add(machine_id)
         self._pending_leaves.discard(machine_id)
+        # Breakdown windows after departure are moot; don't hold the
+        # stopping rule open for them.
+        self._pending_breakdowns.pop(machine_id, None)
         self.machine_events.append(
             MachineEvent(time=now, machine_id=machine_id, event="leave")
         )
@@ -385,36 +476,171 @@ class GridSimulator:
             self._trace_log.emit(
                 "machine_leave", source="simulator", time=now, machine_id=machine_id
             )
+        self._revoke_in_flight(machine_id, now, cause="leave")
+        if adaptive:
+            if self._pending_positions:
+                self._membership_dirty = True
+            self._ensure_wakeup(now)
+
+    def _handle_breakdown(self, position: int, now: float, adaptive: bool) -> None:
+        """One machine's breakdown: revoke its in-flight work; it stays parked."""
+        machine = self.machines[position]
+        machine_id = machine.machine_id
+        remaining = self._pending_breakdowns.get(machine_id, 0) - 1
+        if remaining > 0:
+            self._pending_breakdowns[machine_id] = remaining
+        else:
+            self._pending_breakdowns.pop(machine_id, None)
+        if machine_id in self._departed:
+            return  # left the grid before this window started
+        self._active[position] = False
+        self.machine_events.append(
+            MachineEvent(time=now, machine_id=machine_id, event="breakdown")
+        )
+        if self._trace_log is not None:
+            self._trace_log.emit(
+                "machine_breakdown", source="simulator", time=now, machine_id=machine_id
+            )
+        self._revoke_in_flight(machine_id, now, cause="breakdown")
+        if adaptive:
+            if self._pending_positions:
+                self._membership_dirty = True
+            self._ensure_wakeup(now)
+
+    def _handle_repair(self, position: int, now: float, adaptive: bool) -> None:
+        """One machine's repair: make it schedulable again."""
+        machine = self.machines[position]
+        machine_id = machine.machine_id
+        if machine_id in self._departed:
+            return  # departed mid-breakdown; the repair is moot
+        self._active[position] = True
+        self.machine_events.append(
+            MachineEvent(time=now, machine_id=machine_id, event="repair")
+        )
+        if self._trace_log is not None:
+            self._trace_log.emit(
+                "machine_repair", source="simulator", time=now, machine_id=machine_id
+            )
+        if adaptive:
+            if self._pending_positions:
+                self._membership_dirty = True
+            self._ensure_wakeup(now)
+
+    def _handle_cancel(self, position: int, now: float, adaptive: bool) -> None:
+        """A user withdraws a job, wherever it currently sits."""
+        self._pending_cancels.pop(position, None)
+        job = self.jobs[position]
+        record = self.records[job.job_id]
+        if record.state in (JobState.CANCELLED, JobState.FAILED):
+            return
+        if (
+            record.state is JobState.COMPLETED
+            and record.completion_time is not None
+            and record.completion_time <= now
+        ):
+            return  # finished before the user got to it
+        if position in self._pending_positions:
+            self._pending_positions.discard(position)
+            self._unfinished -= 1
+        elif position in self._retry_positions:
+            self._retry_positions.discard(position)
+            self._unfinished -= 1
+        elif record.state is JobState.COMPLETED and record.machine_id is not None:
+            # In flight: remove the committed placement and credit the
+            # machine only for the work it actually ran (the commit already
+            # settled the exactly-once `_unfinished` bookkeeping).  The
+            # committed start/finish instants of the other placements stay
+            # immutable.
+            state = self.machine_states[record.machine_id]
+            queue = self._queues[record.machine_id]
+            for entry in queue:
+                if entry.job_id == job.job_id:
+                    processed = max(0.0, min(entry.finish, now) - entry.start)
+                    state.busy_time -= (entry.finish - entry.start) - processed
+                    state.completed_jobs -= 1
+                    queue.remove(entry)
+                    break
+        else:
+            return  # not admitted yet — nothing to withdraw
+        record.state = JobState.CANCELLED
+        record.machine_id = None
+        record.start_time = None
+        record.completion_time = None
+        record.note(f"cancelled at t={now:.2f}")
+        self._m_cancelled.inc()
+        if self._trace_log is not None:
+            self._trace_log.emit(
+                "task_cancel", source="simulator", time=now, job_id=job.job_id
+            )
+
+    def _revoke_in_flight(self, machine_id: int, now: float, cause: str) -> None:
+        """Revoke every placement still outstanding on *machine_id*.
+
+        The exactly-once credit discipline shared by leaves and breakdowns:
+        the commit credited the full duration and one completion; the
+        machine only processed each job up to *now* (if it started at all),
+        so give back the un-run remainder and the completion credit — once
+        per revocation, never twice.  Re-admission goes through the
+        configured :class:`~repro.core.config.RetryPolicy` when there is
+        one; the legacy default resubmits immediately, forever.
+        """
         state = self.machine_states[machine_id]
         queue = self._queues[machine_id]
+        retry = self.config.retry
+        reason = "machine departed" if cause == "leave" else "machine broke down"
         surviving = [entry for entry in queue if entry.finish <= now]
         for entry in queue:
             if entry.finish <= now:
                 continue
-            # The job did not finish before the machine left: revoke it.
+            # The job did not finish before the machine dropped: revoke it.
             record = self.records[entry.job_id]
-            record.state = JobState.RESUBMITTED
             record.machine_id = None
             record.start_time = None
             record.completion_time = None
             record.reschedules += 1
-            record.note(f"resubmitted at t={now:.2f} (machine departed)")
-            self._pending_positions.add(self._job_position[entry.job_id])
-            self._unfinished += 1
-            # Commit credited the full duration and one completion; the
-            # machine only processed the job up to its leave time (if it
-            # started at all), so give back the un-run remainder and the
-            # completion credit.
+            self._m_revoked[cause].inc()
+            if retry is None:
+                record.state = JobState.RESUBMITTED
+                record.note(f"resubmitted at t={now:.2f} ({reason})")
+                self._pending_positions.add(self._job_position[entry.job_id])
+                self._unfinished += 1
+            elif record.reschedules > retry.max_attempts:
+                record.state = JobState.FAILED
+                record.note(
+                    f"dropped at t={now:.2f} ({reason}; "
+                    f"retry cap {retry.max_attempts} exhausted)"
+                )
+                self._m_retry_dropped.inc()
+                if self._trace_log is not None:
+                    self._trace_log.emit(
+                        "job_dropped",
+                        source="simulator",
+                        time=now,
+                        job_id=entry.job_id,
+                        attempts=record.reschedules,
+                    )
+            else:
+                record.state = JobState.RESUBMITTED
+                self._unfinished += 1
+                self._m_retry_requeued.inc()
+                delay = retry.delay(entry.job_id, record.reschedules)
+                position = self._job_position[entry.job_id]
+                if delay <= 0.0:
+                    record.note(f"resubmitted at t={now:.2f} ({reason})")
+                    self._pending_positions.add(position)
+                else:
+                    record.note(
+                        f"resubmitted at t={now:.2f} ({reason}; "
+                        f"backoff until t={now + delay:.2f})"
+                    )
+                    self._retry_positions.add(position)
+                    self._events.push(now + delay, EventType.TASK_SUBMIT, position)
             processed = max(0.0, min(entry.finish, now) - entry.start)
             state.busy_time -= (entry.finish - entry.start) - processed
             state.completed_jobs -= 1
         queue.clear()
         queue.extend(surviving)
         state.busy_until = min(state.busy_until, now)
-        if adaptive:
-            if self._pending_positions:
-                self._membership_dirty = True
-            self._ensure_wakeup(now)
 
     def _handle_task_end(self, machine_id: int, now: float, adaptive: bool) -> None:
         """A planned finish time passed: drop settled work from the queue."""
@@ -630,19 +856,32 @@ class GridSimulator:
         return batch_finish - now, int(commit.sum())
 
     def _finished(self, now: float) -> bool:
-        """All jobs completed, no arrivals pending and no departures to come.
+        """All jobs settled, no arrivals pending, no revocations to come.
 
-        O(1 + upcoming leaves) per check, against incremental counters: a
-        machine with a future leave keeps the simulation alive only if it
-        ever received a commit (its departure must be processed and logged).
+        O(1 + upcoming leaves/breakdowns) per check, against incremental
+        counters: a machine with a future leave or breakdown keeps the
+        simulation alive only if it ever received a commit (the event could
+        still revoke committed work, and must be processed and logged).
         """
         if self._unfinished:
             return False
         if self._submitted < len(self.jobs):
             return False
-        return not any(
-            machine_id in self._has_commits for machine_id in self._pending_leaves
-        )
+        if any(
+            machine_id in self._has_commits
+            for machine_id in (*self._pending_leaves, *self._pending_breakdowns)
+        ):
+            return False
+        # A pending cancel matters only if its job would otherwise outlive
+        # it: a job already settled (finished, failed or cancelled) by its
+        # cancel instant makes the event moot.
+        for position, cancel_time in self._pending_cancels.items():
+            record = self.records[self.jobs[position].job_id]
+            if record.state is JobState.COMPLETED and (
+                record.completion_time is None or record.completion_time > cancel_time
+            ):
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -661,6 +900,34 @@ class GridSimulator:
             [state.utilization(horizon) for state in self.machine_states.values()]
         )
         rescheduled = sum(1 for record in self.records.values() if record.reschedules > 0)
+        cancelled = sum(
+            1 for record in self.records.values() if record.state is JobState.CANCELLED
+        )
+        failed = sum(
+            1 for record in self.records.values() if record.state is JobState.FAILED
+        )
+        # SLA outcome over the jobs that carried a due date: a completion
+        # past its deadline accrues tardiness; a failed job with a deadline
+        # is a miss outright; a cancellation is the user's choice and is
+        # neither.
+        jobs_with_deadlines = 0
+        missed = 0
+        total_tardiness = 0.0
+        max_tardiness = 0.0
+        for record in self.records.values():
+            if record.job.due_date is None:
+                continue
+            jobs_with_deadlines += 1
+            if record.state is JobState.FAILED:
+                missed += 1
+            elif record.state is JobState.COMPLETED and record.completion_time is not None:
+                late = record.completion_time - record.job.due_date
+                if late > 0.0:
+                    missed += 1
+                    total_tardiness += late
+                    max_tardiness = max(max_tardiness, late)
+        if missed:
+            self._m_deadline_misses.inc(missed)
         return SimulationMetrics.from_records(
             policy=self.policy.name,
             response_times=response_times,
@@ -673,4 +940,10 @@ class GridSimulator:
             activations=self.activations,
             machine_events=self.machine_events,
             nb_idle_activations=self._nb_idle_activations,
+            cancelled_jobs=cancelled,
+            failed_jobs=failed,
+            missed_deadlines=missed,
+            total_tardiness=total_tardiness,
+            max_tardiness=max_tardiness,
+            jobs_with_deadlines=jobs_with_deadlines,
         )

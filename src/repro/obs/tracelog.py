@@ -25,6 +25,7 @@ from __future__ import annotations
 import io
 import json
 import threading
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -139,18 +140,38 @@ class TraceLog:
 
 
 def read_trace(path: str | Path) -> list[dict[str, Any]]:
-    """Read a trace file back into its event dicts, in emission order."""
+    """Read a trace file back into its event dicts, in emission order.
+
+    A malformed line in the *middle* of the file is a hard error — the file
+    is corrupt, not merely cut short.  A malformed **final** line is the
+    normal signature of a crash or kill mid-write (the log flushes per
+    line, so at most the last event can be torn); it is skipped with a
+    :class:`UserWarning` instead of failing the whole read, so ``obs
+    summarize`` still works on the log of the crashed run it is most
+    needed for.
+    """
     events: list[dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}:{number}: not valid JSON: {error}") from None
-            if not isinstance(record, dict) or "event" not in record:
-                raise ValueError(f"{path}:{number}: not a trace event object")
-            events.append(record)
+        lines = handle.readlines()
+    last = len(lines)
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if number == last:
+                warnings.warn(
+                    f"{path}:{number}: skipping truncated final line ({error})",
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(f"{path}:{number}: not valid JSON: {error}") from None
+        # A complete line of the wrong shape is corruption everywhere —
+        # only *unparseable* final lines get the torn-write benefit of
+        # the doubt above.
+        if not isinstance(record, dict) or "event" not in record:
+            raise ValueError(f"{path}:{number}: not a trace event object")
+        events.append(record)
     return events

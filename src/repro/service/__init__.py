@@ -17,12 +17,16 @@ actually overload:
   :class:`ServiceClient`;
 * :mod:`repro.service.loadgen` — the open-loop :class:`LoadGenerator`
   replaying trace-family arrivals at :class:`~repro.core.config.
-  LoadProfile`-shaped rates.
+  LoadProfile`-shaped rates;
+* :mod:`repro.service.chaos` — the seedable :class:`FaultInjector`
+  breaking and repairing park machines on wall-clock time (the live
+  analogue of the ``flaky`` trace family, wired to ``loadgen --chaos``).
 
 Configured by :class:`~repro.core.config.ServiceConfig`; exposed on the
 command line as ``repro-scheduler serve`` and ``repro-scheduler loadgen``.
 """
 
+from repro.service.chaos import ChaosReport, FaultEvent, FaultInjector
 from repro.service.clock import Clock, FakeClock, WallClock
 from repro.service.loadgen import LoadGenerator, LoadReport
 from repro.service.protocol import ServiceClient, serve_protocol
@@ -35,6 +39,9 @@ from repro.service.state import (
 )
 
 __all__ = [
+    "ChaosReport",
+    "FaultEvent",
+    "FaultInjector",
     "Clock",
     "FakeClock",
     "WallClock",

@@ -8,6 +8,10 @@ or an operator's ``nc`` session, not an RPC framework:
     → ``{"ok": true, "job_id": 17}`` when accepted,
     → ``{"ok": true, "job_id": null, "shed": true}`` when shed
     (backpressure is a *normal* answer, not an error).
+``{"op": "cancel", "job_id": 17}``
+    → ``{"ok": true, "cancelled": true}`` when the job was still queued,
+    → ``{"ok": true, "cancelled": false}`` when it is unknown or already
+    planned (cancellation is at-most-once; a planned job is not recalled).
 ``{"op": "metrics"}``
     → ``{"ok": true, "snapshot": {...}}`` (see
     :meth:`~repro.service.state.ServiceSnapshot.as_dict`).
@@ -16,6 +20,13 @@ or an operator's ``nc`` session, not an RPC framework:
 
 Malformed lines and unknown ops get ``{"ok": false, "error": ...}`` and
 the connection stays open.
+
+:class:`ServiceClient` retries *connecting* with jittered exponential
+backoff (a restarting server is routine), but never resends a request
+whose response was lost: a ``submit`` that timed out may or may not have
+been accepted, and resending it blind would double-submit.  The client is
+honest about this at-most-once limit — the timeout error surfaces to the
+caller, who owns the decision to retry.
 """
 
 from __future__ import annotations
@@ -24,7 +35,14 @@ import asyncio
 import json
 from typing import Any
 
+from repro.core.config import RetryPolicy
+
 __all__ = ["serve_protocol", "ServiceClient"]
+
+#: Default connect retry: 4 attempts, 0.1 s base doubling, 10 % jitter.
+_CONNECT_RETRY = RetryPolicy(max_attempts=4, backoff_base=0.1, backoff_factor=2.0)
+#: Default per-request timeout (seconds) — generous for a loopback service.
+_REQUEST_TIMEOUT = 30.0
 
 #: Guard against unbounded request lines (also the asyncio reader limit).
 _MAX_LINE = 1 << 16
@@ -43,6 +61,11 @@ def _handle_request(server: Any, request: dict[str, Any]) -> dict[str, Any]:
         if server.core.seconds_until_due() <= 0:
             server._wake.set()
         return {"ok": True, "job_id": job_id}
+    if op == "cancel":
+        job_id = request.get("job_id")
+        if isinstance(job_id, bool) or not isinstance(job_id, int) or job_id < 0:
+            return {"ok": False, "error": "cancel needs a non-negative integer job_id"}
+        return {"ok": True, "cancelled": server.core.cancel(job_id)}
     if op == "metrics":
         return {"ok": True, "snapshot": server.snapshot().as_dict()}
     if op == "ping":
@@ -95,19 +118,60 @@ class ServiceClient:
         await client.close()
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        timeout: float = _REQUEST_TIMEOUT,
+    ) -> None:
         self._reader = reader
         self._writer = writer
+        self._timeout = timeout
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port, limit=_MAX_LINE)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retry: RetryPolicy | None = _CONNECT_RETRY,
+        timeout: float = _REQUEST_TIMEOUT,
+    ) -> "ServiceClient":
+        """Connect, retrying refused/timed-out attempts with jittered backoff.
+
+        Connecting is idempotent, so it is the one place the client retries
+        on its own: up to ``retry.max_attempts`` extra attempts, each delayed
+        by :meth:`~repro.core.config.RetryPolicy.delay` (deterministic
+        per-attempt jitter keyed on the port).  ``retry=None`` makes a single
+        attempt.  *timeout* bounds each connect attempt and every later
+        request on the returned client.
+        """
+        attempt = 0
+        while True:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port, limit=_MAX_LINE),
+                    timeout=timeout,
+                )
+                return cls(reader, writer, timeout=timeout)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                attempt += 1
+                if retry is None or attempt > retry.max_attempts:
+                    raise
+                await asyncio.sleep(retry.delay(port, attempt))
 
     async def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request/response round-trip, bounded by the client timeout.
+
+        Deliberately **not** retried: if the response is lost the request
+        may still have been applied, and replaying it would break the
+        service's exactly-once accounting.  ``asyncio.TimeoutError``
+        propagates; the caller decides whether a resend is safe.
+        """
         self._writer.write(json.dumps(payload).encode() + b"\n")
-        await self._writer.drain()
-        line = await self._reader.readline()
+        await asyncio.wait_for(self._writer.drain(), timeout=self._timeout)
+        line = await asyncio.wait_for(self._reader.readline(), timeout=self._timeout)
         if not line:
             raise ConnectionError("server closed the connection")
         response = json.loads(line)
@@ -119,6 +183,11 @@ class ServiceClient:
         """Submit one job; returns its id, or ``None`` when shed."""
         response = await self._request({"op": "submit", "workload": workload})
         return response["job_id"]
+
+    async def cancel(self, job_id: int) -> bool:
+        """Withdraw a queued job; ``False`` when it was already planned."""
+        response = await self._request({"op": "cancel", "job_id": job_id})
+        return bool(response["cancelled"])
 
     async def metrics(self) -> dict[str, Any]:
         """The server's current metrics snapshot, as a plain dict."""

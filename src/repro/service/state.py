@@ -30,10 +30,19 @@ queueing systems degrade:
    borderline batch cannot flap the mode).
 
 Every accepted submission is **exactly-once** accounted: it either appears
-in exactly one activation's ``scheduled_ids`` or is returned by
-:meth:`SchedulerCore.abort` as shed — the property test in
-``tests/service/test_exactly_once.py`` pins this under arbitrary
-interleavings.
+in exactly one activation's ``scheduled_ids``, is withdrawn through
+:meth:`SchedulerCore.cancel`, or is returned by :meth:`SchedulerCore.abort`
+as shed — the property test in ``tests/service/test_exactly_once.py`` pins
+this under arbitrary interleavings.
+
+The failure model reaches the live service through two additions: the
+``cancel`` verb (a queued submission is withdrawn before it is planned —
+at-most-once, a job already handed to the scheduler cannot be recalled),
+and per-machine availability (:meth:`SchedulerCore.break_machine` /
+:meth:`SchedulerCore.repair_machine`, driven by the
+:class:`~repro.service.chaos.FaultInjector`): a broken machine stays in the
+park but receives no new work, and an activation that finds *no* machine up
+re-queues its batch untouched instead of losing it.
 """
 
 from __future__ import annotations
@@ -111,6 +120,13 @@ class ServiceSnapshot:
     p50_latency: float
     p95_latency: float
     p99_latency: float
+    #: Failure-model additions (defaults keep older constructors working).
+    cancelled: int = 0
+    machines_up: int = 0
+    machines_total: int = 0
+    breakdowns: int = 0
+    repairs: int = 0
+    stalled_activations: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-friendly form (what the TCP ``metrics`` op returns).
@@ -142,6 +158,12 @@ class ServiceSnapshot:
             "p50_latency": _json(self.p50_latency),
             "p95_latency": _json(self.p95_latency),
             "p99_latency": _json(self.p99_latency),
+            "cancelled": self.cancelled,
+            "machines_up": self.machines_up,
+            "machines_total": self.machines_total,
+            "breakdowns": self.breakdowns,
+            "repairs": self.repairs,
+            "stalled_activations": self.stalled_activations,
         }
 
 
@@ -216,9 +238,17 @@ class SchedulerCore:
         self.accepted = 0
         self.shed = 0
         self.scheduled = 0
+        self.cancelled = 0
         self.activations = 0
         self.idle_activations = 0
+        #: Activations that found work but no machine up: the batch was
+        #: re-queued untouched (no job is ever lost to a broken park).
+        self.stalled_activations = 0
         self.peak_backlog = 0
+        self.breakdowns = 0
+        self.repairs = 0
+        #: Per-machine availability, park order; flipped by the chaos hook.
+        self._machine_up = [True] * len(self.machines)
 
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.trace_log = trace_log
@@ -233,8 +263,21 @@ class SchedulerCore:
         )
         self._m_submissions = {
             outcome: submissions.labels(outcome=outcome)
-            for outcome in ("accepted", "shed", "aborted")
+            for outcome in ("accepted", "shed", "aborted", "cancelled")
         }
+        machine_faults = self.registry.counter(
+            "repro_service_machine_faults_total",
+            "Chaos-injected machine availability flips, by kind.",
+            labels=("kind",),
+        )
+        self._m_faults = {
+            kind: machine_faults.labels(kind=kind)
+            for kind in ("breakdown", "repair")
+        }
+        self._m_machines_up = self.registry.gauge(
+            "repro_service_machines_up", "Machines currently accepting work."
+        )
+        self._m_machines_up.set(len(self.machines))
         self._m_queue_depth = self.registry.gauge(
             "repro_service_queue_depth", "Current submission-queue depth."
         )
@@ -254,7 +297,7 @@ class SchedulerCore:
         )
         self._m_activations = {
             mode: activations.labels(mode=mode)
-            for mode in ("normal", "degraded", "idle")
+            for mode in ("normal", "degraded", "idle", "stalled")
         }
         self._m_scheduler_seconds = self.registry.histogram(
             "repro_service_scheduler_seconds",
@@ -320,6 +363,82 @@ class SchedulerCore:
         self._m_submissions["accepted"].inc()
         return job_id
 
+    def cancel(self, job_id: int) -> bool:
+        """Withdraw a queued submission before it is planned.
+
+        Returns ``True`` when the job was still in the queue and has been
+        removed; ``False`` when it is unknown or already handed to the
+        scheduler — cancellation is **at-most-once** and never recalls a
+        planned job.  A cancelled job leaves the exactly-once partition as
+        its own category: accepted ≡ scheduled ⊎ cancelled ⊎ shed-at-abort.
+        """
+        now = self._now()
+        with self._lock:
+            for index, submission in enumerate(self._queue):
+                if submission.job.job_id == job_id:
+                    del self._queue[index]
+                    self.cancelled += 1
+                    depth = len(self._queue)
+                    break
+            else:
+                return False
+        self._m_queue_depth.set(depth)
+        self._m_submissions["cancelled"].inc()
+        if self.trace_log is not None:
+            self.trace_log.emit(
+                "task_cancel", source="service", time=now, job_id=job_id
+            )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Chaos hook: per-machine availability
+    # ------------------------------------------------------------------ #
+    def break_machine(self, index: int) -> bool:
+        """Mark park machine *index* as down; no new work is placed on it.
+
+        Work already committed to its busy-until track is fire-and-forget
+        in the live model and is not revoked (the simulator owns revocation
+        semantics).  Returns ``False`` when the machine was already down.
+        """
+        return self._set_machine_up(index, False)
+
+    def repair_machine(self, index: int) -> bool:
+        """Mark park machine *index* as up again (``False`` if already up)."""
+        return self._set_machine_up(index, True)
+
+    def _set_machine_up(self, index: int, up: bool) -> bool:
+        if not 0 <= index < len(self.machines):
+            raise ValueError(
+                f"machine index must be in [0, {len(self.machines)}), got {index}"
+            )
+        now = self._now()
+        with self._lock:
+            if self._machine_up[index] == up:
+                return False
+            self._machine_up[index] = up
+            if up:
+                self.repairs += 1
+            else:
+                self.breakdowns += 1
+            up_count = sum(self._machine_up)
+        kind = "repair" if up else "breakdown"
+        self._m_faults[kind].inc()
+        self._m_machines_up.set(up_count)
+        if self.trace_log is not None:
+            self.trace_log.emit(
+                f"machine_{kind}",
+                source="service",
+                time=now,
+                machine_id=self.machines[index].machine_id,
+            )
+        return True
+
+    @property
+    def machines_up(self) -> int:
+        """How many park machines currently accept work."""
+        with self._lock:
+            return sum(self._machine_up)
+
     def seconds_until_due(self) -> float:
         """Wall-clock seconds until the next activation should fire.
 
@@ -372,6 +491,27 @@ class SchedulerCore:
                     mode=self.mode,
                     scheduler_seconds=0.0,
                 )
+            up_indices = np.flatnonzero(self._machine_up)
+            if up_indices.size == 0:
+                # Every machine is down: stall, don't lose.  The batch goes
+                # back to the *front* of the queue (arrival order preserved
+                # for the next activation) and the activation reports idle,
+                # so the exactly-once partition is untouched.
+                self._queue = batch + self._queue
+                self.stalled_activations += 1
+                depth = len(self._queue)
+                self._m_activations["stalled"].inc()
+                if self.trace_log is not None:
+                    self.trace_log.emit(
+                        "stalled", source="service", time=now, backlog=depth
+                    )
+                return ActivationOutcome(
+                    time=now,
+                    batch_size=0,
+                    scheduled_ids=(),
+                    mode=self.mode,
+                    scheduler_seconds=0.0,
+                )
             # Hysteresis: degrade on a big batch, recover only on a small
             # one, so a single borderline batch cannot flap the mode.
             transition = None
@@ -383,15 +523,18 @@ class SchedulerCore:
                 transition = "recover"
             mode = self.mode
             pending = [submission.job for submission in batch]
-            etc = execution_times_matrix(pending, self.machines)
-            ready = np.maximum(0.0, self._busy_until - now)
+            # The batch is solved over the *up* machines only; a broken
+            # machine keeps its busy-until track but gets no new work.
+            park = [self.machines[int(i)] for i in up_indices]
+            etc = execution_times_matrix(pending, park)
+            ready = np.maximum(0.0, self._busy_until[up_indices] - now)
             instance = SchedulingInstance(
                 etc=etc,
                 ready_times=ready,
                 name=f"live@t={now:.2f}",
                 metadata={
                     "job_ids": np.array([job.job_id for job in pending], dtype=np.int64),
-                    "machine_ids": np.arange(len(self.machines), dtype=np.int64),
+                    "machine_ids": up_indices.astype(np.int64),
                 },
             )
 
@@ -444,15 +587,18 @@ class SchedulerCore:
                 f"expected ({len(pending)},)"
             )
         if assignment.size and (
-            assignment.min() < 0 or assignment.max() >= len(self.machines)
+            assignment.min() < 0 or assignment.max() >= len(park)
         ):
             raise ValueError("scheduler returned machine indices outside the park")
 
         durations = etc[np.arange(len(pending)), assignment]
+        # Map batch-local machine columns back to park indices before the
+        # busy-track commit (the scheduler only ever saw the up machines).
+        park_assignment = up_indices[assignment]
         with self._lock:
             done = self._now()
             load = np.bincount(
-                assignment, weights=durations, minlength=len(self.machines)
+                park_assignment, weights=durations, minlength=len(self.machines)
             )
             base = np.maximum(self._busy_until, done)
             self._busy_until = np.where(load > 0, base + load, self._busy_until)
@@ -555,4 +701,10 @@ class SchedulerCore:
                 p50_latency=p50,
                 p95_latency=p95,
                 p99_latency=p99,
+                cancelled=self.cancelled,
+                machines_up=int(sum(self._machine_up)),
+                machines_total=len(self.machines),
+                breakdowns=self.breakdowns,
+                repairs=self.repairs,
+                stalled_activations=self.stalled_activations,
             )

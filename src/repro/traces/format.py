@@ -36,9 +36,14 @@ from repro.grid.metrics import MachineEvent, SimulationMetrics
 __all__ = ["TRACE_FORMAT_VERSION", "Trace", "TraceRecorder", "load_trace", "save_trace"]
 
 #: Version of the on-disk schema; bumped on any incompatible layout change.
-TRACE_FORMAT_VERSION = 1
+#: Version 2 added the failure model: per-job due dates and cancellation
+#: times, and the flat ``(machine, breakdown, repair)`` window list.
+#: Version-1 files load unchanged (the failure arrays default to "never").
+TRACE_FORMAT_VERSION = 2
 
-#: Sentinel stored in ``machine_leave`` for machines that never leave.
+#: Sentinel stored in ``machine_leave`` for machines that never leave — and
+#: in ``job_due_dates`` / ``job_cancel_times`` for "no deadline" / "never
+#: cancelled".
 _NEVER = np.inf
 
 #: The array fields of one trace, in schema order (name -> dtype).
@@ -51,7 +56,25 @@ _ARRAY_FIELDS = {
     "machine_joins": np.float64,
     "machine_leaves": np.float64,
     "machine_affinity_spreads": np.float64,
+    "job_due_dates": np.float64,
+    "job_cancel_times": np.float64,
+    "breakdown_machine_ids": np.int64,
+    "breakdown_times": np.float64,
+    "repair_times": np.float64,
 }
+
+#: The arrays a version-1 file is required to carry; the version-2 failure
+#: arrays are synthesized as "never" when absent.
+_V1_ARRAY_FIELDS = (
+    "job_ids",
+    "job_workloads",
+    "job_arrivals",
+    "machine_ids",
+    "machine_mips",
+    "machine_joins",
+    "machine_leaves",
+    "machine_affinity_spreads",
+)
 
 
 @dataclass(frozen=True)
@@ -74,6 +97,15 @@ class Trace:
         per-(job, machine) affinity factors of
         :func:`repro.grid.machine.affinity_factors`, so the replayed ETC
         matrices match the recorded ones bit-exactly.
+    job_due_dates, job_cancel_times:
+        Per-job SLA deadline and user-cancellation instant; ``inf`` means
+        "no deadline" / "never cancelled".  Both default to all-``inf``
+        (the failure-free version-1 semantics).
+    breakdown_machine_ids, breakdown_times, repair_times:
+        The park's breakdown schedule as one flat event list: row *k* says
+        machine ``breakdown_machine_ids[k]`` is broken during
+        ``[breakdown_times[k], repair_times[k])``.  A machine may appear
+        any number of times; all three default to empty.
     metadata:
         JSON-serializable provenance: scenario family and config for
         synthetic traces, the recording policy for captured ones, the
@@ -89,16 +121,30 @@ class Trace:
     machine_joins: np.ndarray
     machine_leaves: np.ndarray
     machine_affinity_spreads: np.ndarray
+    job_due_dates: np.ndarray | None = None
+    job_cancel_times: np.ndarray | None = None
+    breakdown_machine_ids: np.ndarray | None = None
+    breakdown_times: np.ndarray | None = None
+    repair_times: np.ndarray | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Absent failure arrays get the version-1 semantics: no deadlines,
+        # no cancellations, no breakdowns.
+        nb_jobs = np.asarray(self.job_ids).size
+        for field_name in ("job_due_dates", "job_cancel_times"):
+            if getattr(self, field_name) is None:
+                object.__setattr__(self, field_name, np.full(nb_jobs, _NEVER))
+        for field_name in ("breakdown_machine_ids", "breakdown_times", "repair_times"):
+            if getattr(self, field_name) is None:
+                object.__setattr__(self, field_name, np.empty(0))
         for field_name, dtype in _ARRAY_FIELDS.items():
             value = np.ascontiguousarray(getattr(self, field_name), dtype=dtype)
             if value.ndim != 1:
                 raise ValueError(f"{field_name} must be one-dimensional")
             object.__setattr__(self, field_name, value)
         jobs, machines = self.job_ids.size, self.machine_ids.size
-        for field_name in ("job_workloads", "job_arrivals"):
+        for field_name in ("job_workloads", "job_arrivals", "job_due_dates", "job_cancel_times"):
             if getattr(self, field_name).size != jobs:
                 raise ValueError(f"{field_name} must have one entry per job")
         for field_name in (
@@ -129,6 +175,22 @@ class Trace:
             raise ValueError("machine membership windows must be valid")
         if np.any(self.machine_affinity_spreads < 0):
             raise ValueError("affinity spreads must be non-negative")
+        if np.any(self.job_due_dates < self.job_arrivals):
+            raise ValueError("due dates must be at or after the job's arrival")
+        finite_cancel = np.isfinite(self.job_cancel_times)
+        if np.any(self.job_cancel_times[finite_cancel] <= self.job_arrivals[finite_cancel]):
+            raise ValueError("cancel times must be strictly after the job's arrival")
+        if not (
+            self.breakdown_machine_ids.size
+            == self.breakdown_times.size
+            == self.repair_times.size
+        ):
+            raise ValueError("breakdown arrays must have equal lengths")
+        if self.breakdown_machine_ids.size:
+            if np.any(self.repair_times <= self.breakdown_times):
+                raise ValueError("repair times must be strictly after breakdowns")
+            if not np.isin(self.breakdown_machine_ids, self.machine_ids).all():
+                raise ValueError("breakdown machine ids must exist in the park")
 
     # ------------------------------------------------------------------ #
     # Views
@@ -149,12 +211,29 @@ class Trace:
     def to_jobs(self) -> list[GridJob]:
         """Materialize the arrival stream as simulator jobs (arrival order)."""
         return [
-            GridJob(job_id=int(i), workload=float(w), arrival_time=float(t))
-            for i, w, t in zip(self.job_ids, self.job_workloads, self.job_arrivals)
+            GridJob(
+                job_id=int(i),
+                workload=float(w),
+                arrival_time=float(t),
+                due_date=float(due) if np.isfinite(due) else None,
+                cancel_time=float(cancel) if np.isfinite(cancel) else None,
+            )
+            for i, w, t, due, cancel in zip(
+                self.job_ids,
+                self.job_workloads,
+                self.job_arrivals,
+                self.job_due_dates,
+                self.job_cancel_times,
+            )
         ]
 
     def to_machines(self) -> list[GridMachine]:
         """Materialize the machine park in its recorded order."""
+        windows: dict[int, list[tuple[float, float]]] = {}
+        for machine_id, down, up in zip(
+            self.breakdown_machine_ids, self.breakdown_times, self.repair_times
+        ):
+            windows.setdefault(int(machine_id), []).append((float(down), float(up)))
         return [
             GridMachine(
                 machine_id=int(i),
@@ -162,6 +241,7 @@ class Trace:
                 join_time=float(j),
                 leave_time=None if not np.isfinite(leave) else float(leave),
                 affinity_spread=float(spread),
+                breakdowns=tuple(sorted(windows.get(int(i), []))),
             )
             for i, m, j, leave, spread in zip(
                 self.machine_ids,
@@ -189,6 +269,15 @@ class Trace:
             for i, leave in zip(self.machine_ids, self.machine_leaves)
             if np.isfinite(leave)
         ]
+        for machine_id, down, up in zip(
+            self.breakdown_machine_ids, self.breakdown_times, self.repair_times
+        ):
+            events.append(
+                MachineEvent(time=float(down), machine_id=int(machine_id), event="breakdown")
+            )
+            events.append(
+                MachineEvent(time=float(up), machine_id=int(machine_id), event="repair")
+            )
         return sorted(events, key=lambda event: event.sort_key)
 
     # ------------------------------------------------------------------ #
@@ -204,6 +293,11 @@ class Trace:
     ) -> "Trace":
         """Freeze a simulator's workload and machine park into a trace."""
         ordered = sorted(jobs, key=lambda job: (job.arrival_time, job.job_id))
+        breakdown_rows = [
+            (machine.machine_id, down, up)
+            for machine in machines
+            for down, up in machine.breakdowns
+        ]
         return cls(
             name=name,
             job_ids=np.array([job.job_id for job in ordered], dtype=np.int64),
@@ -223,6 +317,23 @@ class Trace:
             machine_affinity_spreads=np.array(
                 [machine.affinity_spread for machine in machines]
             ),
+            job_due_dates=np.array(
+                [
+                    _NEVER if job.due_date is None else job.due_date
+                    for job in ordered
+                ]
+            ),
+            job_cancel_times=np.array(
+                [
+                    _NEVER if job.cancel_time is None else job.cancel_time
+                    for job in ordered
+                ]
+            ),
+            breakdown_machine_ids=np.array(
+                [row[0] for row in breakdown_rows], dtype=np.int64
+            ),
+            breakdown_times=np.array([row[1] for row in breakdown_rows]),
+            repair_times=np.array([row[2] for row in breakdown_rows]),
             metadata=dict(metadata or {}),
         )
 
@@ -248,6 +359,9 @@ class Trace:
             "duration": self.duration,
             "total workload": float(self.job_workloads.sum()),
             "churning machines": int(finite.size),
+            "breakdown windows": int(self.breakdown_times.size),
+            "jobs with deadlines": int(np.isfinite(self.job_due_dates).sum()),
+            "cancelled jobs": int(np.isfinite(self.job_cancel_times).sum()),
             "family": str(self.metadata.get("family", "recorded")),
         }
 
@@ -285,15 +399,21 @@ def load_trace(path: str | Path) -> Trace:
         if header.get("format") != "repro-scheduler/trace":
             raise ValueError(f"{path}: not a trace file (bad format marker)")
         version = header.get("version")
-        if version != TRACE_FORMAT_VERSION:
+        if version not in (1, TRACE_FORMAT_VERSION):
             raise ValueError(
                 f"{path}: unsupported trace version {version!r} "
-                f"(this build reads version {TRACE_FORMAT_VERSION})"
+                f"(this build reads versions 1..{TRACE_FORMAT_VERSION})"
             )
-        missing = sorted(set(_ARRAY_FIELDS) - set(archive.files))
+        required = _V1_ARRAY_FIELDS if version == 1 else tuple(_ARRAY_FIELDS)
+        missing = sorted(set(required) - set(archive.files))
         if missing:
             raise ValueError(f"{path}: trace file is missing arrays {missing}")
-        arrays = {name: archive[name] for name in _ARRAY_FIELDS}
+        # Version-1 files carry no failure arrays; Trace synthesizes the
+        # "never fails" defaults for the names left as None.
+        arrays = {
+            name: archive[name] if name in archive.files else None
+            for name in _ARRAY_FIELDS
+        }
     return Trace(
         name=str(header.get("name", "trace")),
         metadata=dict(header.get("metadata", {})),

@@ -27,6 +27,18 @@ Families (registry mirrored in :data:`repro.core.config.TRACE_FAMILIES`):
     A calm background plus sudden arrival spikes, on a churning machine
     park — the paper's "resources could dynamically be added/dropped"
     clause under its most hostile workload.
+``flaky``
+    Calm arrivals on a park whose machines break down and get repaired:
+    exponential times between failures (mean ``mtbf``) and exponential
+    repair durations (mean ``mttr``) per machine, machine 0 exempt so the
+    grid is never all-broken.  The stress scenario of the failure model —
+    in-flight work is revoked and retried.
+``deadline``
+    Calm arrivals where every job carries a due date ``tightness`` times
+    its expected processing time past its arrival (uniformly jittered by
+    ``due_spread``) — the due-date-tightness calibration of the DRL
+    dynamic-scheduling literature, for the SLA metrics (missed deadlines,
+    tardiness).
 """
 
 from __future__ import annotations
@@ -208,6 +220,67 @@ def _machine_park(
 # --------------------------------------------------------------------------- #
 # Families
 # --------------------------------------------------------------------------- #
+def _breakdown_schedule(
+    config: TraceConfig, mips: np.ndarray, gen: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-machine MTBF/MTTR breakdown windows as flat schema arrays.
+
+    Alternating exponential up-times (mean ``mtbf``) and repair durations
+    (mean ``mttr``), drawn machine by machine in park order over
+    ``[0, 1.5 * duration]`` — the same horizon churn leaves use, so failures
+    can also hit the completion phase.  Machine 0 never breaks (mirroring
+    the churn convention that keeps the grid from going empty).
+    """
+    knobs = _extra(
+        config, {"mtbf": config.duration / 2.0, "mttr": config.duration / 20.0}
+    )
+    mtbf, mttr = knobs["mtbf"], knobs["mttr"]
+    if mtbf <= 0 or mttr <= 0:
+        raise ValueError(f"mtbf and mttr must be positive, got {mtbf}, {mttr}")
+    horizon = 1.5 * config.duration
+    machine_rows: list[int] = []
+    downs: list[float] = []
+    ups: list[float] = []
+    for machine in range(1, config.nb_machines):
+        time = float(gen.exponential(mtbf))
+        while time < horizon:
+            repair = time + float(gen.exponential(mttr))
+            machine_rows.append(machine)
+            downs.append(time)
+            ups.append(repair)
+            time = repair + float(gen.exponential(mtbf))
+    return (
+        np.array(machine_rows, dtype=np.int64),
+        np.array(downs),
+        np.array(ups),
+    )
+
+
+def _due_dates(
+    config: TraceConfig,
+    arrivals: np.ndarray,
+    sizes: np.ndarray,
+    mips: np.ndarray,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    """Per-job due dates from a tightness factor on expected processing time.
+
+    ``due = arrival + tightness * (size / mean park MIPS) * U[1 - spread,
+    1 + spread)`` — the classic due-date-tightness calibration: ``tightness``
+    near 1 leaves no slack for queueing, large values make every deadline
+    easy.
+    """
+    knobs = _extra(config, {"tightness": 3.0, "due_spread": 0.5})
+    tightness, spread = knobs["tightness"], knobs["due_spread"]
+    if tightness <= 0:
+        raise ValueError(f"tightness must be positive, got {tightness}")
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"due_spread must be in [0, 1), got {spread}")
+    expected = sizes / float(mips.mean())
+    jitter = gen.uniform(1.0 - spread, 1.0 + spread, size=arrivals.size)
+    return arrivals + tightness * expected * jitter
+
+
 def _generate(
     config: TraceConfig,
     arrivals_fn: Callable[[TraceConfig, np.random.Generator], np.ndarray],
@@ -215,13 +288,33 @@ def _generate(
     seed: RNGLike,
     name: str | None,
     extra_metadata: dict | None = None,
+    failures_fn: Callable[..., tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None,
+    dues_fn: Callable[..., np.ndarray] | None = None,
 ) -> Trace:
+    # Families without failure ingredients spawn exactly the three legacy
+    # substreams, so their traces are bit-identical to the pre-failure-model
+    # generator.  Extra ingredients get their own child streams appended
+    # (SeedSequence children are indexed, so the first three never change).
+    extra_streams = (failures_fn is not None) + (dues_fn is not None)
+    streams = spawn_seed_sequences(seed, 3 + extra_streams)
     arrival_stream, size_stream, machine_stream = (
-        as_generator(stream) for stream in spawn_seed_sequences(seed, 3)
+        as_generator(stream) for stream in streams[:3]
     )
     arrivals = np.sort(arrivals_fn(config, arrival_stream))
     sizes = sizes_fn(arrivals.size, config, size_stream)
     mips, joins, leaves = _machine_park(config, machine_stream)
+    next_stream = 3
+    breakdown_ids = breakdown_times = repair_times = None
+    if failures_fn is not None:
+        failure_stream = as_generator(streams[next_stream])
+        next_stream += 1
+        breakdown_ids, breakdown_times, repair_times = failures_fn(
+            config, mips, failure_stream
+        )
+    dues = None
+    if dues_fn is not None:
+        due_stream = as_generator(streams[next_stream])
+        dues = dues_fn(config, arrivals, sizes, mips, due_stream)
     metadata = {
         "source": "synthetic",
         "family": config.family,
@@ -242,6 +335,10 @@ def _generate(
         machine_affinity_spreads=np.full(
             config.nb_machines, config.affinity_spread
         ),
+        job_due_dates=dues,
+        breakdown_machine_ids=breakdown_ids,
+        breakdown_times=breakdown_times,
+        repair_times=repair_times,
         metadata=metadata,
     )
 
@@ -277,6 +374,28 @@ def _flash_crowd(config: TraceConfig, seed: RNGLike, name: str | None) -> Trace:
     return _generate(config, _flash_crowd_arrivals, _uniform_sizes_fn, seed, name)
 
 
+def _flaky(config: TraceConfig, seed: RNGLike, name: str | None) -> Trace:
+    return _generate(
+        config,
+        lambda cfg, gen: _poisson_arrivals(cfg.rate, cfg.duration, gen),
+        _uniform_sizes_fn,
+        seed,
+        name,
+        failures_fn=_breakdown_schedule,
+    )
+
+
+def _deadline(config: TraceConfig, seed: RNGLike, name: str | None) -> Trace:
+    return _generate(
+        config,
+        lambda cfg, gen: _poisson_arrivals(cfg.rate, cfg.duration, gen),
+        _uniform_sizes_fn,
+        seed,
+        name,
+        dues_fn=_due_dates,
+    )
+
+
 #: Family name -> generator callable (the registry the config layer mirrors).
 TRACE_GENERATORS: dict[str, Callable[[TraceConfig, RNGLike, str | None], Trace]] = {
     "calm": _calm,
@@ -284,6 +403,8 @@ TRACE_GENERATORS: dict[str, Callable[[TraceConfig, RNGLike, str | None], Trace]]
     "diurnal": _diurnal,
     "heavy_tail": _heavy_tail,
     "flash_crowd": _flash_crowd,
+    "flaky": _flaky,
+    "deadline": _deadline,
 }
 
 if set(TRACE_GENERATORS) != set(TRACE_FAMILIES):  # pragma: no cover - import guard
@@ -314,11 +435,11 @@ def rescale_trace(
     if multiplier <= 0:
         raise ValueError(f"multiplier must be positive, got {multiplier}")
     multiplier = float(multiplier)
-    leaves = np.where(
-        np.isfinite(trace.machine_leaves),
-        trace.machine_leaves / multiplier,
-        trace.machine_leaves,
-    )
+
+    def _scale_finite(values: np.ndarray) -> np.ndarray:
+        return np.where(np.isfinite(values), values / multiplier, values)
+
+    leaves = _scale_finite(trace.machine_leaves)
     return Trace(
         name=name if name is not None else f"{trace.name}@{multiplier:g}x",
         job_ids=trace.job_ids,
@@ -329,6 +450,11 @@ def rescale_trace(
         machine_joins=trace.machine_joins / multiplier,
         machine_leaves=leaves,
         machine_affinity_spreads=trace.machine_affinity_spreads,
+        job_due_dates=_scale_finite(trace.job_due_dates),
+        job_cancel_times=_scale_finite(trace.job_cancel_times),
+        breakdown_machine_ids=trace.breakdown_machine_ids,
+        breakdown_times=trace.breakdown_times / multiplier,
+        repair_times=trace.repair_times / multiplier,
         metadata={
             **trace.metadata,
             "rate_multiplier": multiplier * float(

@@ -182,6 +182,7 @@ class PolicySpec:
             max_activations=arena.max_activations,
             commit_horizon=horizon,
             activation=activation,
+            retry=arena.retry,
         )
 
 

@@ -53,6 +53,14 @@ class PolicyReport:
     # makes the adaptive-activation win visible next to the quality columns.
     activations: float = 0.0
     idle_activations: float = 0.0
+    # Failure-model outcomes (means over repetitions): jobs withdrawn by
+    # cancel, jobs dropped at the retry cap, and the SLA pair — deadline
+    # misses out of jobs_with_deadlines, plus accumulated tardiness.
+    cancelled_jobs: float = 0.0
+    failed_jobs: float = 0.0
+    missed_deadlines: float = 0.0
+    total_tardiness: float = 0.0
+    jobs_with_deadlines: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         """Flat JSON-friendly view (what the benchmark dump records)."""
@@ -72,6 +80,11 @@ class PolicyReport:
             "idle_activations": self.idle_activations,
             "completed_jobs": self.completed_jobs,
             "rescheduled_jobs": self.rescheduled_jobs,
+            "cancelled_jobs": self.cancelled_jobs,
+            "failed_jobs": self.failed_jobs,
+            "missed_deadlines": self.missed_deadlines,
+            "total_tardiness": self.total_tardiness,
+            "jobs_with_deadlines": self.jobs_with_deadlines,
             "p_value_vs_best": self.p_value,
         }
 
@@ -95,6 +108,11 @@ def _report(policy: str, runs: Sequence[SimulationMetrics]) -> PolicyReport:
         idle_activations=_mean([float(m.nb_idle_activations) for m in runs]),
         completed_jobs=min(m.completed_jobs for m in runs),
         rescheduled_jobs=max(m.rescheduled_jobs for m in runs),
+        cancelled_jobs=_mean([float(m.cancelled_jobs) for m in runs]),
+        failed_jobs=_mean([float(m.failed_jobs) for m in runs]),
+        missed_deadlines=_mean([float(m.missed_deadlines) for m in runs]),
+        total_tardiness=_mean([m.total_tardiness for m in runs]),
+        jobs_with_deadlines=max(m.jobs_with_deadlines for m in runs),
     )
 
 
@@ -156,6 +174,13 @@ def arena_rows(result: ArenaResult | Mapping[str, Sequence[SimulationMetrics]]):
                 report.p50_scheduler_seconds,
                 report.p95_scheduler_seconds,
                 report.p99_scheduler_seconds,
+                report.failed_jobs,
+                (
+                    f"{report.missed_deadlines:g}/{report.jobs_with_deadlines}"
+                    if report.jobs_with_deadlines
+                    else "n/a"
+                ),
+                report.total_tardiness if report.jobs_with_deadlines else "n/a",
                 p_column,
             ]
         )
@@ -172,6 +197,9 @@ _HEADERS = [
     "sched p50 s",
     "sched p95 s",
     "sched p99 s",
+    "dropped",
+    "missed due",
+    "tardiness",
     "p vs best",
 ]
 

@@ -76,12 +76,24 @@ def test_numpy_fields_serialize_and_nan_is_refused():
 
 def test_read_trace_rejects_non_event_lines(tmp_path):
     path = tmp_path / "bad.jsonl"
-    path.write_text('{"event": "ok"}\nnot json\n')
+    # Unparseable in the *middle* of the file: corruption, hard error.
+    path.write_text('{"event": "ok"}\nnot json\n{"event": "ok"}\n')
     with pytest.raises(ValueError, match="bad.jsonl:2"):
         read_trace(path)
+    # A complete line of the wrong shape is a hard error even at the end.
     path.write_text('{"no_event_key": 1}\n')
     with pytest.raises(ValueError, match="not a trace event"):
         read_trace(path)
+
+
+def test_read_trace_tolerates_truncated_final_line(tmp_path):
+    # A crash mid-write tears at most the last line (the log flushes per
+    # line); the reader warns and keeps every complete event before it.
+    path = tmp_path / "torn.jsonl"
+    path.write_text('{"event": "a"}\n{"event": "b"}\n{"event": "c", "tim')
+    with pytest.warns(UserWarning, match="truncated final line"):
+        events = read_trace(path)
+    assert [event["event"] for event in events] == ["a", "b"]
 
 
 def _sample_events():

@@ -1,12 +1,13 @@
 """Property test: every accepted submission is exactly-once accounted.
 
-Under *any* interleaving of submissions, clock advances and activations —
-including overload (tiny queue capacity), degraded batches and either
-shutdown flavour — each submission the core accepted must end up in
-exactly one activation's ``scheduled_ids`` or in the abort's shed set,
-and never in both.  This is the invariant that makes the shed counter a
-trustworthy backpressure signal: nothing is silently dropped, nothing is
-scheduled twice.
+Under *any* interleaving of submissions, clock advances, activations,
+cancellations and chaos-injected machine breakdowns/repairs — including
+overload (tiny queue capacity), degraded batches and either shutdown
+flavour — each submission the core accepted must end up in exactly one
+activation's ``scheduled_ids``, in the cancelled set, or in the abort's
+shed set, and never in two of them.  This is the invariant that makes the
+shed counter a trustworthy backpressure signal: nothing is silently
+dropped, nothing is scheduled twice, and a withdrawn job never reappears.
 """
 
 from hypothesis import given, settings
@@ -20,12 +21,17 @@ from repro.service import FakeClock, SchedulerCore
 MACHINES = [GridMachine(machine_id=i, mips=1000.0) for i in range(3)]
 
 # One step of the interleaving: accept-or-shed a job, let wall time pass,
-# or fire an activation (which may be idle).
+# fire an activation (which may be idle), withdraw an accepted job (the
+# value picks which), or flip a machine's availability (chaos steps —
+# machine 0 stays up so activations can always make progress).
 STEPS = st.lists(
     st.one_of(
         st.tuples(st.just("submit"), st.floats(min_value=1.0, max_value=5000.0)),
         st.tuples(st.just("advance"), st.floats(min_value=0.0, max_value=10.0)),
         st.tuples(st.just("activate"), st.just(0)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=100)),
+        st.tuples(st.just("break"), st.integers(min_value=1, max_value=2)),
+        st.tuples(st.just("repair"), st.integers(min_value=1, max_value=2)),
     ),
     max_size=60,
 )
@@ -52,6 +58,7 @@ def test_accepted_equals_scheduled_plus_shed(steps, capacity, drain_at_end):
     )
     accepted: list[int] = []
     scheduled: list[int] = []
+    cancelled: list[int] = []
     shed_on_submit = 0
 
     for op, value in steps:
@@ -63,21 +70,39 @@ def test_accepted_equals_scheduled_plus_shed(steps, capacity, drain_at_end):
                 accepted.append(job_id)
         elif op == "advance":
             clock.advance(value)
+        elif op == "cancel":
+            # Aim at an accepted id when there is one (it may already be
+            # scheduled or cancelled — then cancel must return False),
+            # otherwise at an id the core never issued.
+            target = accepted[value % len(accepted)] if accepted else value
+            if core.cancel(target):
+                cancelled.append(target)
+        elif op == "break":
+            core.break_machine(value)
+        elif op == "repair":
+            core.repair_machine(value)
         else:
             scheduled.extend(core.activate().scheduled_ids)
 
     if drain_at_end:
+        for index in range(1, len(MACHINES)):
+            core.repair_machine(index)  # drain must not stall on a dark park
         for outcome in core.drain():
             scheduled.extend(outcome.scheduled_ids)
     shed_at_shutdown = list(core.abort())
 
-    # Exactly once: the scheduled ids and the shutdown-shed ids partition
-    # the accepted ids — no duplicates, no losses, no invented ids.
+    # Exactly once: the scheduled, cancelled and shutdown-shed ids
+    # partition the accepted ids — no duplicates, no losses, no invented
+    # ids, and a cancelled job never reappears in a batch.
     assert len(scheduled) == len(set(scheduled))
+    assert len(cancelled) == len(set(cancelled))
     assert set(scheduled).isdisjoint(shed_at_shutdown)
-    assert sorted(scheduled + shed_at_shutdown) == sorted(accepted)
+    assert set(scheduled).isdisjoint(cancelled)
+    assert set(cancelled).isdisjoint(shed_at_shutdown)
+    assert sorted(scheduled + cancelled + shed_at_shutdown) == sorted(accepted)
     # And the counters agree with the observed fates.
     assert core.accepted == len(accepted)
     assert core.scheduled == len(scheduled)
+    assert core.cancelled == len(cancelled)
     assert core.shed == shed_on_submit + len(shed_at_shutdown)
     assert core.backlog == 0
