@@ -25,6 +25,7 @@ property of the workload, which keeps the ratio stable enough to assert.
 
 import asyncio
 import io
+import json
 import os
 
 from repro.core.config import (
@@ -36,7 +37,14 @@ from repro.core.config import (
 from repro.experiments.reporting import format_table
 from repro.grid.service import DynamicSchedulerService
 from repro.grid.workload import StaticResourceModel
-from repro.obs import MetricsRegistry, TraceLog, parse_exposition
+from repro.obs import (
+    MetricsRegistry,
+    TraceLog,
+    build_timelines,
+    lifecycle_violations,
+    parse_exposition,
+)
+from repro.obs.timeline import JOB_EVENTS
 from repro.service import LoadGenerator, SchedulerCore, SchedulerServer
 from repro.traces import generate_trace, rescale_trace
 
@@ -123,17 +131,21 @@ def _run_loads():
     # trace span.  The exposition text rides along so the overhead row can
     # prove the instrumentation was actually live.
     registry = MetricsRegistry()
-    trace_log = TraceLog(io.StringIO())
+    buffer = io.StringIO()
+    trace_log = TraceLog(buffer)
     report, snapshot = _run_at(trace, 1.0, registry=registry, trace_log=trace_log)
     results["instrumented"] = (report, snapshot)
     exposition = registry.render()
     events = trace_log.events_written
+    # Grab the trace text before close() releases the buffer: the overhead
+    # row reconciles the per-job lifecycle records against the snapshot.
+    trace_text = buffer.getvalue()
     trace_log.close()
-    return results, exposition, events
+    return results, exposition, events, trace_text
 
 
 def test_service_load(benchmark, record_output, record_json):
-    results, exposition, trace_events = run_once(benchmark, _run_loads)
+    results, exposition, trace_events, trace_text = run_once(benchmark, _run_loads)
 
     rows = []
     json_rows = []
@@ -189,11 +201,16 @@ def test_service_load(benchmark, record_output, record_json):
     # Instrumented-vs-off overhead: the registry + trace log must cost at
     # most 5% of the 1x throughput.  The load is open-loop, so throughput
     # is workload-dominated and the ratio is stable.
+    events = [json.loads(line) for line in trace_text.splitlines()]
+    job_records = [e for e in events if e["event"] in JOB_EVENTS]
+    timelines = build_timelines(events)
     overhead = {
         "throughput_ratio": snap_obs.throughput_per_min / snap_1x.throughput_per_min,
         "throughput_off_per_min": snap_1x.throughput_per_min,
         "throughput_instrumented_per_min": snap_obs.throughput_per_min,
         "trace_events": trace_events,
+        "job_events": len(job_records),
+        "jobs_traced": len(timelines),
     }
     record_output("service_load", text)
     record_json(
@@ -230,6 +247,19 @@ def test_service_load(benchmark, record_output, record_json):
     assert trace_events > 0
     assert snap_obs.scheduled == snap_obs.accepted
     assert overhead["throughput_ratio"] >= 0.95
+
+    # Per-job lifecycle tracing reconciles with the service's own books:
+    # the trace is a legal lifecycle DAG, every accepted job has a
+    # timeline ending in the live service's fire-and-forget terminal, and
+    # each job's phase split sums to its end-to-end latency (within 1% —
+    # the split is exact by construction, so this is a float-noise bound).
+    assert lifecycle_violations(events) == []
+    assert len(timelines) == snap_obs.accepted
+    assert all(t.terminal == "planned" for t in timelines)
+    for timeline in timelines:
+        total = timeline.total
+        assert total >= 0.0
+        assert abs(sum(timeline.phases.values()) - total) <= max(0.01 * total, 1e-9)
 
     print()
     print(text)

@@ -110,7 +110,13 @@ from repro.grid import (
 )
 from repro.grid.service import DynamicSchedulerService
 from repro.heuristics import build_schedule, list_heuristics
-from repro.obs import MetricsRegistry, TraceLog, summarize_trace
+from repro.obs import (
+    MetricsRegistry,
+    TraceLog,
+    slowest_report,
+    summarize_trace,
+    timeline_report,
+)
 from repro.service import (
     FaultInjector,
     LoadGenerator,
@@ -416,8 +422,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--trace-out", default=None, metavar="FILE",
-            help="append one JSON line per activation/transition to FILE "
-            "(inspect with 'obs summarize'; local server only)",
+            help="append one JSON line per activation/transition/job event "
+            "to FILE (inspect with 'obs summarize'/'obs timeline'; local "
+            "server only)",
+        )
+        sub.add_argument(
+            "--latency-buckets", default=None, metavar="S,S,...",
+            help="comma-separated upper bounds (seconds, strictly "
+            "increasing) of the latency histogram buckets; default: the "
+            "registry's generic buckets",
         )
 
     serve = subparsers.add_parser(
@@ -508,6 +521,26 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument(
         "--limit", type=int, default=None,
         help="show only the last N activations (default: all)",
+    )
+    timeline = obs_sub.add_parser(
+        "timeline",
+        help="render per-job waterfalls and the latency-attribution table "
+        "from a trace JSONL with job lifecycle events",
+    )
+    timeline.add_argument("trace", help="trace JSONL file to analyze")
+    timeline.add_argument(
+        "--jobs", type=int, default=10,
+        help="how many of the slowest jobs get a waterfall row (default 10)",
+    )
+    slowest = obs_sub.add_parser(
+        "slowest",
+        help="surface the slowest jobs of a trace JSONL with their causal "
+        "event chains",
+    )
+    slowest.add_argument("trace", help="trace JSONL file to analyze")
+    slowest.add_argument(
+        "--top", type=int, default=10,
+        help="how many jobs to show (default 10)",
     )
 
     return parser
@@ -857,6 +890,17 @@ def _service_core(args: argparse.Namespace) -> SchedulerCore:
     ``GET /metrics`` renders it), and the trace log rides on the core as
     ``core.trace_log`` (the command closes it when the run ends).
     """
+    buckets = None
+    if getattr(args, "latency_buckets", None):
+        try:
+            buckets = tuple(
+                float(bound) for bound in args.latency_buckets.split(",") if bound.strip()
+            )
+        except ValueError:
+            raise ValueError(
+                f"--latency-buckets must be comma-separated numbers, "
+                f"got {args.latency_buckets!r}"
+            ) from None
     config = ServiceConfig(
         queue_capacity=args.capacity,
         degrade_threshold=args.degrade,
@@ -868,6 +912,7 @@ def _service_core(args: argparse.Namespace) -> SchedulerCore:
             max_interval=args.interval,
         ),
         max_seconds=args.budget,
+        latency_buckets=buckets,
     )
     observed = args.metrics_port is not None or args.trace_out
     registry = MetricsRegistry() if observed else None
@@ -1034,6 +1079,12 @@ def _command_trace(args: argparse.Namespace) -> int:
 def _command_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "summarize":
         print(summarize_trace(args.trace, limit=args.limit))
+        return 0
+    if args.obs_command == "timeline":
+        print(timeline_report(args.trace, jobs=args.jobs))
+        return 0
+    if args.obs_command == "slowest":
+        print(slowest_report(args.trace, top=args.top))
         return 0
     raise ValueError(f"unknown obs command {args.obs_command!r}")
 

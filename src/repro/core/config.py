@@ -873,6 +873,12 @@ class ServiceConfig:
         How many of the most recent per-job scheduling latencies the
         metrics snapshot aggregates (a rolling window, so a long-running
         service reports recent tail latency with bounded memory).
+    latency_buckets:
+        Upper bounds of the latency histogram buckets (strictly increasing
+        positive seconds; the ``+Inf`` bucket is implicit).  ``None`` keeps
+        the registry default.  Sub-millisecond scheduling latencies need
+        sub-millisecond buckets, or every observation lands in the first
+        default bucket and the histogram quantiles say nothing.
     drain_timeout:
         Wall-clock bound on a graceful (draining) shutdown; whatever is
         still queued when it expires is shed instead of scheduled.
@@ -887,6 +893,7 @@ class ServiceConfig:
     max_iterations: int | None = 25
     max_stagnant_iterations: int | None = 5
     latency_window: int = 65536
+    latency_buckets: tuple[float, ...] | None = None
     drain_timeout: float = 30.0
 
     def __post_init__(self) -> None:
@@ -915,6 +922,15 @@ class ServiceConfig:
                 "max_stagnant_iterations", self.max_stagnant_iterations, minimum=1
             )
         check_integer("latency_window", self.latency_window, minimum=1)
+        if self.latency_buckets is not None:
+            buckets = tuple(float(bound) for bound in self.latency_buckets)
+            if not buckets:
+                raise ValueError("latency_buckets must not be empty")
+            if any(bound <= 0 for bound in buckets):
+                raise ValueError("latency_buckets must be positive")
+            if any(b >= a for b, a in zip(buckets, buckets[1:])):
+                raise ValueError("latency_buckets must be strictly increasing")
+            object.__setattr__(self, "latency_buckets", buckets)
         check_positive("drain_timeout", self.drain_timeout)
 
     @property
@@ -958,6 +974,11 @@ class ServiceConfig:
             "max iterations": self.max_iterations,
             "max stagnant iterations": self.max_stagnant_iterations,
             "latency window": self.latency_window,
+            "latency buckets": (
+                "default"
+                if self.latency_buckets is None
+                else list(self.latency_buckets)
+            ),
             "drain timeout": self.drain_timeout,
         }
 

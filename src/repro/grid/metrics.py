@@ -151,6 +151,10 @@ class SimulationMetrics:
     activations: list[ActivationRecord] = field(default_factory=list)
     #: Ordered machine join/leave/breakdown/repair log (see :class:`MachineEvent`).
     machine_events: list[MachineEvent] = field(default_factory=list)
+    #: Cumulative wall-clock seconds per activation phase (``instance_build``,
+    #: ``solve``, ``commit``, plus the warm scheduler's internal split) over
+    #: the whole run — what the arena report's phase-share columns divide.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -208,6 +212,7 @@ class SimulationMetrics:
         total_tardiness: float = 0.0,
         max_tardiness: float = 0.0,
         jobs_with_deadlines: int = 0,
+        phase_seconds: dict[str, float] | None = None,
     ) -> "SimulationMetrics":
         """Assemble the metrics object from raw per-job / per-machine arrays."""
         completed = int(completion_times.size)
@@ -245,4 +250,5 @@ class SimulationMetrics:
                 machine_events if machine_events is not None else [],
                 key=lambda event: event.sort_key,
             ),
+            phase_seconds=dict(phase_seconds) if phase_seconds else {},
         )

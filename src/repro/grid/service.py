@@ -64,6 +64,7 @@ from repro.heuristics.base import build_schedule
 from repro.model.fitness import FitnessEvaluator
 from repro.model.instance import SchedulingInstance
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.phases import PhaseTimer
 from repro.utils.rng import RNGLike, as_generator
 
 __all__ = ["ServiceStats", "DynamicSchedulerService", "WarmCMAPolicy"]
@@ -169,6 +170,13 @@ class DynamicSchedulerService:
             "repro_scheduler_reallocations_total",
             "Times the resident population buffers had to grow.",
         )
+        #: Wall-clock phase split of the most recent activation
+        #: (``warm_remap`` — plan remap, fill heuristic and population
+        #: seeding; ``evaluate`` — the cMA evaluation loop).  Callers that
+        #: profile the whole activation (the simulator's ``_fire_scheduler``,
+        #: the live core) merge this under their own instance-build / solve /
+        #: commit envelope.
+        self.last_phases: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection (used by tests and the benchmarks)
@@ -196,6 +204,7 @@ class DynamicSchedulerService:
         self._plan = {}
         self._batch = None
         self.stats = ServiceStats()
+        self.last_phases = {}
 
     # ------------------------------------------------------------------ #
     # Warm-start construction
@@ -323,9 +332,12 @@ class DynamicSchedulerService:
         """Schedule one activation's batch, warm-starting from the last plan."""
         self.stats.activations += 1
         gen = as_generator(rng)
+        timer = PhaseTimer()
+        self.last_phases = timer.durations
         if not self.warm_start.enabled:
             self._m_batches["cold"].inc()
-            return self._cold.schedule(instance, gen)
+            with timer.phase("evaluate"):
+                return self._cold.schedule(instance, gen)
 
         fallback = degenerate_assignment(instance, self.config, gen)
         if fallback is not None:
@@ -336,7 +348,8 @@ class DynamicSchedulerService:
             self._remember(instance, fallback)
             return fallback
 
-        plan, carried = self.warm_assignment(instance, gen)
+        with timer.phase("warm_remap"):
+            plan, carried = self.warm_assignment(instance, gen)
         nb_carried = int(carried.sum())
         self.stats.carried_jobs += nb_carried
         self.stats.filled_jobs += instance.nb_jobs - nb_carried
@@ -345,27 +358,31 @@ class DynamicSchedulerService:
         self._m_jobs["filled"].inc(instance.nb_jobs - nb_carried)
 
         cfg = self.config
-        batch = self._acquire_batch(instance, self._warm_population(instance, plan, gen))
-        grid = ResidentGrid(
-            cfg.population_height,
-            cfg.population_width,
-            batch,
-            self._evaluator,
-            scratch_rows=max(cfg.nb_recombinations, cfg.nb_mutations),
-        )
-        engine = EvaluationEngine(
-            instance,
-            cfg.fitness_weight,
-            evaluator=self._evaluator,
-            registry=self._registry,
-        )
-        algorithm = CellularMemeticAlgorithm(instance, cfg, rng=gen, engine=engine)
-        algorithm.start(
-            grid=grid, initial_local_search=self.warm_start.initial_local_search
-        )
-        while algorithm.should_continue():
-            algorithm.step()
-        result = algorithm.finish()
+        with timer.phase("warm_remap"):
+            batch = self._acquire_batch(
+                instance, self._warm_population(instance, plan, gen)
+            )
+        with timer.phase("evaluate"):
+            grid = ResidentGrid(
+                cfg.population_height,
+                cfg.population_width,
+                batch,
+                self._evaluator,
+                scratch_rows=max(cfg.nb_recombinations, cfg.nb_mutations),
+            )
+            engine = EvaluationEngine(
+                instance,
+                cfg.fitness_weight,
+                evaluator=self._evaluator,
+                registry=self._registry,
+            )
+            algorithm = CellularMemeticAlgorithm(instance, cfg, rng=gen, engine=engine)
+            algorithm.start(
+                grid=grid, initial_local_search=self.warm_start.initial_local_search
+            )
+            while algorithm.should_continue():
+                algorithm.step()
+            result = algorithm.finish()
         self.stats.evaluations = int(self._evaluator.evaluations)
         assignment = np.array(result.best_schedule.assignment, dtype=np.int64)
         self._remember(instance, assignment)
@@ -390,12 +407,15 @@ class DynamicSchedulerService:
         self._m_batches["degraded"].inc()
         self._m_jobs["degraded"].inc(instance.nb_jobs)
         gen = as_generator(rng)
-        fallback = degenerate_assignment(instance, self.config, gen)
-        if fallback is not None:
-            assignment = fallback
-        else:
-            schedule = build_schedule("min_min", instance, gen)
-            assignment = np.array(schedule.assignment, dtype=np.int64)
+        timer = PhaseTimer()
+        self.last_phases = timer.durations
+        with timer.phase("evaluate"):
+            fallback = degenerate_assignment(instance, self.config, gen)
+            if fallback is not None:
+                assignment = fallback
+            else:
+                schedule = build_schedule("min_min", instance, gen)
+                assignment = np.array(schedule.assignment, dtype=np.int64)
         self._remember(instance, assignment)
         return assignment
 
@@ -466,3 +486,8 @@ class WarmCMAPolicy(BatchSchedulingPolicy):
 
     def schedule(self, instance: SchedulingInstance, rng: RNGLike = None) -> np.ndarray:
         return self.service.schedule(instance, rng)
+
+    @property
+    def last_phases(self) -> dict[str, float]:
+        """The service's phase split of the most recent activation."""
+        return self.service.last_phases

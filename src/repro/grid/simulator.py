@@ -74,6 +74,7 @@ from repro.grid.metrics import ActivationRecord, MachineEvent, SimulationMetrics
 from repro.grid.scheduler import BatchSchedulingPolicy
 from repro.model.instance import SchedulingInstance
 from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.phases import PhaseTimer
 from repro.utils.rng import RNGLike, as_generator
 from repro.utils.timer import Stopwatch
 from repro.utils.validation import check_integer, check_positive
@@ -274,6 +275,21 @@ class GridSimulator:
             "repro_sim_scheduler_seconds",
             "Wall-clock seconds one scheduler activation took.",
         )
+        # Activation phase profiler: every non-idle activation splits its
+        # wall-clock cost into named phases (instance build, solve, commit,
+        # plus whatever the policy reports via ``last_phases``).  The
+        # per-phase histogram children are resolved lazily because phase
+        # names partly come from the policy; each observation carries the
+        # activation sequence number as an exemplar linking the histogram
+        # back to the matching trace span.
+        self._phase_hist = reg.histogram(
+            "repro_sim_activation_phase_seconds",
+            "Wall-clock seconds one activation spent in each named phase.",
+            labels=("phase",),
+        )
+        self._m_phase_children: dict[str, object] = {}
+        self._activation_seq = 0
+        self._phase_seconds: dict[str, float] = {}
         # Failure-model counters: revocations by cause, retry outcomes,
         # user cancellations and SLA misses.
         revocations = reg.counter(
@@ -437,6 +453,14 @@ class GridSimulator:
         else:
             self._pending_positions.add(position)
             self._submitted += 1
+            if self._trace_log is not None:
+                self._trace_log.emit(
+                    "job_submitted",
+                    source="simulator",
+                    time=now,
+                    job_id=self.jobs[position].job_id,
+                    attempt=1,
+                )
         if adaptive:
             self._ensure_wakeup(now)
 
@@ -599,11 +623,32 @@ class GridSimulator:
             record.completion_time = None
             record.reschedules += 1
             self._m_revoked[cause].inc()
+            if self._trace_log is not None:
+                # The revocation line supersedes the attempt's eagerly
+                # emitted planned job_started/job_completed lines: timeline
+                # readers process events in file (causal) order.
+                self._trace_log.emit(
+                    "job_revoked",
+                    source="simulator",
+                    time=now,
+                    job_id=entry.job_id,
+                    attempt=record.reschedules,
+                    cause=cause,
+                )
             if retry is None:
                 record.state = JobState.RESUBMITTED
                 record.note(f"resubmitted at t={now:.2f} ({reason})")
                 self._pending_positions.add(self._job_position[entry.job_id])
                 self._unfinished += 1
+                if self._trace_log is not None:
+                    self._trace_log.emit(
+                        "job_retried",
+                        source="simulator",
+                        time=now,
+                        job_id=entry.job_id,
+                        attempt=record.reschedules + 1,
+                        retry_at=now,
+                    )
             elif record.reschedules > retry.max_attempts:
                 record.state = JobState.FAILED
                 record.note(
@@ -635,6 +680,15 @@ class GridSimulator:
                     )
                     self._retry_positions.add(position)
                     self._events.push(now + delay, EventType.TASK_SUBMIT, position)
+                if self._trace_log is not None:
+                    self._trace_log.emit(
+                        "job_retried",
+                        source="simulator",
+                        time=now,
+                        job_id=entry.job_id,
+                        attempt=record.reschedules + 1,
+                        retry_at=now + max(0.0, delay),
+                    )
             processed = max(0.0, min(entry.finish, now) - entry.start)
             state.busy_time -= (entry.finish - entry.start) - processed
             state.completed_jobs -= 1
@@ -695,29 +749,48 @@ class GridSimulator:
             self._m_activation_idle.inc()
             return
 
-        etc = execution_times_matrix(pending, available)
-        ready = np.array(
-            [
-                self.machine_states[machine.machine_id].ready_time(now)
-                for machine in available
-            ],
-            dtype=float,
-        )
-        instance = SchedulingInstance(
-            etc=etc,
-            ready_times=ready,
-            name=f"batch@t={now:.2f}",
-            metadata={
-                "job_ids": np.array([job.job_id for job in pending], dtype=np.int64),
-                "machine_ids": np.array(
-                    [machine.machine_id for machine in available], dtype=np.int64
-                ),
-            },
-        )
+        self._activation_seq += 1
+        seq = self._activation_seq
+        timer = PhaseTimer()
+        with timer.phase("instance_build"):
+            etc = execution_times_matrix(pending, available)
+            ready = np.array(
+                [
+                    self.machine_states[machine.machine_id].ready_time(now)
+                    for machine in available
+                ],
+                dtype=float,
+            )
+            instance = SchedulingInstance(
+                etc=etc,
+                ready_times=ready,
+                name=f"batch@t={now:.2f}",
+                metadata={
+                    "job_ids": np.array([job.job_id for job in pending], dtype=np.int64),
+                    "machine_ids": np.array(
+                        [machine.machine_id for machine in available], dtype=np.int64
+                    ),
+                },
+            )
+        if self._trace_log is not None:
+            self._trace_log.emit_many(
+                "job_batched",
+                [
+                    {
+                        "source": "simulator",
+                        "time": now,
+                        "job_id": job.job_id,
+                        "seq": seq,
+                        "attempt": self.records[job.job_id].reschedules + 1,
+                    }
+                    for job in pending
+                ],
+            )
 
         stopwatch = Stopwatch()
         assignment = np.asarray(self.policy.schedule(instance, self.rng), dtype=np.int64)
         scheduler_seconds = stopwatch.elapsed
+        timer.add("solve", scheduler_seconds)
         if assignment.shape != (len(pending),):
             raise ValueError(
                 f"policy returned an assignment of shape {assignment.shape}, "
@@ -726,9 +799,21 @@ class GridSimulator:
         if assignment.size and (assignment.min() < 0 or assignment.max() >= len(available)):
             raise ValueError("policy returned machine indices outside the batch")
 
-        batch_makespan, committed = self._commit_assignment(
-            now, pending, available, assignment, etc
-        )
+        with timer.phase("commit"):
+            batch_makespan, committed = self._commit_assignment(
+                now, pending, available, assignment, etc, seq
+            )
+        policy_phases = getattr(self.policy, "last_phases", None)
+        if policy_phases:
+            timer.merge(policy_phases)
+        for name, seconds in timer:
+            self._phase_seconds[name] = self._phase_seconds.get(name, 0.0) + seconds
+            child = self._m_phase_children.get(name)
+            if child is None:
+                child = self._m_phase_children[name] = self._phase_hist.labels(
+                    phase=name
+                )
+            child.observe(seconds, exemplar=seq)
         self.activations.append(
             ActivationRecord(
                 time=now,
@@ -746,6 +831,7 @@ class GridSimulator:
                 "activation",
                 source="simulator",
                 time=now,
+                seq=seq,
                 backlog=len(pending),
                 batch_size=len(pending),
                 machines=len(available),
@@ -753,6 +839,7 @@ class GridSimulator:
                 scheduler_seconds=scheduler_seconds,
                 scheduled=committed,
                 batch_makespan=batch_makespan,
+                phases=timer.as_dict(),
             )
 
     def _commit_assignment(
@@ -762,6 +849,7 @@ class GridSimulator:
         available: list[GridMachine],
         assignment: np.ndarray,
         etc: np.ndarray,
+        seq: int = 0,
     ) -> tuple[float, int]:
         """Commit the scheduled jobs to the machine queues (SPT order per machine).
 
@@ -814,6 +902,10 @@ class GridSimulator:
         else:
             commit = starts < now + horizon
 
+        tracing = self._trace_log is not None
+        assigned_records: list[dict] = []
+        started_records: list[dict] = []
+        completed_records: list[dict] = []
         for position in np.nonzero(commit)[0]:
             job = pending[int(order[position])]
             machine = available[int(sorted_machines[position])]
@@ -835,6 +927,44 @@ class GridSimulator:
             self._unfinished -= 1
             self._has_commits.add(machine.machine_id)
             self._events.push(finish, EventType.TASK_END, machine.machine_id)
+            if tracing:
+                # The planned start/finish are committed (and the record
+                # stamped) at this instant, so the lifecycle lines are
+                # emitted eagerly with the *planned* timestamps; a later
+                # job_revoked line supersedes them in causal file order.
+                attempt = record.reschedules + 1
+                assigned_records.append(
+                    {
+                        "source": "simulator",
+                        "time": now,
+                        "job_id": job.job_id,
+                        "seq": seq,
+                        "machine_id": machine.machine_id,
+                        "attempt": attempt,
+                    }
+                )
+                started_records.append(
+                    {
+                        "source": "simulator",
+                        "time": start,
+                        "job_id": job.job_id,
+                        "machine_id": machine.machine_id,
+                        "attempt": attempt,
+                    }
+                )
+                completed_records.append(
+                    {
+                        "source": "simulator",
+                        "time": finish,
+                        "job_id": job.job_id,
+                        "machine_id": machine.machine_id,
+                        "attempt": attempt,
+                    }
+                )
+        if tracing:
+            self._trace_log.emit_many("job_assigned", assigned_records)
+            self._trace_log.emit_many("job_started", started_records)
+            self._trace_log.emit_many("job_completed", completed_records)
 
         committed_machines = sorted_machines[commit]
         busy_totals = np.bincount(
@@ -920,12 +1050,28 @@ class GridSimulator:
             jobs_with_deadlines += 1
             if record.state is JobState.FAILED:
                 missed += 1
+                if self._trace_log is not None:
+                    self._trace_log.emit(
+                        "job_deadline_missed",
+                        source="simulator",
+                        time=record.job.due_date,
+                        job_id=record.job.job_id,
+                        tardiness=0.0,
+                    )
             elif record.state is JobState.COMPLETED and record.completion_time is not None:
                 late = record.completion_time - record.job.due_date
                 if late > 0.0:
                     missed += 1
                     total_tardiness += late
                     max_tardiness = max(max_tardiness, late)
+                    if self._trace_log is not None:
+                        self._trace_log.emit(
+                            "job_deadline_missed",
+                            source="simulator",
+                            time=record.completion_time,
+                            job_id=record.job.job_id,
+                            tardiness=late,
+                        )
         if missed:
             self._m_deadline_misses.inc(missed)
         return SimulationMetrics.from_records(
@@ -946,4 +1092,5 @@ class GridSimulator:
             total_tardiness=total_tardiness,
             max_tardiness=max_tardiness,
             jobs_with_deadlines=jobs_with_deadlines,
+            phase_seconds=self._phase_seconds,
         )

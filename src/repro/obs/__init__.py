@@ -10,7 +10,12 @@ The unified observability layer every subsystem hangs its counters on:
   takes, so hot paths stay allocation-free with observability off;
 * :class:`TraceLog` — structured JSON-lines tracing with a span API
   (:mod:`repro.obs.tracelog`), summarized back into per-activation tables
-  by :mod:`repro.obs.summarize` (``repro-scheduler obs summarize``).
+  by :mod:`repro.obs.summarize` (``repro-scheduler obs summarize``);
+* :class:`PhaseTimer` — named sub-span timing inside one activation
+  (:mod:`repro.obs.phases`), feeding per-phase histograms and trace spans;
+* :class:`JobTimeline` — per-job lifecycle reconstruction and latency
+  attribution (:mod:`repro.obs.timeline`, ``repro-scheduler obs
+  timeline`` / ``obs slowest``).
 """
 
 from repro.obs.exposition import ParsedFamily, parse_exposition
@@ -22,11 +27,23 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.phases import PhaseTimer
 from repro.obs.summarize import (
     activation_rows,
     event_counts,
     summarize_events,
     summarize_trace,
+)
+from repro.obs.timeline import (
+    JobTimeline,
+    attribution_rows,
+    attribution_table,
+    build_timelines,
+    lifecycle_violations,
+    render_timelines,
+    slowest_report,
+    slowest_table,
+    timeline_report,
 )
 from repro.obs.tracelog import TraceLog, TraceSpan, read_trace
 
@@ -46,4 +63,14 @@ __all__ = [
     "event_counts",
     "summarize_events",
     "summarize_trace",
+    "PhaseTimer",
+    "JobTimeline",
+    "build_timelines",
+    "lifecycle_violations",
+    "attribution_rows",
+    "attribution_table",
+    "render_timelines",
+    "slowest_table",
+    "timeline_report",
+    "slowest_report",
 ]

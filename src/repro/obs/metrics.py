@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 import re
 import threading
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 __all__ = [
     "Counter",
@@ -245,7 +245,7 @@ class Gauge(_Metric):
 
 
 class _HistogramChild:
-    __slots__ = ("_lock", "_buckets", "_counts", "_sum", "_count")
+    __slots__ = ("_lock", "_buckets", "_counts", "_sum", "_count", "_exemplar")
 
     def __init__(self, lock: threading.Lock, buckets: tuple[float, ...]) -> None:
         self._lock = lock
@@ -253,12 +253,15 @@ class _HistogramChild:
         self._counts = [0] * len(buckets)
         self._sum = 0.0
         self._count = 0
+        self._exemplar: tuple[float, Any] | None = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Any = None) -> None:
         value = float(value)
         with self._lock:
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplar = (value, exemplar)
             for position, bound in enumerate(self._buckets):
                 if value <= bound:
                     self._counts[position] += 1
@@ -271,6 +274,18 @@ class _HistogramChild:
     @property
     def sum(self) -> float:
         return self._sum
+
+    @property
+    def exemplar(self) -> "tuple[float, Any] | None":
+        """The last ``(value, exemplar)`` observed with an exemplar attached.
+
+        Exemplars link a histogram observation back to its trace span (the
+        instrumented layers attach the activation sequence number).  They
+        are kept programmatically only — the 0.0.4 text exposition this
+        registry renders has no exemplar syntax (that is OpenMetrics), and
+        the renderer is pinned by a strict conformance test.
+        """
+        return self._exemplar
 
     def render_samples(self, name, label_names, key) -> Iterator[str]:
         with self._lock:
@@ -314,8 +329,8 @@ class Histogram(_Metric):
     def _make_child(self) -> _HistogramChild:
         return _HistogramChild(self._lock, self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._default_child().observe(value)
+    def observe(self, value: float, exemplar: Any = None) -> None:
+        self._default_child().observe(value, exemplar)
 
     @property
     def count(self) -> int:
@@ -324,6 +339,11 @@ class Histogram(_Metric):
     @property
     def sum(self) -> float:
         return self._default_child().sum
+
+    @property
+    def exemplar(self) -> "tuple[float, Any] | None":
+        """See :attr:`_HistogramChild.exemplar` (unlabeled families only)."""
+        return self._default_child().exemplar
 
 
 class _NullMetric:
@@ -349,7 +369,7 @@ class _NullMetric:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Any = None) -> None:
         pass
 
 

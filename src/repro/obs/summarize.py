@@ -28,6 +28,7 @@ __all__ = [
 #: Column order of the per-activation table (header, event-field, default).
 _COLUMNS = (
     ("t", "time", None),
+    ("seq", "seq", None),
     ("source", "source", "?"),
     ("backlog", "backlog", None),
     ("batch", "batch_size", None),

@@ -1,0 +1,532 @@
+"""Per-job lifecycle timelines and latency attribution from a trace JSONL.
+
+PR 8's activation spans explain latency at the *activation* granularity;
+once breakdowns, retries and cancels entered the picture (PR 9), a job's
+wall-clock time became a sum of queue wait, batch formation, scheduling,
+execution, revocation and backoff that no aggregate percentile can
+decompose.  This module turns the correlated per-job events a
+:class:`~repro.obs.tracelog.TraceLog` records — ``job_submitted``,
+``job_batched``, ``job_assigned``, ``job_started``, ``job_completed``,
+``job_revoked``, ``job_retried``, plus the pre-existing ``task_cancel``
+(cancelled terminal), ``job_dropped`` (failed terminal) and
+``job_deadline_missed`` annotations — back into one
+:class:`JobTimeline` per job, with the job's end-to-end latency split into
+named phases:
+
+``queue_wait``
+    admission (or retry re-admission) to batch formation;
+``scheduling``
+    batch formation to plan commit (zero on the simulated clock, where an
+    activation is instantaneous; real on the live service's wall clock);
+``machine_wait``
+    plan commit to execution start;
+``execution``
+    execution start to completion;
+``lost``
+    execution run before a revocation threw it away;
+``backoff``
+    revocation to retry re-admission.
+
+The split is *exact by construction*: the phases of one job always sum to
+its end-to-end latency (submitted → terminal), which is what lets the
+attribution table report shares that add up to 100%.
+
+Events are processed in **file order** (causal order), not timestamp
+order: the simulator commits plans eagerly, so a ``job_completed`` with a
+planned future timestamp can legitimately precede a ``job_revoked`` with
+an earlier one — the revocation supersedes the attempt's planned
+``job_started``/``job_completed`` events.
+
+The same single pass also powers :func:`lifecycle_violations`, the legal
+lifecycle-DAG check the property tests pin: no started-before-assigned, no
+events after a terminal, exactly one terminal per job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.obs.tracelog import read_trace
+from repro.utils.tables import format_table
+
+__all__ = [
+    "PHASES",
+    "JOB_EVENTS",
+    "JobTimeline",
+    "build_timelines",
+    "lifecycle_violations",
+    "attribution_rows",
+    "attribution_table",
+    "waterfall",
+    "render_timelines",
+    "slowest_table",
+    "timeline_report",
+    "slowest_report",
+]
+
+#: Canonical phase order (admission to terminal).
+PHASES = ("queue_wait", "scheduling", "machine_wait", "execution", "lost", "backoff")
+
+#: One-letter glyph per phase, used by the waterfall bars.
+_GLYPHS = {
+    "queue_wait": "q",
+    "scheduling": "s",
+    "machine_wait": "w",
+    "execution": "#",
+    "lost": "x",
+    "backoff": "b",
+}
+
+#: Every event name that belongs to one job's lifecycle timeline.
+JOB_EVENTS = frozenset(
+    {
+        "job_submitted",
+        "job_batched",
+        "job_assigned",
+        "job_started",
+        "job_completed",
+        "job_revoked",
+        "job_retried",
+        "job_dropped",
+        "task_cancel",
+        "job_deadline_missed",
+    }
+)
+
+#: Terminal states a finished timeline can land in.  ``planned`` is the
+#: live service's fire-and-forget terminal (the plan is committed, the
+#: execution is not simulated); ``pending`` means the trace was cut before
+#: the job settled (a torn or truncated run).
+TERMINALS = ("completed", "planned", "cancelled", "failed", "pending")
+
+
+@dataclass
+class JobTimeline:
+    """One job's reconstructed lifecycle: phases, attempts, terminal."""
+
+    job_id: int
+    #: First admission time (``job_submitted``).
+    submitted: float
+    #: Terminal time (completion, plan commit, cancel or drop).
+    finished: float
+    #: One of :data:`TERMINALS`.
+    terminal: str
+    #: Attempts started (1 + times the job was retried after a revocation).
+    attempts: int
+    #: Exact end-to-end split; values sum to ``finished - submitted``.
+    phases: dict[str, float]
+    #: Activation sequence numbers that batched this job, in order.
+    activation_seqs: tuple[int, ...] = ()
+    #: Whether a ``job_deadline_missed`` annotation was recorded.
+    missed_deadline: bool = False
+    #: The job's raw trace events, in file (causal) order.
+    events: list[Mapping[str, Any]] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        """End-to-end latency: admission to terminal."""
+        return self.finished - self.submitted
+
+    def dominant_phase(self) -> str:
+        """The phase holding the largest share of the job's latency."""
+        if not self.phases:
+            return "n/a"
+        return max(self.phases, key=lambda name: self.phases[name])
+
+    def chain(self) -> str:
+        """The job's causal chain as one compact arrow-joined line."""
+        parts: list[str] = []
+        for event in self.events:
+            name = event.get("event")
+            time = event.get("time")
+            stamp = f"@{time:.3f}" if isinstance(time, (int, float)) else ""
+            if name == "job_submitted":
+                parts.append(f"submitted{stamp}")
+            elif name == "job_batched":
+                seq = event.get("seq")
+                parts.append(f"batched#{seq}{stamp}" if seq is not None else f"batched{stamp}")
+            elif name == "job_assigned":
+                machine = event.get("machine_id")
+                where = f" m{machine}" if machine is not None else ""
+                parts.append(f"assigned{where}{stamp}")
+            elif name == "job_started":
+                parts.append(f"started{stamp}")
+            elif name == "job_completed":
+                parts.append(f"completed{stamp}")
+            elif name == "job_revoked":
+                cause = event.get("cause")
+                why = f"({cause})" if cause else ""
+                parts.append(f"revoked{why}{stamp}")
+            elif name == "job_retried":
+                retry_at = event.get("retry_at")
+                when = (
+                    f"@{retry_at:.3f}"
+                    if isinstance(retry_at, (int, float))
+                    else stamp
+                )
+                parts.append(f"retried{when}")
+            elif name == "job_dropped":
+                parts.append(f"dropped{stamp}")
+            elif name == "task_cancel":
+                parts.append(f"cancelled{stamp}")
+            elif name == "job_deadline_missed":
+                parts.append("deadline-missed")
+        return " -> ".join(parts)
+
+
+class _JobBuilder:
+    """Folds one job's events, in file order, into a :class:`JobTimeline`."""
+
+    def __init__(self, job_id: int, violations: list[str]) -> None:
+        self.job_id = job_id
+        self.violations = violations
+        self.submitted: float | None = None
+        self.cursor = 0.0
+        self.stage = "new"  # new -> queued -> batched -> planned -> done
+        self.plan: dict[str, float] | None = None
+        self.attempts = 0
+        self.terminal: str | None = None
+        self.finished: float | None = None
+        self.phases: dict[str, float] = {}
+        self.seqs: list[int] = []
+        self.missed = False
+        self.events: list[Mapping[str, Any]] = []
+
+    def _flag(self, message: str) -> None:
+        self.violations.append(f"job {self.job_id}: {message}")
+
+    def _add(self, phase: str, seconds: float) -> None:
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def _close_in_flight(self, now: float) -> None:
+        """Fold the tentative plan up to *now* (a revoke or in-flight cancel)."""
+        started = (self.plan or {}).get("started")
+        if started is not None and started < now:
+            self._add("machine_wait", started - self.cursor)
+            self._add("lost", now - started)
+        else:
+            self._add("machine_wait", max(0.0, now - self.cursor))
+        self.plan = None
+        self.cursor = now
+
+    def feed(self, event: Mapping[str, Any]) -> None:
+        name = event.get("event")
+        time = float(event.get("time", 0.0))
+        self.events.append(event)
+        if name == "job_deadline_missed":
+            # An SLA annotation, not a lifecycle step: legal at any point,
+            # including after a failed job's terminal.
+            self.missed = True
+            return
+        if self.stage == "done":
+            self._flag(f"{name} after terminal {self.terminal!r}")
+            return
+
+        if name == "job_submitted":
+            if self.stage != "new":
+                self._flag("duplicate job_submitted")
+                return
+            self.submitted = time
+            self.cursor = time
+            self.attempts = max(1, int(event.get("attempt", 1)))
+            self.stage = "queued"
+        elif name == "job_batched":
+            if self.stage not in ("queued", "batched"):
+                self._flag(f"job_batched while {self.stage}")
+                return
+            # A batched-but-not-committed job (rolling horizon) is batched
+            # again later; the whole gap is still queue wait.
+            self._add("queue_wait", time - self.cursor)
+            self.cursor = time
+            self.stage = "batched"
+            seq = event.get("seq")
+            if seq is not None:
+                self.seqs.append(int(seq))
+        elif name == "job_assigned":
+            if self.stage != "batched":
+                self._flag(f"job_assigned while {self.stage}")
+                return
+            self._add("scheduling", time - self.cursor)
+            self.cursor = time
+            self.stage = "planned"
+            self.plan = {}
+        elif name == "job_started":
+            if self.stage != "planned" or self.plan is None:
+                self._flag("job_started before job_assigned")
+                return
+            if "started" in self.plan:
+                self._flag("duplicate job_started in one attempt")
+                return
+            if time < self.cursor:
+                self._flag("job_started before its assignment time")
+            self.plan["started"] = time
+        elif name == "job_completed":
+            if self.stage != "planned" or self.plan is None or "started" not in self.plan:
+                self._flag("job_completed before job_started")
+                return
+            if time < self.plan["started"]:
+                self._flag("job_completed before its start time")
+            self.plan["completed"] = time
+        elif name == "job_revoked":
+            if self.stage != "planned":
+                self._flag(f"job_revoked while {self.stage}")
+                return
+            self._close_in_flight(time)
+            self.stage = "revoked"
+        elif name == "job_retried":
+            if self.stage != "revoked":
+                self._flag(f"job_retried while {self.stage}")
+                return
+            retry_at = float(event.get("retry_at", time))
+            retry_at = max(retry_at, time)
+            self._add("backoff", retry_at - self.cursor)
+            self.cursor = retry_at
+            self.attempts += 1
+            self.stage = "queued"
+        elif name == "job_dropped":
+            if self.stage != "revoked":
+                self._flag(f"job_dropped while {self.stage}")
+                return
+            self.terminal = "failed"
+            self.finished = self.cursor
+            self.stage = "done"
+        elif name == "task_cancel":
+            if self.stage == "planned":
+                self._close_in_flight(time)
+            else:
+                # A cancel during a backoff window lands *before* the
+                # already-accounted retry instant; give the unspent backoff
+                # back so the phase sum stays exact.
+                delta = time - self.cursor
+                self._add("queue_wait" if delta >= 0 else "backoff", delta)
+                self.cursor = time
+            self.terminal = "cancelled"
+            self.finished = time
+            self.stage = "done"
+        else:
+            self._flag(f"unknown job event {name!r}")
+
+    def finish(self) -> JobTimeline | None:
+        if self.submitted is None:
+            if self.events:
+                self._flag(
+                    f"first event is {self.events[0].get('event')!r}, "
+                    "not job_submitted"
+                )
+            return None
+        if self.stage == "planned" and self.plan is not None:
+            started = self.plan.get("started")
+            completed = self.plan.get("completed")
+            if completed is not None and started is not None:
+                self._add("machine_wait", started - self.cursor)
+                self._add("execution", completed - started)
+                self.cursor = completed
+                self.terminal = "completed"
+                self.finished = completed
+            else:
+                # The live service's fire-and-forget terminal: the plan is
+                # committed, the execution is outside the model.
+                self.terminal = "planned"
+                self.finished = self.cursor
+            self.stage = "done"
+        if self.terminal is None:
+            self.terminal = "pending"
+            self.finished = self.cursor
+        return JobTimeline(
+            job_id=self.job_id,
+            submitted=self.submitted,
+            finished=float(self.finished),
+            terminal=self.terminal,
+            attempts=self.attempts,
+            phases=self.phases,
+            activation_seqs=tuple(self.seqs),
+            missed_deadline=self.missed,
+            events=self.events,
+        )
+
+
+def _fold(events: Sequence[Mapping[str, Any]]) -> tuple[list[JobTimeline], list[str]]:
+    violations: list[str] = []
+    builders: dict[int, _JobBuilder] = {}
+    for event in events:
+        name = event.get("event")
+        if name not in JOB_EVENTS:
+            continue
+        job_id = event.get("job_id")
+        if job_id is None:
+            violations.append(f"{name} event without a job_id")
+            continue
+        builder = builders.get(job_id)
+        if builder is None:
+            builder = builders[job_id] = _JobBuilder(int(job_id), violations)
+        builder.feed(event)
+    timelines = [
+        timeline
+        for builder in builders.values()
+        if (timeline := builder.finish()) is not None
+    ]
+    timelines.sort(key=lambda timeline: timeline.job_id)
+    return timelines, violations
+
+
+def build_timelines(events: Sequence[Mapping[str, Any]]) -> list[JobTimeline]:
+    """One :class:`JobTimeline` per job, from parsed trace events."""
+    timelines, _ = _fold(events)
+    return timelines
+
+
+def lifecycle_violations(events: Sequence[Mapping[str, Any]]) -> list[str]:
+    """Every way the per-job events break the legal lifecycle DAG.
+
+    Empty on a well-formed trace: each job starts with ``job_submitted``,
+    never starts before it is assigned or completes before it starts,
+    reaches at most one terminal event and stays silent afterwards.
+    """
+    _, violations = _fold(events)
+    return violations
+
+
+# --------------------------------------------------------------------------- #
+# Latency attribution
+# --------------------------------------------------------------------------- #
+def attribution_rows(
+    timelines: Sequence[JobTimeline],
+) -> tuple[list[str], list[list[Any]]]:
+    """``(headers, rows)`` of the per-phase latency-attribution table.
+
+    One row per phase that occurred: p50/p95/p99 of the per-job phase
+    durations (over the jobs that spent time in the phase), the phase's
+    accumulated seconds, and its share of the summed end-to-end latency.
+    The shares sum to 100% because each job's phases sum to its total.
+    """
+    headers = ["phase", "p50 s", "p95 s", "p99 s", "total s", "share %"]
+    settled = [timeline for timeline in timelines if timeline.total > 0.0]
+    grand_total = sum(timeline.total for timeline in settled)
+    rows: list[list[Any]] = []
+    names = [phase for phase in PHASES if any(phase in t.phases for t in settled)]
+    names += sorted(
+        {name for t in settled for name in t.phases} - set(PHASES)
+    )
+    for phase in names:
+        values = np.array(
+            [t.phases[phase] for t in settled if phase in t.phases], dtype=float
+        )
+        total = float(values.sum())
+        p50, p95, p99 = (
+            np.percentile(values, (50, 95, 99)) if values.size else (0.0, 0.0, 0.0)
+        )
+        share = 100.0 * total / grand_total if grand_total > 0 else 0.0
+        rows.append([phase, float(p50), float(p95), float(p99), total, share])
+    return headers, rows
+
+
+def attribution_table(timelines: Sequence[JobTimeline]) -> str:
+    """The latency-attribution table rendered as aligned text."""
+    headers, rows = attribution_rows(timelines)
+    settled = [timeline for timeline in timelines if timeline.total > 0.0]
+    totals = np.array([timeline.total for timeline in settled], dtype=float)
+    if totals.size:
+        p50, p95, p99 = np.percentile(totals, (50, 95, 99))
+        rows.append(
+            ["end-to-end", float(p50), float(p95), float(p99), float(totals.sum()), 100.0]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=f"Latency attribution over {len(settled)} job(s)",
+        precision=4,
+    )
+
+
+def waterfall(timeline: JobTimeline, *, width: int = 40) -> str:
+    """One job's phases as a proportional text bar (the waterfall row)."""
+    total = timeline.total
+    if total <= 0.0:
+        bar = "-" * width
+    else:
+        cells: list[str] = []
+        carry = 0.0
+        for phase in PHASES:
+            seconds = timeline.phases.get(phase, 0.0)
+            if seconds <= 0.0:
+                continue
+            exact = seconds / total * width + carry
+            count = int(round(exact))
+            carry = exact - count
+            cells.append(_GLYPHS[phase] * count)
+        bar = "".join(cells)[:width].ljust(width, " ")
+    flags = []
+    if timeline.attempts > 1:
+        flags.append(f"x{timeline.attempts}")
+    if timeline.missed_deadline:
+        flags.append("missed-due")
+    suffix = f" [{','.join(flags)}]" if flags else ""
+    return (
+        f"job {timeline.job_id:>6}  |{bar}|  {total:.4f}s "
+        f"{timeline.terminal}{suffix}"
+    )
+
+
+def render_timelines(
+    events: Sequence[Mapping[str, Any]], *, jobs: int = 10
+) -> str:
+    """Attribution table plus the *jobs* slowest per-job waterfalls."""
+    timelines = build_timelines(events)
+    if not timelines:
+        return "no job lifecycle events in trace"
+    parts = [attribution_table(timelines)]
+    slowest = sorted(timelines, key=lambda t: t.total, reverse=True)[: max(0, jobs)]
+    if slowest:
+        legend = "  ".join(
+            f"{_GLYPHS[phase]}={phase}" for phase in PHASES
+        )
+        parts.append("")
+        parts.append(f"Waterfalls of the {len(slowest)} slowest job(s)  ({legend})")
+        parts.extend(waterfall(timeline) for timeline in slowest)
+    return "\n".join(parts)
+
+
+def slowest_table(
+    events: Sequence[Mapping[str, Any]], *, top: int = 10
+) -> str:
+    """The *top* slowest jobs with their phase split and causal chains."""
+    timelines = sorted(
+        build_timelines(events), key=lambda t: t.total, reverse=True
+    )[: max(0, top)]
+    if not timelines:
+        return "no job lifecycle events in trace"
+    headers = ["job", "total s", "terminal", "attempts", "dominant phase"]
+    rows = [
+        [
+            timeline.job_id,
+            timeline.total,
+            timeline.terminal,
+            timeline.attempts,
+            timeline.dominant_phase(),
+        ]
+        for timeline in timelines
+    ]
+    parts = [
+        format_table(
+            headers, rows, title=f"Slowest {len(timelines)} job(s)", precision=4
+        ),
+        "",
+    ]
+    parts.extend(
+        f"job {timeline.job_id}: {timeline.chain()}" for timeline in timelines
+    )
+    return "\n".join(parts)
+
+
+def timeline_report(path: str | Path, *, jobs: int = 10) -> str:
+    """Read a trace JSONL and render its per-job timeline report."""
+    return render_timelines(read_trace(path), jobs=jobs)
+
+
+def slowest_report(path: str | Path, *, top: int = 10) -> str:
+    """Read a trace JSONL and render its slowest-jobs report."""
+    return slowest_table(read_trace(path), top=top)

@@ -94,30 +94,124 @@ class TraceLog:
     target:
         A path (opened for append; the log owns and closes the handle) or
         any text file-like object (borrowed; the caller closes it).
+    max_bytes:
+        Optional size guard.  Once the log has written this many bytes it
+        warns **once** and drops every further event (counted in
+        :attr:`events_dropped`) instead of growing without bound — the
+        sane failure mode for a ``loadgen --soak`` left running overnight.
+        :meth:`rotate` resets the guard and resumes writing.
     """
 
-    def __init__(self, target: str | Path | io.TextIOBase | Any) -> None:
+    def __init__(
+        self,
+        target: str | Path | io.TextIOBase | Any,
+        *,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         if isinstance(target, (str, Path)):
+            self._path: Path | None = Path(target)
             self._handle = open(target, "a", encoding="utf-8")
             self._owns_handle = True
         else:
+            self._path = None
             self._handle = target
             self._owns_handle = False
         self._lock = threading.Lock()
         self._closed = False
+        self._max_bytes = max_bytes
+        self._capped = False
+        #: Bytes written since construction (or the last :meth:`rotate`).
+        self.bytes_written = 0
         #: Events written since construction (a cheap health indicator).
         self.events_written = 0
+        #: Events dropped after the ``max_bytes`` guard tripped.
+        self.events_dropped = 0
+
+    def _write_lines(self, lines: list[str]) -> None:
+        """Append the encoded lines under the lock (the single write path)."""
+        # json.dumps with the default ensure_ascii escapes everything to
+        # ASCII, so character count == byte count for the size guard.
+        payload = "".join(line + "\n" for line in lines)
+        with self._lock:
+            if self._closed:
+                return
+            if self._capped:
+                self.events_dropped += len(lines)
+                return
+            if (
+                self._max_bytes is not None
+                and self.bytes_written + len(payload) > self._max_bytes
+            ):
+                self._capped = True
+                self.events_dropped += len(lines)
+                warnings.warn(
+                    f"trace log reached max_bytes={self._max_bytes}; dropping "
+                    "further events (rotate() to resume)",
+                    stacklevel=3,
+                )
+                return
+            self._handle.write(payload)
+            self._handle.flush()
+            self.bytes_written += len(payload)
+            self.events_written += len(lines)
 
     def emit(self, event: str, **fields: Any) -> None:
         """Write one point event as a single JSON line (thread-safe)."""
         record = {"event": event, **fields}
-        line = json.dumps(record, default=_jsonable, allow_nan=False)
+        self._write_lines([json.dumps(record, default=_jsonable, allow_nan=False)])
+
+    def emit_many(self, event: str, records: list[dict[str, Any]]) -> None:
+        """Write one *event*-typed line per record, in one lock/flush round.
+
+        The batched write path of per-job lifecycle tracing: one activation
+        emits a ``job_batched``/``job_assigned`` line for every job in its
+        batch, and paying the lock and flush once per batch (instead of
+        once per job) is what keeps job tracing inside the service's
+        overhead budget.
+        """
+        if not records:
+            return
+        self._write_lines(
+            [
+                json.dumps({"event": event, **record}, default=_jsonable, allow_nan=False)
+                for record in records
+            ]
+        )
+
+    def rotate(self, target: str | Path | io.TextIOBase | Any | None = None) -> None:
+        """Start a fresh log segment, resetting the ``max_bytes`` guard.
+
+        With *target* given, subsequent events go there (a path is opened
+        for append and owned; a file-like object is borrowed).  Without
+        one, a path-backed log truncates and reopens its own file; a
+        borrowed-handle log has nowhere to rotate to and raises.
+        """
         with self._lock:
             if self._closed:
-                return
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            self.events_written += 1
+                raise ValueError("cannot rotate a closed trace log")
+            if target is None:
+                if self._path is None:
+                    raise ValueError(
+                        "rotate() needs a target when the log borrows its handle"
+                    )
+                self._handle.close()
+                self._handle = open(self._path, "w", encoding="utf-8")
+            elif isinstance(target, (str, Path)):
+                if self._owns_handle:
+                    self._handle.close()
+                self._path = Path(target)
+                self._handle = open(target, "a", encoding="utf-8")
+                self._owns_handle = True
+            else:
+                if self._owns_handle:
+                    self._handle.close()
+                self._path = None
+                self._handle = target
+                self._owns_handle = False
+            self._capped = False
+            self.bytes_written = 0
 
     def span(self, event: str, **fields: Any) -> TraceSpan:
         """Open a span that emits one merged event line when closed."""

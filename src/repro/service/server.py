@@ -20,6 +20,7 @@ exactly the overload behaviour the soak test measures.
 from __future__ import annotations
 
 import asyncio
+import json
 
 from repro.service.state import ActivationOutcome, SchedulerCore, ServiceSnapshot
 
@@ -145,7 +146,9 @@ class SchedulerServer:
 
         Reads the request line, drains the headers, answers ``GET
         /metrics`` with the rendered registry (content type version 0.0.4,
-        the Prometheus text format) and anything else with 404, then
+        the Prometheus text format), ``GET /healthz`` with a small JSON
+        liveness document (mode and backlog — the two cheap signals an
+        orchestrator's probe wants) and anything else with 404, then
         closes — every scrape is its own connection.
         """
         try:
@@ -159,6 +162,20 @@ class SchedulerServer:
                 body = self.core.registry.render().encode("utf-8")
                 status = b"200 OK"
                 content_type = b"text/plain; version=0.0.4; charset=utf-8"
+            elif len(parts) >= 2 and parts[0] == "GET" and parts[1] in ("/healthz", "/healthz/"):
+                body = (
+                    json.dumps(
+                        {
+                            "status": "ok",
+                            "mode": self.core.mode,
+                            "backlog": self.core.backlog,
+                            "machines_up": self.core.machines_up,
+                        }
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                status = b"200 OK"
+                content_type = b"application/json; charset=utf-8"
             else:
                 body = b"not found\n"
                 status = b"404 Not Found"

@@ -60,6 +60,7 @@ from repro.grid.machine import GridMachine, execution_times_matrix
 from repro.grid.metrics import latency_percentiles
 from repro.model.instance import SchedulingInstance
 from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.phases import PhaseTimer
 from repro.utils.rng import RNGLike, as_generator
 from repro.utils.timer import Stopwatch
 
@@ -299,14 +300,29 @@ class SchedulerCore:
             mode: activations.labels(mode=mode)
             for mode in ("normal", "degraded", "idle", "stalled")
         }
+        buckets = self.config.latency_buckets
         self._m_scheduler_seconds = self.registry.histogram(
             "repro_service_scheduler_seconds",
             "Wall-clock seconds one scheduler activation took (scheduling latency).",
+            buckets=buckets,
         )
         self._m_job_latency = self.registry.histogram(
             "repro_service_job_latency_seconds",
             "Per-job scheduling latency: accepted to planned.",
+            buckets=buckets,
         )
+        # Activation phase profiler: per-phase histogram children are
+        # resolved lazily (phase names partly come from the scheduler's
+        # ``last_phases``); each observation carries the activation sequence
+        # number as an exemplar linking it to the matching trace span.
+        self._m_phases = self.registry.histogram(
+            "repro_service_activation_phase_seconds",
+            "Wall-clock seconds one activation spent in each named phase.",
+            labels=("phase",),
+            buckets=buckets,
+        )
+        self._m_phase_children: dict[str, Any] = {}
+        self._activation_seq = 0
 
     # ------------------------------------------------------------------ #
     # Submission side
@@ -361,6 +377,14 @@ class SchedulerCore:
                 )
             return None
         self._m_submissions["accepted"].inc()
+        if self.trace_log is not None:
+            self.trace_log.emit(
+                "job_submitted",
+                source="service",
+                time=now,
+                job_id=job_id,
+                attempt=1,
+            )
         return job_id
 
     def cancel(self, job_id: int) -> bool:
@@ -522,23 +546,46 @@ class SchedulerCore:
                 self.mode = "normal"
                 transition = "recover"
             mode = self.mode
+            self._activation_seq += 1
+            seq = self._activation_seq
+            timer = PhaseTimer()
             pending = [submission.job for submission in batch]
-            # The batch is solved over the *up* machines only; a broken
-            # machine keeps its busy-until track but gets no new work.
-            park = [self.machines[int(i)] for i in up_indices]
-            etc = execution_times_matrix(pending, park)
-            ready = np.maximum(0.0, self._busy_until[up_indices] - now)
-            instance = SchedulingInstance(
-                etc=etc,
-                ready_times=ready,
-                name=f"live@t={now:.2f}",
-                metadata={
-                    "job_ids": np.array([job.job_id for job in pending], dtype=np.int64),
-                    "machine_ids": up_indices.astype(np.int64),
-                },
-            )
+            with timer.phase("instance_build"):
+                # The batch is solved over the *up* machines only; a broken
+                # machine keeps its busy-until track but gets no new work.
+                park = [self.machines[int(i)] for i in up_indices]
+                etc = execution_times_matrix(pending, park)
+                ready = np.maximum(0.0, self._busy_until[up_indices] - now)
+                instance = SchedulingInstance(
+                    etc=etc,
+                    ready_times=ready,
+                    name=f"live@t={now:.2f}",
+                    metadata={
+                        "job_ids": np.array(
+                            [job.job_id for job in pending], dtype=np.int64
+                        ),
+                        "machine_ids": up_indices.astype(np.int64),
+                    },
+                )
 
         self._m_queue_depth.set(0)
+        if self.trace_log is not None:
+            # Every batched job is followed by a job_assigned line from this
+            # same activation (a stalled batch never reaches this point), so
+            # the per-job lifecycle stays a legal DAG.
+            self.trace_log.emit_many(
+                "job_batched",
+                [
+                    {
+                        "source": "service",
+                        "time": now,
+                        "job_id": submission.job.job_id,
+                        "seq": seq,
+                        "attempt": 1,
+                    }
+                    for submission in batch
+                ],
+            )
         if transition is not None:
             self._m_transitions[transition].inc()
             if self.trace_log is not None:
@@ -565,6 +612,7 @@ class SchedulerCore:
                 "activation",
                 source="service",
                 time=now,
+                seq=seq,
                 backlog=len(batch),
                 batch_size=len(batch),
                 mode=mode,
@@ -581,6 +629,7 @@ class SchedulerCore:
             assignment = self.scheduler.schedule(instance, self.rng)
         assignment = np.asarray(assignment, dtype=np.int64)
         scheduler_seconds = stopwatch.elapsed
+        timer.add("solve", scheduler_seconds)
         if assignment.shape != (len(pending),):
             raise ValueError(
                 f"scheduler returned an assignment of shape {assignment.shape}, "
@@ -595,25 +644,57 @@ class SchedulerCore:
         # Map batch-local machine columns back to park indices before the
         # busy-track commit (the scheduler only ever saw the up machines).
         park_assignment = up_indices[assignment]
-        with self._lock:
-            done = self._now()
-            load = np.bincount(
-                park_assignment, weights=durations, minlength=len(self.machines)
-            )
-            base = np.maximum(self._busy_until, done)
-            self._busy_until = np.where(load > 0, base + load, self._busy_until)
-            self._busy_time += load
-            self.scheduled += len(pending)
-            latencies = [done - submission.submitted_at for submission in batch]
-            self._latencies.extend(latencies)
-            overflow = len(self._latencies) - self.config.latency_window
-            if overflow > 0:
-                del self._latencies[:overflow]
+        with timer.phase("commit"):
+            with self._lock:
+                done = self._now()
+                load = np.bincount(
+                    park_assignment, weights=durations, minlength=len(self.machines)
+                )
+                base = np.maximum(self._busy_until, done)
+                self._busy_until = np.where(load > 0, base + load, self._busy_until)
+                self._busy_time += load
+                self.scheduled += len(pending)
+                latencies = [done - submission.submitted_at for submission in batch]
+                self._latencies.extend(latencies)
+                overflow = len(self._latencies) - self.config.latency_window
+                if overflow > 0:
+                    del self._latencies[:overflow]
 
+        # The warm scheduler reports its internal split (warm remap,
+        # evaluation loop) for the activation it just solved; merged here it
+        # nests under the core's instance_build / solve / commit envelope.
+        scheduler_phases = getattr(self.scheduler, "last_phases", None)
+        if scheduler_phases:
+            timer.merge(scheduler_phases)
         self._m_activations[mode].inc()
         self._m_scheduler_seconds.observe(scheduler_seconds)
         for latency in latencies:
             self._m_job_latency.observe(latency)
+        for name, seconds in timer:
+            child = self._m_phase_children.get(name)
+            if child is None:
+                child = self._m_phase_children[name] = self._m_phases.labels(
+                    phase=name
+                )
+            child.observe(seconds, exemplar=seq)
+        if self.trace_log is not None:
+            machine_ids = [
+                self.machines[int(index)].machine_id for index in park_assignment
+            ]
+            self.trace_log.emit_many(
+                "job_assigned",
+                [
+                    {
+                        "source": "service",
+                        "time": done,
+                        "job_id": job.job_id,
+                        "seq": seq,
+                        "machine_id": machine_id,
+                        "attempt": 1,
+                    }
+                    for job, machine_id in zip(pending, machine_ids)
+                ],
+            )
         if span is not None:
             stats_after = (
                 (stats.carried_jobs, stats.filled_jobs, stats.evaluations)
@@ -626,6 +707,7 @@ class SchedulerCore:
                 filled=stats_after[1] - stats_before[1],
                 evaluations=stats_after[2] - stats_before[2],
                 scheduled=len(pending),
+                phases=timer.as_dict(),
             )
             span.close()
         return ActivationOutcome(

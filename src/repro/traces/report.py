@@ -61,6 +61,13 @@ class PolicyReport:
     missed_deadlines: float = 0.0
     total_tardiness: float = 0.0
     jobs_with_deadlines: int = 0
+    # Mean share (percent) of the activation envelope spent in each top-level
+    # phase (instance build / solve / commit), from the simulator's
+    # cumulative ``phase_seconds``; ``None`` when the runs carried no phase
+    # data (older recorded metrics).
+    build_share: float | None = None
+    solve_share: float | None = None
+    commit_share: float | None = None
 
     def as_dict(self) -> dict[str, Any]:
         """Flat JSON-friendly view (what the benchmark dump records)."""
@@ -85,6 +92,9 @@ class PolicyReport:
             "missed_deadlines": self.missed_deadlines,
             "total_tardiness": self.total_tardiness,
             "jobs_with_deadlines": self.jobs_with_deadlines,
+            "build_share": self.build_share,
+            "solve_share": self.solve_share,
+            "commit_share": self.commit_share,
             "p_value_vs_best": self.p_value,
         }
 
@@ -93,7 +103,32 @@ def _mean(values: Sequence[float]) -> float:
     return float(sum(values) / len(values)) if values else 0.0
 
 
+#: The top-level activation envelope; the warm scheduler's internal split
+#: (``warm_remap``/``evaluate``) nests *inside* ``solve`` and must not be
+#: double-counted in the share denominator.
+_ENVELOPE_PHASES = ("instance_build", "solve", "commit")
+
+
+def _phase_shares(
+    runs: Sequence[SimulationMetrics],
+) -> dict[str, float | None]:
+    """Mean percent of the activation envelope spent per top-level phase."""
+    shares: dict[str, list[float]] = {phase: [] for phase in _ENVELOPE_PHASES}
+    for metrics in runs:
+        phases = getattr(metrics, "phase_seconds", None) or {}
+        total = sum(phases.get(phase, 0.0) for phase in _ENVELOPE_PHASES)
+        if total <= 0.0:
+            continue
+        for phase in _ENVELOPE_PHASES:
+            shares[phase].append(100.0 * phases.get(phase, 0.0) / total)
+    return {
+        phase: (_mean(values) if values else None)
+        for phase, values in shares.items()
+    }
+
+
 def _report(policy: str, runs: Sequence[SimulationMetrics]) -> PolicyReport:
+    shares = _phase_shares(runs)
     return PolicyReport(
         policy=policy,
         repetitions=len(runs),
@@ -113,6 +148,9 @@ def _report(policy: str, runs: Sequence[SimulationMetrics]) -> PolicyReport:
         missed_deadlines=_mean([float(m.missed_deadlines) for m in runs]),
         total_tardiness=_mean([m.total_tardiness for m in runs]),
         jobs_with_deadlines=max(m.jobs_with_deadlines for m in runs),
+        build_share=shares["instance_build"],
+        solve_share=shares["solve"],
+        commit_share=shares["commit"],
     )
 
 
@@ -181,6 +219,9 @@ def arena_rows(result: ArenaResult | Mapping[str, Sequence[SimulationMetrics]]):
                     else "n/a"
                 ),
                 report.total_tardiness if report.jobs_with_deadlines else "n/a",
+                report.build_share,
+                report.solve_share,
+                report.commit_share,
                 p_column,
             ]
         )
@@ -200,6 +241,9 @@ _HEADERS = [
     "dropped",
     "missed due",
     "tardiness",
+    "build %",
+    "solve %",
+    "commit %",
     "p vs best",
 ]
 

@@ -12,6 +12,7 @@ own counters tell.
 """
 
 import asyncio
+import json
 
 from repro.core.config import (
     ActivationPolicy,
@@ -128,6 +129,18 @@ def test_live_scrape_under_load_and_trace_account(tmp_path):
         # Wrong paths 404 without disturbing the listener.
         status, _, _ = await http_get(server.metrics_address, "/other")
         assert status == 404
+        # The liveness probe answers next to /metrics: a small JSON
+        # document with the mode and backlog an orchestrator wants.
+        status, health_headers, health_body = await http_get(
+            server.metrics_address, "/healthz"
+        )
+        assert status == 200
+        assert health_headers["Content-Type"] == "application/json; charset=utf-8"
+        health = json.loads(health_body)
+        assert health["status"] == "ok"
+        assert health["mode"] in ("normal", "degraded")
+        assert health["backlog"] >= 0
+        assert health["machines_up"] == 8
         status, _, body = await http_get(server.metrics_address, "/metrics")
         assert status == 200
 

@@ -1,0 +1,64 @@
+"""Unit tests for the per-activation phase timer."""
+
+import time
+
+from repro.obs import PhaseTimer
+
+
+def test_empty_timer_is_falsy_and_zero():
+    timer = PhaseTimer()
+    assert not timer
+    assert timer.total == 0.0
+    assert timer.as_dict() == {}
+    assert list(timer) == []
+
+
+def test_phase_context_manager_accumulates_elapsed_time():
+    timer = PhaseTimer()
+    with timer.phase("solve"):
+        time.sleep(0.002)
+    assert timer
+    assert timer.durations["solve"] > 0.0
+    assert timer.total == timer.durations["solve"]
+
+
+def test_repeated_phases_accumulate():
+    timer = PhaseTimer()
+    for _ in range(3):
+        with timer.phase("evaluate"):
+            pass
+    timer.add("evaluate", 1.0)
+    timer.add("evaluate", 0.5)
+    assert timer.durations["evaluate"] >= 1.5
+    # One key, not one per occurrence.
+    assert list(timer.durations) == ["evaluate"]
+
+
+def test_add_and_merge_keep_first_seen_order():
+    timer = PhaseTimer()
+    timer.add("instance_build", 0.1)
+    timer.add("solve", 0.2)
+    timer.merge({"solve": 0.05, "commit": 0.025})
+    assert list(timer.durations) == ["instance_build", "solve", "commit"]
+    assert timer.durations["solve"] == 0.25
+    assert abs(timer.total - 0.375) < 1e-12
+
+
+def test_as_dict_returns_a_copy():
+    timer = PhaseTimer()
+    timer.add("solve", 1.0)
+    snapshot = timer.as_dict()
+    timer.add("solve", 1.0)
+    assert snapshot == {"solve": 1.0}
+    assert timer.durations["solve"] == 2.0
+
+
+def test_phase_records_even_when_body_raises():
+    timer = PhaseTimer()
+    try:
+        with timer.phase("solve"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert "solve" in timer.durations
+    assert timer.durations["solve"] >= 0.0

@@ -175,3 +175,78 @@ def test_tracelog_is_thread_safe(tmp_path):
     events = read_trace(path)
     assert len(events) == 4 * per_thread
     assert log.events_written == 4 * per_thread
+
+
+def test_emit_many_writes_one_line_per_record():
+    buffer = io.StringIO()
+    log = TraceLog(buffer)
+    log.emit_many(
+        "job_batched",
+        [{"job_id": 1, "seq": 7}, {"job_id": 2, "seq": 7}],
+    )
+    log.emit_many("job_batched", [])  # empty batch: no lines, no error
+    records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert [r["event"] for r in records] == ["job_batched", "job_batched"]
+    assert [r["job_id"] for r in records] == [1, 2]
+    assert log.events_written == 2
+
+
+def test_max_bytes_guard_warns_once_and_drops(tmp_path):
+    path = tmp_path / "capped.jsonl"
+    log = TraceLog(path, max_bytes=120)
+    log.emit("activation", time=1.0, backlog=8)
+    assert log.events_written == 1 and log.events_dropped == 0
+    # The event that would push the log past the cap trips the guard —
+    # exactly one warning, then silent drops.
+    with pytest.warns(UserWarning, match="max_bytes=120") as caught:
+        for n in range(5):
+            log.emit("activation", time=2.0 + n, backlog=8)
+        log.emit("activation", time=99.0)
+    assert len(caught) == 1
+    written = log.events_written
+    assert written >= 1
+    assert written + log.events_dropped == 7
+    assert log.events_dropped >= 1
+    assert log.bytes_written <= 120
+    log.close()
+    # Everything on disk is still whole lines; nothing was torn mid-write.
+    assert len(read_trace(path)) == written
+
+
+def test_rotate_resets_the_guard_and_truncates_in_place(tmp_path):
+    path = tmp_path / "rotating.jsonl"
+    log = TraceLog(path, max_bytes=80)
+    with pytest.warns(UserWarning, match="max_bytes"):
+        for n in range(10):
+            log.emit("activation", time=float(n))
+    dropped = log.events_dropped
+    assert dropped > 0
+    log.rotate()  # path-backed: truncate and reopen the same file
+    log.emit("activation", time=100.0)
+    log.close()
+    events = read_trace(path)
+    assert [event["time"] for event in events] == [100.0]
+    assert log.bytes_written > 0
+    # The drop counter is cumulative across segments (it is a health
+    # indicator, not a per-segment stat).
+    assert log.events_dropped == dropped
+
+
+def test_rotate_to_new_target_and_error_cases(tmp_path):
+    first = tmp_path / "seg1.jsonl"
+    second = tmp_path / "seg2.jsonl"
+    log = TraceLog(first, max_bytes=10_000)
+    log.emit("activation", time=1.0)
+    log.rotate(second)
+    log.emit("activation", time=2.0)
+    log.close()
+    assert [e["time"] for e in read_trace(first)] == [1.0]
+    assert [e["time"] for e in read_trace(second)] == [2.0]
+    # A borrowed handle has nowhere to rotate to without an explicit target.
+    borrowed = TraceLog(io.StringIO())
+    with pytest.raises(ValueError, match="borrows its handle"):
+        borrowed.rotate()
+    borrowed.rotate(io.StringIO())  # explicit target is fine
+    borrowed.close()
+    with pytest.raises(ValueError, match="closed"):
+        borrowed.rotate()

@@ -296,3 +296,73 @@ class TestSnapshot:
     def test_requires_at_least_one_machine(self):
         with pytest.raises(ValueError):
             SchedulerCore([], HeuristicBatchPolicy("min_min"))
+
+
+class TestLatencyBuckets:
+    """The configurable latency histogram buckets (ServiceConfig + wiring)."""
+
+    def test_config_validates_and_coerces(self):
+        config = ServiceConfig(queue_capacity=16, latency_buckets=(1, 2.5))
+        assert config.latency_buckets == (1.0, 2.5)
+        assert ServiceConfig(queue_capacity=16).latency_buckets is None
+        with pytest.raises(ValueError, match="empty"):
+            ServiceConfig(queue_capacity=16, latency_buckets=())
+        with pytest.raises(ValueError, match="positive"):
+            ServiceConfig(queue_capacity=16, latency_buckets=(0.0, 1.0))
+        with pytest.raises(ValueError, match="increasing"):
+            ServiceConfig(queue_capacity=16, latency_buckets=(1.0, 1.0))
+
+    def test_describe_reports_default_or_custom(self):
+        assert (
+            ServiceConfig(queue_capacity=16).describe()["latency buckets"]
+            == "default"
+        )
+        described = ServiceConfig(
+            queue_capacity=16, latency_buckets=(0.5, 2.0)
+        ).describe()
+        assert described["latency buckets"] == [0.5, 2.0]
+
+    def test_custom_buckets_reach_the_latency_histograms(self):
+        from repro.obs import MetricsRegistry, parse_exposition
+
+        registry = MetricsRegistry()
+        core = SchedulerCore(
+            make_machines(),
+            HeuristicBatchPolicy("min_min"),
+            ServiceConfig(queue_capacity=16, latency_buckets=(0.5, 2.0)),
+            clock=FakeClock(),
+            rng=7,
+            registry=registry,
+        )
+        for _ in range(3):
+            core.submit(500.0)
+        core.activate()
+        families = parse_exposition(registry.render())
+        for family in (
+            "repro_service_scheduler_seconds",
+            "repro_service_job_latency_seconds",
+            "repro_service_activation_phase_seconds",
+        ):
+            text = registry.render()
+            assert f'{family}_bucket{{' in text or family in families
+        # Exactly the configured bounds plus the implicit +Inf, no default
+        # bucket ladder.
+        text = registry.render()
+        latency_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_service_job_latency_seconds_bucket")
+        ]
+        bounds = [line.split('le="')[1].split('"')[0] for line in latency_lines]
+        assert bounds == ["0.5", "2.0", "+Inf"]
+        phase_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_service_activation_phase_seconds_bucket")
+        ]
+        assert phase_lines, "phase histogram must be live after an activation"
+        assert {line.split('le="')[1].split('"')[0] for line in phase_lines} <= {
+            "0.5",
+            "2.0",
+            "+Inf",
+        }

@@ -553,3 +553,70 @@ class TestObservabilityCli:
         code = main(["obs", "summarize", "/nonexistent/trace.jsonl"])
         assert code == 2
         assert "error" in capsys.readouterr().err.lower()
+
+    def test_latency_buckets_flag_parses_and_rejects_garbage(self, capsys):
+        args = build_parser().parse_args(
+            ["serve", "--latency-buckets", "0.005,0.05,0.5"]
+        )
+        assert args.latency_buckets == "0.005,0.05,0.5"
+        assert build_parser().parse_args(["serve"]).latency_buckets is None
+        code = main(
+            ["loadgen", "--duration", "0.1", "--latency-buckets", "fast,slow"]
+        )
+        assert code == 2
+        assert "latency-buckets" in capsys.readouterr().err
+        # Out-of-order bounds fail ServiceConfig validation, same exit path.
+        code = main(
+            ["loadgen", "--duration", "0.1", "--latency-buckets", "1.0,0.5"]
+        )
+        assert code == 2
+        assert "increasing" in capsys.readouterr().err
+
+    def _loadgen_trace(self, tmp_path):
+        trace_out = tmp_path / "activations.jsonl"
+        code = main(
+            [
+                "loadgen",
+                "--duration", "0.5",
+                "--rate", "30",
+                "--machines", "4",
+                "--interval", "0.05",
+                "--budget", "0.02",
+                "--seed", "9",
+                "--trace-out", str(trace_out),
+            ]
+        )
+        assert code == 0
+        return trace_out
+
+    def test_obs_timeline_renders_waterfalls_and_attribution(self, tmp_path, capsys):
+        trace_out = self._loadgen_trace(tmp_path)
+        capsys.readouterr()
+        code = main(["obs", "timeline", str(trace_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Latency attribution" in out
+        assert "end-to-end" in out
+        assert "queue_wait" in out
+        assert "planned" in out  # the live service's fire-and-forget terminal
+
+        code = main(["obs", "timeline", str(trace_out), "--jobs", "2"])
+        assert code == 0
+        assert capsys.readouterr().out.count("|") >= 4  # two waterfall rows
+
+    def test_obs_slowest_lists_jobs_with_chains(self, tmp_path, capsys):
+        trace_out = self._loadgen_trace(tmp_path)
+        capsys.readouterr()
+        code = main(["obs", "slowest", str(trace_out), "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dominant phase" in out
+        assert "submitted@" in out and "->" in out
+
+    def test_obs_timeline_missing_trace_reported(self, capsys):
+        code = main(["obs", "timeline", "/nonexistent/trace.jsonl"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()
+        code = main(["obs", "slowest", "/nonexistent/trace.jsonl"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()

@@ -232,6 +232,40 @@ class TestRecorder:
         assert replayed.mean_response_time == live.mean_response_time
         assert replayed.nb_activations == live.nb_activations
 
+    def test_replay_with_job_tracing_on_is_bit_exact(self):
+        """The job-lifecycle trace log is a pure observer of the replay.
+
+        Tracing reads clocks, never the simulation's RNG, so a replay with
+        per-job tracing on must reproduce the recorded run bit for bit —
+        and the trace it writes must fold back into a legal lifecycle DAG
+        covering every job.
+        """
+        import io
+
+        from repro.obs import TraceLog, build_timelines, lifecycle_violations
+
+        jobs, machines = _workload()
+        config = SimulationConfig(activation_interval=4.0, commit_horizon=4.0)
+        recorder = TraceRecorder()
+        live = GridSimulator(
+            jobs, machines, HeuristicBatchPolicy("min_min"), config, rng=7,
+            recorder=recorder,
+        ).run()
+        buffer = io.StringIO()
+        replayed = GridSimulator.from_trace(
+            recorder.trace(), HeuristicBatchPolicy("min_min"), config, rng=7,
+            trace_log=TraceLog(buffer),
+        ).run()
+        assert replayed.makespan == live.makespan
+        assert replayed.total_flowtime == live.total_flowtime
+        assert replayed.mean_response_time == live.mean_response_time
+        assert replayed.nb_activations == live.nb_activations
+        events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert lifecycle_violations(events) == []
+        timelines = build_timelines(events)
+        assert len(timelines) == len(jobs)
+        assert all(t.terminal == "completed" for t in timelines)
+
     def test_saved_trace_replay_is_bit_exact(self, tmp_path):
         """The bit-exactness guarantee holds through the on-disk format."""
         jobs, machines = _workload()
